@@ -1,0 +1,95 @@
+// Ablation: oracle vs real distributed agreement (paper section 4.3).
+//
+// The paper's experiments simulated the distributed agreement protocol with
+// an oracle; the real group-membership-style protocol was future work. This
+// repo implements both. The bench compares detection+confirmation latency
+// for genuine failures and shows what the oracle cannot do at all: vote down
+// a false accusation and eventually declare a repeat accuser corrupt.
+
+#include "bench/bench_util.h"
+#include "src/base/histogram.h"
+#include "src/core/cell.h"
+#include "src/flash/fault_injector.h"
+
+namespace {
+
+using hive::AgreementMode;
+using hive::kMillisecond;
+using hive::Time;
+
+base::Histogram MeasureDetection(AgreementMode mode, int trials) {
+  base::Histogram latency;
+  for (int trial = 0; trial < trials; ++trial) {
+    bench::System system;
+    system.machine = std::make_unique<flash::Machine>(bench::PaperConfig(),
+                                                      5000 + static_cast<uint64_t>(trial));
+    hive::HiveOptions options;
+    options.num_cells = 4;
+    options.agreement_mode = mode;
+    options.start_wax = false;
+    system.hive = std::make_unique<hive::HiveSystem>(system.machine.get(), options);
+    system.hive->Boot();
+
+    base::Rng rng(static_cast<uint64_t>(trial) * 17 + 1);
+    const Time inject = 40 * kMillisecond + static_cast<Time>(rng.Below(40)) * kMillisecond;
+    flash::FaultInjector injector(system.machine.get(), static_cast<uint64_t>(trial));
+    injector.ScheduleNodeFailure(1 + trial % 3, inject);
+    system.machine->events().RunUntil(inject + 300 * kMillisecond);
+    if (system.hive->recovery().recoveries_run() > 0) {
+      latency.Record(system.hive->recovery().last_stats().detect_time - inject);
+    }
+  }
+  return latency;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "abl_agreement: oracle vs real distributed agreement",
+      "the paper used an oracle (section 7.2); the voting protocol it "
+      "planned (per Ricciardi & Birman) must confirm failures and reject "
+      "false accusations");
+
+  const base::Histogram oracle = MeasureDetection(AgreementMode::kOracle, 16);
+  const base::Histogram voting = MeasureDetection(AgreementMode::kVoting, 16);
+
+  base::Table table({"Mode", "Confirmations", "Detect+confirm avg", "max"});
+  table.AddRow({"oracle (paper's setup)", base::Table::I64(static_cast<int64_t>(oracle.count())) + "/16",
+                base::Table::Ms(oracle.mean(), 1),
+                base::Table::Ms(static_cast<double>(oracle.max()), 1)});
+  table.AddRow({"voting (majority probe)", base::Table::I64(static_cast<int64_t>(voting.count())) + "/16",
+                base::Table::Ms(voting.mean(), 1),
+                base::Table::Ms(static_cast<double>(voting.max()), 1)});
+  std::printf("%s", table.Render("Genuine node failures").c_str());
+
+  // False accusation handling, which only the real protocol provides.
+  bench::System system;
+  system.machine = std::make_unique<flash::Machine>(bench::PaperConfig(), 6001);
+  hive::HiveOptions options;
+  options.num_cells = 4;
+  options.agreement_mode = AgreementMode::kVoting;
+  options.start_wax = false;
+  system.hive = std::make_unique<hive::HiveSystem>(system.machine.get(), options);
+  system.hive->Boot();
+  hive::Ctx ctx = system.cell(0).MakeCtx();
+  system.hive->HandleAlert(ctx, /*accuser=*/0, /*suspect=*/2, hive::HintReason::kClockStale);
+  const bool first_rejected =
+      system.cell(2).alive() && system.hive->recovery().recoveries_run() == 0;
+  system.hive->HandleAlert(ctx, 0, 2, hive::HintReason::kClockStale);
+  const bool accuser_expelled = !system.cell(0).alive() && system.cell(2).alive();
+
+  std::printf("\nFalse-accusation handling (voting only):\n");
+  std::printf("  first bogus alert voted down, suspect survives:   %s\n",
+              first_rejected ? "yes" : "NO");
+  std::printf("  second identical alert expels the accuser itself: %s\n",
+              accuser_expelled ? "yes" : "NO");
+  std::printf("  false alerts recorded by the protocol: %llu\n",
+              static_cast<unsigned long long>(system.hive->agreement().false_alerts()));
+  std::printf(
+      "\nThe voting round costs tens of microseconds more than the oracle (the\n"
+      "probes are careful clock reads + pings), a negligible share of the\n"
+      "clock-tick-dominated detection latency -- and it is the only variant\n"
+      "that stops a corrupt cell from rebooting healthy ones.\n");
+  return first_rejected && accuser_expelled ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Ablation: failure detection frequency vs the window of vulnerability.
+//
+// Paper section 3.1: "The window of vulnerability can be reduced by
+// increasing the frequency of checks during normal operation. This is
+// another tradeoff between fault containment and performance." This bench
+// sweeps the clock monitoring period and reports the detection latency of a
+// node failure together with the monitoring cost each cell pays (one careful
+// remote clock read of 1.16 us per tick, plus its own clock update).
+
+#include "bench/bench_util.h"
+#include "src/base/histogram.h"
+#include "src/core/cell.h"
+#include "src/flash/fault_injector.h"
+
+namespace {
+
+using hive::kMillisecond;
+using hive::Time;
+
+struct Point {
+  Time period;
+  double avg_latency_ms = 0;
+  double max_latency_ms = 0;
+  double monitor_cpu_pct = 0;
+};
+
+Point Measure(Time period) {
+  Point point;
+  point.period = period;
+  base::Histogram latency;
+  for (uint64_t trial = 0; trial < 12; ++trial) {
+    bench::System system;
+    system.machine = std::make_unique<flash::Machine>(bench::PaperConfig(), 7000 + trial);
+    hive::HiveOptions options;
+    options.num_cells = 4;
+    options.start_wax = false;
+    options.costs.clock_tick_period_ns = period;
+    system.hive = std::make_unique<hive::HiveSystem>(system.machine.get(), options);
+    system.hive->Boot();
+
+    base::Rng rng(trial * 31 + 5);
+    const Time inject = 50 * kMillisecond + static_cast<Time>(rng.Below(50)) * kMillisecond;
+    flash::FaultInjector injector(system.machine.get(), trial);
+    injector.ScheduleNodeFailure(static_cast<int>(1 + trial % 3), inject);
+    system.machine->events().RunUntil(inject + 40 * period + 200 * kMillisecond);
+    if (system.hive->recovery().recoveries_run() == 0) {
+      continue;
+    }
+    latency.Record(system.hive->recovery().last_stats().detect_time - inject);
+  }
+  if (!latency.empty()) {
+    point.avg_latency_ms = latency.mean() / 1e6;
+    point.max_latency_ms = static_cast<double>(latency.max()) / 1e6;
+  }
+  // Monitoring cost per CPU: (careful read 1.16 us + own clock update ~0.2 us)
+  // every `period`.
+  point.monitor_cpu_pct = (1160.0 + 200.0) / static_cast<double>(period) * 100.0;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "abl_detection_freq: clock monitoring period vs window of vulnerability",
+      "section 3.1 tradeoff: faster checks shrink the wild-write window but "
+      "cost CPU on every tick (the paper's prototype ticks at 10 ms)");
+
+  base::Table table({"Tick period", "Detection avg (ms)", "Detection max (ms)",
+                     "Monitoring CPU/cell"});
+  for (Time period : {1 * kMillisecond, 2 * kMillisecond, 5 * kMillisecond,
+                      10 * kMillisecond, 20 * kMillisecond, 50 * kMillisecond}) {
+    const Point point = Measure(period);
+    table.AddRow({base::Table::Ms(static_cast<double>(period), 0),
+                  base::Table::F64(point.avg_latency_ms, 1),
+                  base::Table::F64(point.max_latency_ms, 1),
+                  base::Table::F64(point.monitor_cpu_pct, 3) + "%"});
+  }
+  std::printf("%s", table.Render("Detection period sweep (12 node-failure trials each)")
+                        .c_str());
+  std::printf(
+      "\nDetection latency tracks the tick period plus the bounded stall on the\n"
+      "failed access; monitoring cost stays negligible even at 1 ms ticks, but\n"
+      "each check also steals cache/bus bandwidth the model does not charge.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: CC-NUMA page placement through physical-level sharing (paper
+// section 5.5): "a frame might be simultaneously loaned out and imported back
+// into the memory home. This can occur when the data home places a page in
+// the memory of the client cell that has faulted to it, which helps to
+// improve CC-NUMA locality."
+//
+// With placement on, the data home caches pages faulted by a remote client in
+// frames borrowed from that client's memory; the client's subsequent stores
+// are node-local instead of remote.
+
+#include "bench/bench_util.h"
+#include "src/core/cell.h"
+#include "src/workloads/ocean.h"
+
+namespace {
+
+using hive::kSecond;
+using hive::Time;
+
+struct Result {
+  Time makespan = 0;
+  uint64_t remote_write_misses = 0;
+  uint64_t local_misses = 0;
+  uint64_t loans = 0;
+};
+
+Result Run(bool placement, uint64_t seed) {
+  bench::System system;
+  system.machine = std::make_unique<flash::Machine>(bench::PaperConfig(), seed);
+  hive::HiveOptions options;
+  options.num_cells = 4;
+  options.numa_placement = placement;
+  system.hive = std::make_unique<hive::HiveSystem>(system.machine.get(), options);
+  system.hive->Boot();
+
+  workloads::OceanParams params;
+  params.timesteps = 30;
+  params.name_seed = seed;
+  workloads::OceanWorkload ocean(system.hive.get(), params);
+  ocean.Setup();
+  system.machine->cache().ResetCounters();
+  const Time start = system.machine->Now();
+  auto pids = ocean.Start();
+  (void)system.hive->RunUntilDone(pids, start + 600 * kSecond);
+
+  Result result;
+  for (hive::ProcId pid : pids) {
+    const hive::CellId c = system.hive->FindProcessCell(pid);
+    hive::Process* proc = system.hive->cell(c).sched().FindProcess(pid);
+    if (proc != nullptr) {
+      result.makespan = std::max(result.makespan, proc->finished_at - start);
+    }
+  }
+  result.remote_write_misses = system.machine->cache().remote_write_misses();
+  result.local_misses = system.machine->cache().local_misses();
+  for (hive::CellId c = 0; c < 4; ++c) {
+    result.loans += system.hive->cell(c).allocator().loaned_frames();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "abl_numa_placement: CC-NUMA page placement via loaned frames",
+      "section 5.5: the data home places pages in the faulting client's "
+      "memory (frame loaned out and imported back through the pre-existing "
+      "pfdat), converting the client's remote write misses into local ones");
+
+  const Result off = Run(false, 6601);
+  const Result on = Run(true, 6602);
+
+  base::Table table({"Placement", "ocean makespan", "Remote write misses",
+                     "Local misses", "Frames on loan"});
+  table.AddRow({"off (all pages at data home)",
+                base::Table::F64(static_cast<double>(off.makespan) / 1e9, 3) + " s",
+                base::Table::I64(static_cast<int64_t>(off.remote_write_misses)),
+                base::Table::I64(static_cast<int64_t>(off.local_misses)),
+                base::Table::I64(static_cast<int64_t>(off.loans))});
+  table.AddRow({"on (pages near the faulting cell)",
+                base::Table::F64(static_cast<double>(on.makespan) / 1e9, 3) + " s",
+                base::Table::I64(static_cast<int64_t>(on.remote_write_misses)),
+                base::Table::I64(static_cast<int64_t>(on.local_misses)),
+                base::Table::I64(static_cast<int64_t>(on.loans))});
+  std::printf("%s", table.Render("CC-NUMA placement ablation (ocean, 4 cells)").c_str());
+  std::printf(
+      "\nEach thread's partition lands in its own cell's memory, so the grid\n"
+      "stores that were remote misses become local ones; only the halo pages\n"
+      "(placed near their first toucher) stay remote for the neighbour. At\n"
+      "ocean's touch rate the one-time migration copies roughly pay for the\n"
+      "per-store savings -- the paper's point that \"the tradeoffs in page\n"
+      "allocation ... are complex\" (section 5.6); store-hot workloads win.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces the firewall management policy measurement of paper section 4.2:
+// over 5.0 seconds of execution sampled at 20 millisecond intervals, pmake
+// averages 15 remotely writable pages per cell (out of ~6000 user pages per
+// cell; the peak of 42 is on the /tmp file-server cell), while ocean averages
+// 550 because its global data segment is write-shared by all processors.
+
+#include "bench/bench_util.h"
+#include "src/core/cell.h"
+#include "src/workloads/ocean.h"
+#include "src/workloads/pmake.h"
+
+namespace {
+
+using hive::kMillisecond;
+using hive::kSecond;
+using hive::Time;
+
+struct Samples {
+  double avg_per_cell = 0;
+  int max_any_cell = 0;
+  hive::CellId max_cell = hive::kInvalidCell;
+  int count = 0;
+};
+
+// Samples RemotelyWritablePages on every cell each 20 ms over `duration`.
+Samples Sample(bench::System& system, Time start, Time duration) {
+  auto samples = std::make_shared<Samples>();
+  auto total = std::make_shared<int64_t>(0);
+  const int n = system.hive->num_cells();
+  std::function<void()> tick = [&system, samples, total, n]() {
+    for (hive::CellId c = 0; c < n; ++c) {
+      const int pages = system.hive->cell(c).firewall_manager().RemotelyWritablePages();
+      *total += pages;
+      if (pages > samples->max_any_cell) {
+        samples->max_any_cell = pages;
+        samples->max_cell = c;
+      }
+      ++samples->count;
+    }
+  };
+  for (Time t = start; t < start + duration; t += 20 * kMillisecond) {
+    system.machine->events().ScheduleAt(t, tick);
+  }
+  system.machine->events().RunUntil(start + duration);
+  samples->avg_per_cell =
+      samples->count == 0 ? 0.0 : static_cast<double>(*total) / samples->count;
+  return *samples;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "sec42_writable_pages: remotely writable pages under the grant policy",
+      "pmake: avg 15 per cell, max 42 (on the /tmp file-server cell); "
+      "ocean: avg 550 (write-shared data segment); ~6000-7000 user pages/cell");
+
+  base::Table table({"Workload", "Avg writable/cell", "Max (cell)", "Paper"});
+
+  {
+    bench::System system = bench::Boot(4);
+    workloads::PmakeWorkload pmake(system.hive.get(), workloads::PmakeParams{});
+    pmake.Setup();
+    auto pids = pmake.Start();
+    const Samples s = Sample(system, system.machine->Now(), 5 * kSecond);
+    (void)system.hive->RunUntilDone(pids, 600 * kSecond);
+    table.AddRow({"pmake", base::Table::F64(s.avg_per_cell, 1),
+                  base::Table::I64(s.max_any_cell) + " (cell " +
+                      base::Table::I64(s.max_cell) + ")",
+                  "avg 15, max 42 on file server"});
+  }
+  {
+    bench::System system = bench::Boot(4);
+    workloads::OceanParams params;
+    workloads::OceanWorkload ocean(system.hive.get(), params);
+    ocean.Setup();
+    auto pids = ocean.Start();
+    const Samples s = Sample(system, system.machine->Now(), 5 * kSecond);
+    (void)system.hive->RunUntilDone(pids, 600 * kSecond);
+    table.AddRow({"ocean", base::Table::F64(s.avg_per_cell, 1),
+                  base::Table::I64(s.max_any_cell) + " (cell " +
+                      base::Table::I64(s.max_cell) + ")",
+                  "avg 550 (segment home)"});
+  }
+
+  std::printf("%s",
+              table.Render("Section 4.2: remotely writable pages per cell "
+                           "(20 ms samples over 5 s)")
+                  .c_str());
+  std::printf(
+      "\npmake write-shares only its /tmp scratch pages, so the policy keeps\n"
+      "nearly every page protected; ocean's data segment is write-shared by\n"
+      "all processors, so protecting it would only add overhead for an\n"
+      "application that dies with any cell anyway (section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "src/base/histogram.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace base {
+
+int64_t Histogram::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+int64_t Histogram::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+int64_t Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), int64_t{0});
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(sum()) / static_cast<double>(samples_.size());
+}
+
+int64_t Histogram::Percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<int64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(rank);
+  return sorted[idx];
+}
+
+}  // namespace base

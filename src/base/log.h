@@ -1,0 +1,66 @@
+// Minimal leveled logging. Benches and tests set the level; kernel code logs
+// through LOG(level) << ... streams. Logging never allocates on the hot path
+// when the level is disabled.
+
+#ifndef HIVE_SRC_BASE_LOG_H_
+#define HIVE_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace base {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace base
+
+#define HIVE_LOG_ENABLED(level) (::base::LogLevel::level >= ::base::GetLogLevel())
+
+#define LOG(level)                         \
+  if (!HIVE_LOG_ENABLED(level)) {          \
+  } else                                   \
+    ::base::internal::LogMessage(::base::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define CHECK(cond)                                                       \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::base::internal::LogMessage(::base::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+        << "CHECK failed: " #cond " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HIVE_SRC_BASE_LOG_H_

@@ -1,0 +1,70 @@
+// Deterministic PRNG (xoshiro256++) so every experiment in the repo is exactly
+// reproducible from a seed. Do not use std::mt19937 directly: its seeding and
+// distribution behaviour differ across standard libraries.
+
+#ifndef HIVE_SRC_BASE_RNG_H_
+#define HIVE_SRC_BASE_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace base {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed, per Vigna's recommendation.
+    uint64_t x = seed + 0x9E3779B97F4A7C15ull;
+    for (auto& word : state_) {
+      uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t Below(uint64_t bound) {
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace base
+
+#endif  // HIVE_SRC_BASE_RNG_H_

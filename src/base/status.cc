@@ -1,0 +1,43 @@
+#include "src/base/status.h"
+
+namespace base {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kBusError:
+      return "BUS_ERROR";
+    case StatusCode::kBadRemoteData:
+      return "BAD_REMOTE_DATA";
+    case StatusCode::kStaleGeneration:
+      return "STALE_GENERATION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCellFailed:
+      return "CELL_FAILED";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::ostream& operator<<(std::ostream& os, Status status) { return os << status.name(); }
+
+}  // namespace base

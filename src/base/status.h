@@ -1,0 +1,146 @@
+// Error propagation primitives for the Hive reproduction.
+//
+// Kernel code paths never throw across module boundaries; they return Status or
+// Result<T>. The only exception type in the codebase is flash::BusError, which
+// models the hardware trap (see src/flash/bus_error.h).
+
+#ifndef HIVE_SRC_BASE_STATUS_H_
+#define HIVE_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+namespace base {
+
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,
+  kTimeout = 5,        // RPC timeout: feeds a failure hint.
+  kBusError = 6,       // Hardware trap observed under a careful section.
+  kBadRemoteData = 7,  // Careful-reference sanity check failed.
+  kStaleGeneration = 8,  // File generation mismatch after preemptive discard.
+  kIoError = 9,
+  kCellFailed = 10,  // Target cell is (believed) dead.
+  kPermissionDenied = 11,
+  kResourceExhausted = 12,
+  kUnavailable = 13,  // Transient: retry may succeed (e.g. recovery in progress).
+  kInternal = 14,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A thin status word. Cheap to copy; carries no message allocation so it is
+// safe to use on simulated interrupt paths.
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() : code_(StatusCode::kOk) {}
+  constexpr explicit Status(StatusCode code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == StatusCode::kOk; }
+  constexpr StatusCode code() const { return code_; }
+  std::string_view name() const { return StatusCodeName(code_); }
+
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+};
+
+inline constexpr Status OkStatus() { return Status::Ok(); }
+inline constexpr Status InvalidArgument() { return Status(StatusCode::kInvalidArgument); }
+inline constexpr Status NotFound() { return Status(StatusCode::kNotFound); }
+inline constexpr Status AlreadyExists() { return Status(StatusCode::kAlreadyExists); }
+inline constexpr Status OutOfMemory() { return Status(StatusCode::kOutOfMemory); }
+inline constexpr Status Timeout() { return Status(StatusCode::kTimeout); }
+inline constexpr Status BusErrorStatus() { return Status(StatusCode::kBusError); }
+inline constexpr Status BadRemoteData() { return Status(StatusCode::kBadRemoteData); }
+inline constexpr Status StaleGeneration() { return Status(StatusCode::kStaleGeneration); }
+inline constexpr Status IoError() { return Status(StatusCode::kIoError); }
+inline constexpr Status CellFailed() { return Status(StatusCode::kCellFailed); }
+inline constexpr Status PermissionDenied() { return Status(StatusCode::kPermissionDenied); }
+inline constexpr Status ResourceExhausted() { return Status(StatusCode::kResourceExhausted); }
+inline constexpr Status Unavailable() { return Status(StatusCode::kUnavailable); }
+inline constexpr Status Internal() { return Status(StatusCode::kInternal); }
+
+std::ostream& operator<<(std::ostream& os, Status status);
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(status) {  // NOLINT(google-explicit-constructor)
+    assert(!status.ok() && "ok Result must carry a value");
+  }
+  Result(StatusCode code) : Result(Status(code)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  Status status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-ok status out of the enclosing function.
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::base::Status status_macro_ = (expr);   \
+    if (!status_macro_.ok()) {               \
+      return status_macro_;                  \
+    }                                        \
+  } while (false)
+
+// Propagates a non-ok Status out of a function that returns Result<T>.
+#define RETURN_IF_ERROR_RESULT(expr)        \
+  do {                                      \
+    ::base::Status status_macro2_ = (expr); \
+    if (!status_macro2_.ok()) {             \
+      return status_macro2_;                \
+    }                                       \
+  } while (false)
+
+// Evaluates a Result expression, assigning the value or propagating the error.
+#define BASE_STATUS_CONCAT_INNER(a, b) a##b
+#define BASE_STATUS_CONCAT(a, b) BASE_STATUS_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                          \
+  if (!tmp.ok()) {                            \
+    return tmp.status();                      \
+  }                                           \
+  lhs = std::move(tmp).value()
+#define ASSIGN_OR_RETURN(lhs, expr) \
+  ASSIGN_OR_RETURN_IMPL(BASE_STATUS_CONCAT(result_macro_, __LINE__), lhs, expr)
+
+}  // namespace base
+
+#endif  // HIVE_SRC_BASE_STATUS_H_

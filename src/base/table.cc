@@ -1,0 +1,107 @@
+#include "src/base/table.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace base {
+namespace {
+
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string Format(const char* fmt, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.push_back({kSeparatorTag}); }
+
+std::string Table::Render(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      continue;
+    }
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](char fill, char cross) {
+    std::string line;
+    line += cross;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      line.append(widths[c] + 2, fill);
+      line += cross;
+    }
+    line += '\n';
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += ' ';
+      if (c == 0) {
+        line += cell;
+        line.append(widths[c] - cell.size(), ' ');
+      } else {
+        line.append(widths[c] - cell.size(), ' ');
+        line += cell;
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::ostringstream out;
+  out << "\n== " << title << " ==\n";
+  out << render_line('-', '+');
+  out << render_row(header_);
+  out << render_line('=', '+');
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      out << render_line('-', '+');
+    } else {
+      out << render_row(row);
+    }
+  }
+  out << render_line('-', '+');
+  return out.str();
+}
+
+std::string Table::F64(double v, int precision) { return Format("%.*f", precision, v); }
+
+std::string Table::I64(int64_t v) { return Format("%" PRId64, v); }
+
+std::string Table::Us(double nanoseconds, int precision) {
+  return Format("%.*f us", precision, nanoseconds / 1000.0);
+}
+
+std::string Table::Ms(double nanoseconds, int precision) {
+  return Format("%.*f ms", precision, nanoseconds / 1e6);
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  return Format("%.*f%%", precision, fraction * 100.0);
+}
+
+}  // namespace base

@@ -1,0 +1,43 @@
+// Fixed-width table printer. Every bench binary renders its paper table with
+// this so the output is uniform and easy to diff against EXPERIMENTS.md.
+
+#ifndef HIVE_SRC_BASE_TABLE_H_
+#define HIVE_SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace base {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; cells beyond the header width are dropped, missing cells are
+  // rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Adds a horizontal separator line.
+  void AddSeparator();
+
+  // Renders with a title, column alignment (first column left, rest right),
+  // and box-drawing separators.
+  std::string Render(const std::string& title) const;
+
+  // Convenience formatting helpers for cells.
+  static std::string F64(double v, int precision = 2);
+  static std::string I64(int64_t v);
+  static std::string Us(double nanoseconds, int precision = 1);  // ns -> "x.y us"
+  static std::string Ms(double nanoseconds, int precision = 1);  // ns -> "x.y ms"
+  static std::string Pct(double fraction, int precision = 1);    // 0.063 -> "6.3%"
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01--";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace base
+
+#endif  // HIVE_SRC_BASE_TABLE_H_

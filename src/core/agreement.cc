@@ -1,0 +1,115 @@
+#include "src/core/agreement.h"
+
+#include "src/base/log.h"
+#include "src/core/careful_ref.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+#include "src/core/rpc.h"
+
+namespace hive {
+namespace {
+
+// Cost of one oracle consultation (the paper's experiments used an oracle
+// whose cost the machine model exposes "unambiguously", section 7.2).
+constexpr Time kOracleRoundNs = 50 * kMicrosecond;
+// Coordination messages for a voting round (collect + decide broadcasts).
+constexpr Time kVoteCoordinationNs = 40 * kMicrosecond;
+
+uint64_t StrikeKey(CellId accuser, CellId suspect) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(accuser)) << 32) |
+         static_cast<uint32_t>(suspect);
+}
+
+}  // namespace
+
+bool Agreement::ProbeSuspect(Ctx& ctx, CellId prober, CellId suspect) {
+  Cell& prober_cell = system_->cell(prober);
+  Cell& suspect_cell = system_->cell(suspect);
+
+  // Probe 1: careful read of the suspect's clock word. A bus error or a bad
+  // tag is a strong failure signal.
+  Ctx probe_ctx;
+  probe_ctx.cell = &prober_cell;
+  probe_ctx.cpu = prober_cell.FirstCpu();
+  probe_ctx.start = ctx.VirtualNow();
+  {
+    CarefulRef careful(&probe_ctx, &prober_cell.machine().mem(), prober_cell.costs(),
+                       suspect, suspect_cell.mem_base(), suspect_cell.mem_size());
+    auto read =
+        careful.ReadTagged<uint64_t>(suspect_cell.clock_word_addr(), kTagClockWord);
+    if (!read.ok()) {
+      ctx.Charge(probe_ctx.elapsed);
+      return true;  // Unreachable or corrupt: vote failed.
+    }
+  }
+
+  // Probe 2: ping RPC; a live kernel answers at interrupt level.
+  RpcArgs args;
+  RpcReply reply;
+  base::Status status =
+      prober_cell.rpc().Call(probe_ctx, suspect, MsgType::kPing, args, &reply);
+  ctx.Charge(probe_ctx.elapsed);
+  return !status.ok();
+}
+
+AgreementResult Agreement::RunRound(Ctx& ctx, CellId accuser, CellId suspect,
+                                    HintReason reason) {
+  (void)reason;
+  ++rounds_run_;
+  AgreementResult result;
+  const Time round_start = ctx.elapsed;
+
+  if (mode_ == AgreementMode::kOracle) {
+    ctx.Charge(kOracleRoundNs);
+    Cell& cell = system_->cell(suspect);
+    bool failed = !cell.alive();
+    for (int node = cell.first_node(); node < cell.first_node() + cell.num_nodes();
+         ++node) {
+      failed = failed || system_->machine().NodeDead(node);
+    }
+    result.confirmed = failed;
+    if (failed) {
+      result.failed.push_back(suspect);
+    }
+  } else {
+    // Voting: every live cell other than the suspect probes independently.
+    ctx.Charge(kVoteCoordinationNs);
+    int votes_for = 0;
+    int votes_against = 0;
+    for (CellId prober : system_->LiveCells()) {
+      if (prober == suspect) {
+        continue;
+      }
+      if (ProbeSuspect(ctx, prober, suspect)) {
+        ++votes_for;
+      } else {
+        ++votes_against;
+      }
+    }
+    result.votes_for = votes_for;
+    result.votes_against = votes_against;
+    result.confirmed = votes_for > votes_against;
+    if (result.confirmed) {
+      result.failed.push_back(suspect);
+    }
+  }
+
+  if (!result.confirmed) {
+    // The accuser cried wolf. Twice for the same suspect and the other cells
+    // conclude the *accuser* is corrupt (paper section 4.3).
+    ++false_alerts_;
+    const uint64_t key = StrikeKey(accuser, suspect);
+    if (++strikes_[key] >= 2) {
+      strikes_.erase(key);
+      result.confirmed = true;
+      result.failed.push_back(accuser);
+      LOG(kInfo) << "cell " << accuser << " voted down twice accusing " << suspect
+                 << ": declared corrupt";
+    }
+  }
+
+  result.round_cost_ns = ctx.elapsed - round_start;
+  return result;
+}
+
+}  // namespace hive

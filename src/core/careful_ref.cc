@@ -1,0 +1,85 @@
+#include "src/core/careful_ref.h"
+
+namespace hive {
+
+CarefulRef::CarefulRef(Ctx* ctx, flash::PhysMem* mem, const KernelCosts& costs,
+                       CellId target_cell, PhysAddr range_base, uint64_t range_size)
+    : ctx_(ctx),
+      mem_(mem),
+      costs_(costs),
+      target_cell_(target_cell),
+      range_base_(range_base),
+      range_size_(range_size) {
+  // careful_on: capture the stack frame and record the intended cell.
+  ctx_->Charge(costs_.careful_on_ns);
+}
+
+CarefulRef::~CarefulRef() {
+  // careful_off: future bus errors in the reading cell panic the kernel again.
+  ctx_->Charge(costs_.careful_off_ns);
+}
+
+base::Status CarefulRef::CheckAddr(PhysAddr addr, uint64_t size, uint64_t alignment) const {
+  if (alignment != 0 && addr % alignment != 0) {
+    return base::BadRemoteData();
+  }
+  if (size > range_size_ || addr < range_base_ || addr - range_base_ > range_size_ - size) {
+    // Not within the memory range belonging to the expected cell.
+    return base::BadRemoteData();
+  }
+  return base::OkStatus();
+}
+
+void CarefulRef::ChargeAccessAt(PhysAddr addr, uint64_t bytes) {
+  const uint64_t first = addr / 128;
+  const uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / 128;
+  bool charged_header = false;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (line == last_line_) {
+      continue;
+    }
+    if (!charged_header) {
+      ctx_->Charge(costs_.careful_check_ns + costs_.careful_copy_ns);
+      charged_header = true;
+    }
+    ctx_->Charge(costs_.remote_miss_ns);
+    last_line_ = line;
+  }
+}
+
+base::Status CarefulRef::CheckTag(PhysAddr payload, uint32_t expected_tag) {
+  // The header sits kHeaderSize bytes below the payload: {magic, tag, size}.
+  if (payload < KernelHeap::kHeaderSize) {
+    return base::BadRemoteData();
+  }
+  const PhysAddr header = payload - KernelHeap::kHeaderSize;
+  RETURN_IF_ERROR(CheckAddr(header, KernelHeap::kHeaderSize, 8));
+  ChargeAccessAt(header, KernelHeap::kHeaderSize);
+  try {
+    const uint32_t magic = mem_->ReadValue<uint32_t>(ctx_->cpu, header);
+    const uint32_t tag = mem_->ReadValue<uint32_t>(ctx_->cpu, header + 4);
+    if (magic != KernelHeap::kHeaderMagic || tag != expected_tag) {
+      return base::BadRemoteData();
+    }
+  } catch (const flash::BusError&) {
+    bus_error_seen_ = true;
+    ctx_->Charge(costs_.failed_access_stall_ns);
+    return base::BusErrorStatus();
+  }
+  return base::OkStatus();
+}
+
+base::Status CarefulRef::ReadBytes(PhysAddr addr, std::span<uint8_t> out) {
+  RETURN_IF_ERROR(CheckAddr(addr, out.size(), 1));
+  ChargeAccessAt(addr, out.size());
+  try {
+    mem_->Read(ctx_->cpu, addr, out);
+  } catch (const flash::BusError&) {
+    bus_error_seen_ = true;
+    ctx_->Charge(costs_.failed_access_stall_ns);
+    return base::BusErrorStatus();
+  }
+  return base::OkStatus();
+}
+
+}  // namespace hive

@@ -1,0 +1,99 @@
+// The careful reference protocol (paper section 4.1). One cell reads
+// another's internal data structures directly when RPCs are too slow, an
+// up-to-date view is required, or the data is published to many cells.
+// The reading cell follows five steps:
+//
+//   1. careful_on: capture the current context and record which remote cell
+//      the kernel intends to access; bus errors while reading that cell's
+//      memory unwind here instead of panicking the reader.
+//   2. Before using any remote address: check alignment for the expected
+//      structure and that it addresses the memory range of the expected cell.
+//   3. Copy all data values to local memory before sanity checks, to defend
+//      against values changing mid-operation.
+//   4. Check each remote structure's type identifier, written by the memory
+//      allocator and removed by the deallocator.
+//   5. careful_off: future bus errors once again panic the reader.
+//
+// In this model the trap capture is a scoped object: constructing a
+// CarefulRef is careful_on, destruction is careful_off, and the simulated
+// BusError exception is caught inside Read*() and converted to a Status.
+
+#ifndef HIVE_SRC_CORE_CAREFUL_REF_H_
+#define HIVE_SRC_CORE_CAREFUL_REF_H_
+
+#include <span>
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/costs.h"
+#include "src/core/kernel_heap.h"
+#include "src/core/types.h"
+#include "src/flash/phys_mem.h"
+
+namespace hive {
+
+class CarefulRef {
+ public:
+  // Begins a careful section on behalf of ctx->cpu, intending to access the
+  // remote cell whose memory spans [range_base, range_base + range_size).
+  CarefulRef(Ctx* ctx, flash::PhysMem* mem, const KernelCosts& costs, CellId target_cell,
+             PhysAddr range_base, uint64_t range_size);
+  ~CarefulRef();
+
+  CarefulRef(const CarefulRef&) = delete;
+  CarefulRef& operator=(const CarefulRef&) = delete;
+
+  // Step 2: validity check without an access.
+  base::Status CheckAddr(PhysAddr addr, uint64_t size, uint64_t alignment) const;
+
+  // Steps 2+3: checked, copied-out read of a trivially copyable value.
+  template <typename T>
+  base::Result<T> Read(PhysAddr addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RETURN_IF_ERROR_RESULT(CheckAddr(addr, sizeof(T), alignof(T)));
+    ChargeAccessAt(addr, sizeof(T));
+    try {
+      return mem_->ReadValue<T>(ctx_->cpu, addr);
+    } catch (const flash::BusError&) {
+      bus_error_seen_ = true;
+      ctx_->Charge(costs_.failed_access_stall_ns);
+      return base::BusErrorStatus();
+    }
+  }
+
+  // Steps 2-4: reads a kernel-heap allocation of the expected type tag.
+  // `payload` must point at the allocation payload; the header directly below
+  // it is validated (magic + tag) before the payload is copied out.
+  template <typename T>
+  base::Result<T> ReadTagged(PhysAddr payload, uint32_t expected_tag) {
+    RETURN_IF_ERROR_RESULT(CheckTag(payload, expected_tag));
+    return Read<T>(payload);
+  }
+
+  // Step 4 alone: validates the allocation header below `payload`.
+  base::Status CheckTag(PhysAddr payload, uint32_t expected_tag);
+
+  base::Status ReadBytes(PhysAddr addr, std::span<uint8_t> out);
+
+  bool bus_error_seen() const { return bus_error_seen_; }
+
+ private:
+  // Charges the per-access protocol cost plus a remote miss for every line
+  // of [addr, addr+bytes) not already fetched in this careful section.
+  void ChargeAccessAt(PhysAddr addr, uint64_t bytes);
+
+  Ctx* ctx_;
+  flash::PhysMem* mem_;
+  const KernelCosts& costs_;
+  CellId target_cell_;
+  PhysAddr range_base_;
+  uint64_t range_size_;
+  bool bus_error_seen_ = false;
+  // Last 128-byte line touched: repeated accesses to the same line (e.g. an
+  // allocation tag followed by the adjacent payload) cost no extra miss.
+  uint64_t last_line_ = ~0ull;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_CAREFUL_REF_H_

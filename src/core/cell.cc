@@ -1,0 +1,347 @@
+#include "src/core/cell.h"
+
+#include "src/base/log.h"
+#include "src/core/hive_system.h"
+#include "src/flash/bus_error.h"
+
+namespace hive {
+namespace {
+
+// Kernel text + static data + heap region at the bottom of each cell's
+// memory ("OS internal data" in paper figure 3.1).
+constexpr uint64_t kKernelRegionBytes = 4ull * 1024 * 1024;
+
+}  // namespace
+
+Cell::Cell(HiveSystem* system, CellId id, int first_node, int num_nodes)
+    : system_(system), id_(id), first_node_(first_node), num_nodes_(num_nodes) {
+  const flash::MachineConfig& config = system->machine().config();
+  mem_base_ = static_cast<PhysAddr>(first_node) * config.memory_per_node;
+  mem_size_ = static_cast<uint64_t>(num_nodes) * config.memory_per_node;
+  for (int node = first_node; node < first_node + num_nodes; ++node) {
+    for (int c = 0; c < config.cpus_per_node; ++c) {
+      cpus_.push_back(node * config.cpus_per_node + c);
+    }
+  }
+}
+
+Cell::~Cell() = default;
+
+flash::Machine& Cell::machine() const { return system_->machine(); }
+
+const KernelCosts& Cell::costs() const { return system_->costs(); }
+
+uint64_t Cell::CpuMask() const {
+  uint64_t mask = 0;
+  for (int cpu : cpus_) {
+    mask |= 1ull << cpu;
+  }
+  return mask;
+}
+
+Ctx Cell::MakeCtx(int cpu_index) {
+  Ctx ctx;
+  ctx.cell = this;
+  ctx.cpu = cpus_[static_cast<size_t>(cpu_index)];
+  ctx.start = machine().Now();
+  return ctx;
+}
+
+void Cell::ChargeSyscallTax(Ctx& ctx) {
+  if (!system_->smp_mode()) {
+    ctx.Charge(costs().hive_syscall_tax_ns);
+  }
+}
+
+uint64_t Cell::ReadOwnClock() const {
+  return machine().mem().ReadValue<uint64_t>(cpus_.front(), clock_word_addr_);
+}
+
+void Cell::Boot() {
+  state_ = CellState::kBooting;
+  panic_reason_.clear();
+  in_recovery_ = false;
+  user_suspended_until_ = 0;
+
+  // Kernel heap at the bottom of the cell's first node.
+  heap_ = std::make_unique<KernelHeap>(&machine().mem(), FirstCpu(), mem_base_,
+                                       kKernelRegionBytes);
+
+  // The clock word other cells monitor (section 4.3).
+  auto clock = heap_->Alloc(kTagClockWord, sizeof(uint64_t));
+  CHECK(clock.ok());
+  clock_word_addr_ = *clock;
+  heap_->Write<uint64_t>(clock_word_addr_, 1);
+
+  if (pageout_ != nullptr) {
+    pageout_->Stop();
+  }
+  rpc_ = std::make_unique<RpcLayer>(this, system_, costs());
+  pfdat_table_.Clear();
+  allocator_ = std::make_unique<PageAllocator>(this);
+  cow_ = std::make_unique<CowManager>(this);
+  sched_ = std::make_unique<Scheduler>(this);
+  fwm_ = std::make_unique<FirewallManager>(this);
+  detector_ = std::make_unique<FailureDetector>(this);
+  pageout_ = std::make_unique<PageoutDaemon>(this);
+  swap_ = std::make_unique<SwapArea>(this);
+  if (fs_ == nullptr) {
+    fs_ = std::make_unique<FileSystem>(this);
+  }
+  wax_hints_ = WaxHints{};
+
+  // Wild write defense: protect every local page so only this cell's
+  // processors may write it; grants are opened per-page on demand
+  // (section 4.2). The SMP baseline runs with checking disabled instead.
+  if (!system_->smp_mode()) {
+    fwm_->ProtectRange(mem_base_, mem_size_);
+  }
+
+  // Build the pfdat table for paged memory: everything above the kernel
+  // region, across all of the cell's nodes.
+  const uint64_t page_size = machine().mem().page_size();
+  paged_frames_ = 0;
+  for (PhysAddr frame = mem_base_ + kKernelRegionBytes; frame < mem_base_ + mem_size_;
+       frame += page_size) {
+    allocator_->AddBootFrame(pfdat_table_.AddRegular(frame));
+    ++paged_frames_;
+  }
+
+  RegisterMiscHandlers();
+  fs_->RegisterHandlers();
+
+  state_ = CellState::kRunning;
+  Trace(TraceEvent::kBoot);
+  StartClock();
+  pageout_->Start();
+}
+
+void Cell::RegisterMiscHandlers() {
+  rpc_->RegisterInterrupt(MsgType::kNull,
+                          [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+  rpc_->RegisterQueued(MsgType::kNullQueued,
+                       [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+  rpc_->RegisterInterrupt(MsgType::kPing, [](Ctx& sctx, const RpcArgs&, RpcReply*) {
+    sctx.Charge(500);
+    return base::OkStatus();
+  });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kWaxHint, [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
+        sctx.Charge(800);
+        // Sanity-check everything received from Wax (section 3.2): bogus
+        // hints are dropped, never trusted.
+        const CellId borrow = static_cast<CellId>(args.w[0]);
+        const CellId fork = static_cast<CellId>(args.w[1]);
+        WaxHints hints;
+        if (borrow >= 0 && borrow < system_->num_cells() &&
+            system_->cell(borrow).alive()) {
+          hints.preferred_borrow_target = borrow;
+        }
+        if (fork >= 0 && fork < system_->num_cells() && system_->cell(fork).alive()) {
+          hints.preferred_fork_target = fork;
+        }
+        hints.valid = true;
+        wax_hints_ = hints;
+        return base::OkStatus();
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kBorrowFrames,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply* reply) -> base::Status {
+        const CellId client = static_cast<CellId>(args.w[0]);
+        const int count = static_cast<int>(std::min<uint64_t>(args.w[1], kRpcWords - 1));
+        if (client < 0 || client >= system_->num_cells() || client == id_) {
+          return base::InvalidArgument();
+        }
+        const std::vector<PhysAddr> frames = allocator_->LoanFrames(sctx, client, count);
+        reply->w[0] = frames.size();
+        for (size_t i = 0; i < frames.size(); ++i) {
+          reply->w[1 + i] = frames[i];
+        }
+        return frames.empty() ? base::OutOfMemory() : base::OkStatus();
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kReturnFrame,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
+        const CellId client = static_cast<CellId>(args.w[0]);
+        if (client < 0 || client >= system_->num_cells()) {
+          return base::InvalidArgument();
+        }
+        return allocator_->AcceptReturnedFrame(sctx, args.w[1], client);
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kGrantFirewall,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
+        const PhysAddr frame = args.w[0];
+        const CellId client = static_cast<CellId>(args.w[1]);
+        if (!OwnsAddr(frame)) {
+          return base::InvalidArgument();
+        }
+        return fwm_->GrantWrite(sctx, machine().mem().PfnOfAddr(frame), client);
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kRevokeFirewall,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
+        const PhysAddr frame = args.w[0];
+        const CellId client = static_cast<CellId>(args.w[1]);
+        if (!OwnsAddr(frame)) {
+          return base::InvalidArgument();
+        }
+        return fwm_->RevokeWrite(sctx, machine().mem().PfnOfAddr(frame), client);
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kCowBind,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply* reply) -> base::Status {
+        const uint64_t node_id = args.w[0];
+        const uint64_t offset = args.w[1];
+        const CellId client = static_cast<CellId>(args.w[2]);
+        const bool writable = args.w[3] != 0;
+        if (client < 0 || client >= system_->num_cells() || client == id_) {
+          return base::InvalidArgument();
+        }
+        sctx.Charge(costs().fault_home_vm_misc_ns + costs().fault_export_ns);
+        if (sctx.fault_bd != nullptr) {
+          sctx.fault_bd->home_vm_misc += costs().fault_home_vm_misc_ns;
+          sctx.fault_bd->home_export += costs().fault_export_ns;
+        }
+        LogicalPageId lpid;
+        lpid.kind = LogicalPageId::Kind::kAnon;
+        lpid.data_home = id_;
+        lpid.object = node_id;
+        lpid.page_offset = offset;
+        Pfdat* pfdat = pfdat_table_.FindByLpid(lpid);
+        if (pfdat == nullptr && swap_->Contains(lpid)) {
+          // Swapped out at the owner: a remote bind swaps it back in (the
+          // interrupt-level fault falls back to queued service for the I/O).
+          sctx.Charge(costs().rpc_queue_service_ns);
+          auto swapped = swap_->SwapIn(sctx, lpid);
+          RETURN_IF_ERROR(swapped.status());
+          pfdat = *swapped;
+          pfdat->refcount--;
+        }
+        if (pfdat == nullptr) {
+          return base::NotFound();
+        }
+        pfdat->exported_to |= 1ull << client;
+        if (writable && (pfdat->exported_writable & (1ull << client)) == 0) {
+          pfdat->exported_writable |= 1ull << client;
+          if (OwnsAddr(pfdat->frame)) {
+            RETURN_IF_ERROR(
+                fwm_->GrantWrite(sctx, machine().mem().PfnOfAddr(pfdat->frame), client));
+          }
+        }
+        reply->w[0] = pfdat->frame;
+        return base::OkStatus();
+      });
+
+  rpc_->RegisterInterrupt(
+      MsgType::kKillProc,
+      [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
+        Process* proc = sched_->FindProcess(static_cast<ProcId>(args.w[0]));
+        if (proc == nullptr) {
+          return base::NotFound();
+        }
+        sched_->KillProcess(sctx, proc, "killed by remote signal");
+        return base::OkStatus();
+      });
+}
+
+void Cell::StartClock() {
+  clock_event_ = machine().events().ScheduleAfter(costs().clock_tick_period_ns,
+                                                  [this] { ClockTick(); });
+}
+
+void Cell::ClockTick() {
+  if (state_ != CellState::kRunning) {
+    return;
+  }
+  // The hardware may have failed this cell's node since the last tick.
+  for (int node = first_node_; node < first_node_ + num_nodes_; ++node) {
+    if (machine().NodeDead(node)) {
+      MarkDead();
+      return;
+    }
+  }
+
+  Ctx ctx = MakeCtx(0);
+  try {
+    const uint64_t value = heap_->Read<uint64_t>(clock_word_addr_);
+    heap_->Write<uint64_t>(clock_word_addr_, value + 1);
+  } catch (const flash::BusError& e) {
+    Panic(std::string("bus error updating own clock: ") + e.what());
+    return;
+  }
+
+  if (!system_->smp_mode() && system_->num_cells() > 1) {
+    detector_->MonitorPeerClock(ctx);
+  }
+  if (state_ == CellState::kRunning) {
+    StartClock();
+  }
+}
+
+void Cell::SuspendUsersUntil(Time t) {
+  user_suspended_until_ = std::max(user_suspended_until_, t);
+}
+
+void Cell::Panic(const std::string& reason) {
+  if (state_ == CellState::kPanicked || state_ == CellState::kDead) {
+    return;
+  }
+  LOG(kInfo) << "cell " << id_ << " PANIC: " << reason << " (t=" << machine().Now() << ")";
+  Trace(TraceEvent::kPanic);
+  state_ = CellState::kPanicked;
+  panic_reason_ = reason;
+  // Memory cutoff (table 8.1): prevent the spread of potentially corrupt
+  // data, then halt.
+  for (int node = first_node_; node < first_node_ + num_nodes_; ++node) {
+    machine().CutOffNode(node);
+  }
+  for (int cpu : cpus_) {
+    machine().cpu(cpu).halted = true;
+  }
+  machine().events().Cancel(clock_event_);
+  clock_event_ = flash::kInvalidEventId;
+  pageout_->Stop();
+}
+
+void Cell::MarkDead() {
+  if (state_ == CellState::kDead) {
+    return;
+  }
+  Trace(TraceEvent::kMarkedDead);
+  state_ = CellState::kDead;
+  for (int node = first_node_; node < first_node_ + num_nodes_; ++node) {
+    if (!machine().NodeDead(node)) {
+      machine().CutOffNode(node);
+    }
+  }
+  for (int cpu : cpus_) {
+    machine().cpu(cpu).halted = true;
+  }
+  machine().events().Cancel(clock_event_);
+  clock_event_ = flash::kInvalidEventId;
+  if (pageout_ != nullptr) {
+    pageout_->Stop();
+  }
+}
+
+void Cell::Reboot() {
+  Trace(TraceEvent::kReboot);
+  state_ = CellState::kRebooting;
+  for (int cpu : cpus_) {
+    machine().cpu(cpu).halted = false;
+    machine().cpu(cpu).free_at = machine().Now();
+  }
+  if (fs_ != nullptr) {
+    fs_->OnReboot();
+  }
+  Boot();
+}
+
+}  // namespace hive

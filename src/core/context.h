@@ -1,0 +1,49 @@
+// Execution context threaded through every kernel operation.
+//
+// Kernel operations run synchronously inside simulation events; the context
+// accumulates the latency they charge. The caller (scheduler, RPC layer,
+// clock handler) folds `elapsed` back into simulated time / CPU occupancy.
+
+#ifndef HIVE_SRC_CORE_CONTEXT_H_
+#define HIVE_SRC_CORE_CONTEXT_H_
+
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+
+// Filled in by the remote page fault path when a benchmark attaches it to the
+// context; reproduces the component breakdown of paper table 5.2.
+struct FaultBreakdown {
+  Time client_fs = 0;
+  Time client_locking = 0;
+  Time client_vm_misc = 0;
+  Time client_import = 0;
+  Time home_vm_misc = 0;
+  Time home_export = 0;
+  Time rpc_stub = 0;
+  Time rpc_hw = 0;
+  Time rpc_copy = 0;
+  Time rpc_alloc = 0;
+  Time total = 0;
+};
+
+struct Ctx {
+  Cell* cell = nullptr;  // The cell whose kernel is executing.
+  int cpu = -1;          // The processor executing this path.
+  Time start = 0;        // Simulated time at entry.
+  Time elapsed = 0;      // Latency charged so far by this operation.
+
+  // Optional instrumentation sink for the table 5.2 benchmark.
+  FaultBreakdown* fault_bd = nullptr;
+
+  void Charge(Time ns) { elapsed += ns; }
+
+  // The "current time" as seen by this execution: queue time plus work done.
+  Time VirtualNow() const { return start + elapsed; }
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_CONTEXT_H_

@@ -1,0 +1,221 @@
+#include "src/core/cow_tree.h"
+
+#include "src/base/log.h"
+#include "src/core/careful_ref.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+
+namespace hive {
+namespace {
+
+// Local tree-walk step cost (pointer chase + tag check in own memory).
+constexpr Time kLocalNodeVisitNs = 400;
+
+}  // namespace
+
+CowManager::CowManager(Cell* cell)
+    : cell_(cell),
+      // Node ids are globally unique: high bits carry the owning cell.
+      next_node_id_((static_cast<uint64_t>(cell->id()) << 48) + 1) {}
+
+base::Result<PhysAddr> CowManager::AllocNode(Ctx& ctx, PhysAddr parent_addr,
+                                             CellId parent_cell) {
+  ASSIGN_OR_RETURN(const PhysAddr node,
+                   cell_->heap().Alloc(kTagCowNode, CowNodeLayout::kNodeBytes));
+  ctx.Charge(2000);  // Allocation + initialization.
+  KernelHeap& heap = cell_->heap();
+  heap.Write<uint64_t>(node + CowNodeLayout::kNodeId, next_node_id_++);
+  heap.Write<uint32_t>(node + CowNodeLayout::kOwnerCell,
+                       static_cast<uint32_t>(cell_->id()));
+  heap.Write<uint32_t>(node + CowNodeLayout::kEntryCount, 0);
+  heap.Write<uint64_t>(node + CowNodeLayout::kParentAddr, parent_addr);
+  heap.Write<uint32_t>(node + CowNodeLayout::kParentCell,
+                       static_cast<uint32_t>(parent_cell));
+  heap.Write<uint64_t>(node + CowNodeLayout::kNextExt, 0);
+  return node;
+}
+
+base::Result<PhysAddr> CowManager::CreateRoot(Ctx& ctx) {
+  return AllocNode(ctx, 0, kInvalidCell);
+}
+
+base::Result<PhysAddr> CowManager::CreateChild(Ctx& ctx, PhysAddr parent_addr,
+                                               CellId parent_cell) {
+  return AllocNode(ctx, parent_addr, parent_cell);
+}
+
+base::Status CowManager::RecordPage(Ctx& ctx, PhysAddr leaf_addr, uint64_t page_offset) {
+  KernelHeap& heap = cell_->heap();
+  CHECK(heap.Contains(leaf_addr)) << "RecordPage requires a local leaf";
+  PhysAddr node = leaf_addr;
+  for (int i = 0; i < kMaxVisit; ++i) {
+    ctx.Charge(kLocalNodeVisitNs);
+    const uint32_t count = heap.Read<uint32_t>(node + CowNodeLayout::kEntryCount);
+    if (count < CowNodeLayout::kEntriesPerNode) {
+      heap.Write<uint64_t>(node + CowNodeLayout::kEntries + 8ull * count, page_offset);
+      heap.Write<uint32_t>(node + CowNodeLayout::kEntryCount, count + 1);
+      return base::OkStatus();
+    }
+    PhysAddr ext = heap.Read<uint64_t>(node + CowNodeLayout::kNextExt);
+    if (ext == 0) {
+      // Chain a fresh extension node (same owner, no parent of its own).
+      ASSIGN_OR_RETURN(ext, AllocNode(ctx, 0, kInvalidCell));
+      heap.Write<uint64_t>(node + CowNodeLayout::kNextExt, ext);
+    }
+    node = ext;
+  }
+  return base::Internal();
+}
+
+bool CowManager::LocalNodeContains(PhysAddr node_addr, uint64_t page_offset,
+                                   uint64_t* node_id_out) {
+  KernelHeap& heap = cell_->heap();
+  PhysAddr node = node_addr;
+  for (int i = 0; i < kMaxVisit && node != 0; ++i) {
+    const uint32_t count = heap.Read<uint32_t>(node + CowNodeLayout::kEntryCount);
+    const uint32_t limit =
+        std::min<uint32_t>(count, static_cast<uint32_t>(CowNodeLayout::kEntriesPerNode));
+    for (uint32_t e = 0; e < limit; ++e) {
+      if (heap.Read<uint64_t>(node + CowNodeLayout::kEntries + 8ull * e) == page_offset) {
+        if (node_id_out != nullptr) {
+          *node_id_out = heap.Read<uint64_t>(node_addr + CowNodeLayout::kNodeId);
+        }
+        return true;
+      }
+    }
+    node = heap.Read<uint64_t>(node + CowNodeLayout::kNextExt);
+  }
+  return false;
+}
+
+base::Result<CowLookupResult> CowManager::Lookup(Ctx& ctx, PhysAddr leaf_addr,
+                                                 uint64_t page_offset) {
+  // Walk from the leaf toward the root. Local nodes are read directly (a tag
+  // mismatch there means our own kernel memory is corrupt -> panic); remote
+  // nodes go through the careful reference protocol.
+  PhysAddr node = leaf_addr;
+  CellId node_cell = cell_->id();
+  // When scanning a remote extension chain, remember the main node's parent
+  // so the upward walk resumes correctly after the chain ends.
+  bool in_ext_chain = false;
+  PhysAddr resume_parent_addr = 0;
+  CellId resume_parent_cell = kInvalidCell;
+  uint64_t main_node_id = 0;  // Pages in extension nodes belong to the main node.
+
+  for (int depth = 0; depth < kMaxVisit && node != 0; ++depth) {
+    if (node_cell == cell_->id()) {
+      KernelHeap& heap = cell_->heap();
+      ctx.Charge(kLocalNodeVisitNs);
+      if (!heap.Contains(node) ||
+          heap.ReadTypeTag(ctx.cpu, node) != static_cast<uint32_t>(kTagCowNode)) {
+        cell_->Panic("corrupt COW tree node in local kernel memory");
+        return base::Internal();
+      }
+      uint64_t node_id = 0;
+      if (LocalNodeContains(node, page_offset, &node_id)) {
+        CowLookupResult result;
+        result.found = true;
+        result.owner_cell = cell_->id();
+        result.node_id = node_id;
+        return result;
+      }
+      node_cell = static_cast<CellId>(heap.Read<uint32_t>(node + CowNodeLayout::kParentCell));
+      node = heap.Read<uint64_t>(node + CowNodeLayout::kParentAddr);
+      continue;
+    }
+
+    // Remote node: careful reference (paper section 5.3). The lookup does not
+    // modify interior nodes, so shared memory stays safe.
+    ++remote_node_reads_;
+    if (node_cell < 0 || node_cell >= cell_->system()->num_cells()) {
+      cell_->Panic("corrupt COW parent cell id");
+      return base::Internal();
+    }
+    Cell& owner = cell_->system()->cell(node_cell);
+    CarefulRef careful(&ctx, &cell_->machine().mem(), cell_->costs(), node_cell,
+                       owner.mem_base(), owner.mem_size());
+
+    base::Status tag_status = careful.CheckTag(node, kTagCowNode);
+    if (!tag_status.ok()) {
+      cell_->detector().RaiseHint(ctx, node_cell,
+                                  tag_status.code() == base::StatusCode::kBusError
+                                      ? HintReason::kBusError
+                                      : HintReason::kCarefulCheckFailed);
+      return tag_status;
+    }
+
+    // Copy the header fields out before use.
+    auto node_id = careful.Read<uint64_t>(node + CowNodeLayout::kNodeId);
+    auto count = careful.Read<uint32_t>(node + CowNodeLayout::kEntryCount);
+    auto parent_addr = careful.Read<uint64_t>(node + CowNodeLayout::kParentAddr);
+    auto parent_cell = careful.Read<uint32_t>(node + CowNodeLayout::kParentCell);
+    auto next_ext = careful.Read<uint64_t>(node + CowNodeLayout::kNextExt);
+    if (!node_id.ok() || !count.ok() || !parent_addr.ok() || !parent_cell.ok() ||
+        !next_ext.ok()) {
+      cell_->detector().RaiseHint(ctx, node_cell, HintReason::kBusError);
+      return base::BusErrorStatus();
+    }
+    // Sanity-check copied values (data may be garbage even if readable).
+    if (*count > CowNodeLayout::kEntriesPerNode) {
+      cell_->detector().RaiseHint(ctx, node_cell, HintReason::kCarefulCheckFailed);
+      return base::BadRemoteData();
+    }
+    bool found = false;
+    for (uint32_t e = 0; e < *count && !found; ++e) {
+      auto entry = careful.Read<uint64_t>(node + CowNodeLayout::kEntries + 8ull * e);
+      if (!entry.ok()) {
+        cell_->detector().RaiseHint(ctx, node_cell, HintReason::kBusError);
+        return base::BusErrorStatus();
+      }
+      found = *entry == page_offset;
+    }
+    if (found) {
+      CowLookupResult result;
+      result.found = true;
+      result.owner_cell = node_cell;
+      result.node_id = in_ext_chain ? main_node_id : *node_id;
+      return result;
+    }
+    if (*next_ext != 0) {
+      if (!in_ext_chain) {
+        in_ext_chain = true;
+        main_node_id = *node_id;
+        resume_parent_addr = *parent_addr;
+        resume_parent_cell = static_cast<CellId>(*parent_cell);
+      }
+      node = *next_ext;  // Same owner cell.
+      continue;
+    }
+    if (in_ext_chain) {
+      in_ext_chain = false;
+      node = resume_parent_addr;
+      node_cell = resume_parent_cell;
+    } else {
+      node = *parent_addr;
+      node_cell = static_cast<CellId>(*parent_cell);
+    }
+  }
+
+  CowLookupResult result;
+  result.found = false;
+  return result;
+}
+
+void CowManager::FreeNode(Ctx& ctx, PhysAddr node_addr) {
+  (void)ctx;
+  KernelHeap& heap = cell_->heap();
+  if (!heap.Contains(node_addr)) {
+    return;
+  }
+  cell_->swap().DropNode(heap.Read<uint64_t>(node_addr + CowNodeLayout::kNodeId));
+  // Free extension chain too.
+  PhysAddr ext = heap.Read<uint64_t>(node_addr + CowNodeLayout::kNextExt);
+  heap.Free(node_addr);
+  for (int i = 0; i < kMaxVisit && ext != 0; ++i) {
+    const PhysAddr next = heap.Read<uint64_t>(ext + CowNodeLayout::kNextExt);
+    heap.Free(ext);
+    ext = next;
+  }
+}
+
+}  // namespace hive

@@ -1,0 +1,94 @@
+// Copy-on-write trees for anonymous pages (paper section 5.3).
+//
+// Anonymous pages are recorded at the current leaf of a copy-on-write tree.
+// When a process forks, the leaf splits: parent and child each get a fresh
+// leaf whose parent is the old leaf. A read fault searches up the tree for
+// the copy created by the nearest ancestor that wrote the page before
+// forking.
+//
+// In Hive the parent and child may live on different cells, so tree pointers
+// cross cell boundaries. Tree nodes live in kernel-heap simulated memory;
+// remote nodes are read with the careful reference protocol (the lookup never
+// modifies interior nodes, so no wild-write vulnerability is created). When a
+// page is found in a remote node, an RPC to the owning cell (always the data
+// home for the anonymous page) sets up the export/import binding.
+
+#ifndef HIVE_SRC_CORE_COW_TREE_H_
+#define HIVE_SRC_CORE_COW_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/pfdat.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+
+// On-"disk" layout of a COW tree node in simulated kernel memory. All fields
+// are accessed through PhysMem; this struct documents offsets.
+struct CowNodeLayout {
+  static constexpr uint64_t kNodeId = 0;        // u64
+  static constexpr uint64_t kOwnerCell = 8;     // u32
+  static constexpr uint64_t kEntryCount = 12;   // u32
+  static constexpr uint64_t kParentAddr = 16;   // u64 (0 = root)
+  static constexpr uint64_t kParentCell = 24;   // u32
+  static constexpr uint64_t kPad = 28;          // u32
+  static constexpr uint64_t kNextExt = 32;      // u64 (extension node, 0 = none)
+  static constexpr uint64_t kEntries = 40;      // u64[kEntriesPerNode]
+  static constexpr uint64_t kEntriesPerNode = 60;
+  static constexpr uint64_t kNodeBytes = kEntries + 8 * kEntriesPerNode;  // 520
+};
+
+struct CowLookupResult {
+  bool found = false;
+  CellId owner_cell = kInvalidCell;  // Data home of the anonymous page.
+  uint64_t node_id = 0;              // COW node the page is recorded in.
+};
+
+class CowManager {
+ public:
+  explicit CowManager(Cell* cell);
+
+  // Allocates a fresh root node owned by this cell. Returns its address.
+  base::Result<PhysAddr> CreateRoot(Ctx& ctx);
+
+  // Allocates a leaf whose parent is (parent_addr on parent_cell).
+  base::Result<PhysAddr> CreateChild(Ctx& ctx, PhysAddr parent_addr, CellId parent_cell);
+
+  // Records that the anonymous page at `page_offset` now exists in the local
+  // leaf at `leaf_addr` (allocating extension nodes as needed).
+  base::Status RecordPage(Ctx& ctx, PhysAddr leaf_addr, uint64_t page_offset);
+
+  // Searches from the local leaf up through (possibly remote) ancestors for
+  // `page_offset`. Remote nodes are read with the careful reference protocol;
+  // any careful failure raises a hint against the owning cell and surfaces as
+  // kBadRemoteData/kBusError.
+  base::Result<CowLookupResult> Lookup(Ctx& ctx, PhysAddr leaf_addr, uint64_t page_offset);
+
+  // Frees a node (process exit). Does not recurse: each process frees the
+  // nodes it owns.
+  void FreeNode(Ctx& ctx, PhysAddr node_addr);
+
+  // Defensive bound on nodes visited per lookup (corrupt trees may loop).
+  static constexpr int kMaxVisit = 256;
+
+  uint64_t remote_node_reads() const { return remote_node_reads_; }
+
+ private:
+  base::Result<PhysAddr> AllocNode(Ctx& ctx, PhysAddr parent_addr, CellId parent_cell);
+
+  // Scans one local node (+extensions) for the offset.
+  bool LocalNodeContains(PhysAddr node_addr, uint64_t page_offset, uint64_t* node_id_out);
+
+  Cell* cell_;
+  uint64_t next_node_id_;
+  uint64_t remote_node_reads_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_COW_TREE_H_

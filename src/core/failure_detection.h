@@ -1,0 +1,70 @@
+// Aggressive failure detection (paper section 4.3). A cell is considered
+// potentially failed if:
+//   - an RPC sent to it times out;
+//   - an attempt to access its memory causes a bus error;
+//   - a shared memory location it updates on every clock interrupt fails to
+//     increment (clock monitoring detects halted processors and deadlocked
+//     kernels);
+//   - data or pointers read from its memory fail the consistency checks of
+//     the careful reference protocol.
+//
+// A failed check is a *hint* that triggers the distributed agreement round;
+// consensus among the surviving cells is required before a cell is treated
+// as failed. A cell that broadcasts the same alert twice and is voted down
+// both times is itself considered corrupt by the other cells.
+
+#ifndef HIVE_SRC_CORE_FAILURE_DETECTION_H_
+#define HIVE_SRC_CORE_FAILURE_DETECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+
+enum class HintReason {
+  kRpcTimeout,
+  kBusError,
+  kClockStale,
+  kCarefulCheckFailed,
+};
+
+const char* HintReasonName(HintReason reason);
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(Cell* cell);
+
+  // Clock monitoring: called from the cell's clock handler every tick. Reads
+  // the next live cell's clock word with the careful reference protocol and
+  // raises a hint if it failed to increment for too many ticks.
+  void MonitorPeerClock(Ctx& ctx);
+
+  // Raises a hint against `suspect`; triggers the agreement protocol unless a
+  // round is already running or the suspect is already known-failed.
+  void RaiseHint(Ctx& ctx, CellId suspect, HintReason reason);
+
+  // Which peer this cell currently monitors (ring over live cells).
+  CellId MonitoredPeer() const;
+
+  // Bookkeeping when the live set changes.
+  void ForgetCell(CellId cell_id);
+
+  uint64_t hints_raised() const { return hints_raised_; }
+
+ private:
+  Cell* cell_;
+  std::unordered_map<CellId, uint64_t> last_seen_clock_;
+  std::unordered_map<CellId, int> stale_ticks_;
+  uint64_t hints_raised_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_FAILURE_DETECTION_H_

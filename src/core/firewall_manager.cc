@@ -1,0 +1,141 @@
+#include "src/core/firewall_manager.h"
+
+#include "src/base/log.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+
+namespace hive {
+
+FirewallManager::FirewallManager(Cell* cell) : cell_(cell) {}
+
+int FirewallManager::LocalCpuFor(Pfn pfn) const {
+  // Firewall bits can only be changed by a processor on the page's node; a
+  // multi-node cell uses whichever of its CPUs lives there.
+  const int node = cell_->machine().firewall().NodeOfPfn(pfn);
+  return node * cell_->machine().config().cpus_per_node;
+}
+
+void FirewallManager::ProtectLocal(Pfn pfn) {
+  cell_->machine().firewall().SetVector(pfn, cell_->CpuMask(), LocalCpuFor(pfn));
+}
+
+void FirewallManager::ProtectRange(PhysAddr base, uint64_t size) {
+  const uint64_t page_size = cell_->machine().mem().page_size();
+  const Pfn first = base / page_size;
+  const Pfn last = (base + size - 1) / page_size;
+  for (Pfn pfn = first; pfn <= last; ++pfn) {
+    ProtectLocal(pfn);
+  }
+}
+
+base::Status FirewallManager::GrantWrite(Ctx& ctx, Pfn pfn, CellId client_cell) {
+  if (client_cell < 0 || client_cell >= cell_->system()->num_cells()) {
+    return base::InvalidArgument();
+  }
+  const PhysAddr addr = cell_->machine().mem().AddrOfPfn(pfn);
+  if (!cell_->OwnsAddr(addr)) {
+    return base::InvalidArgument();  // Only local pages.
+  }
+  const FirewallPolicy policy = cell_->system()->options().firewall_policy;
+  auto& counts = grants_by_page_[pfn];
+  if (policy == FirewallPolicy::kSingleWriter) {
+    // Only one remote writer per page: evict any other cell's grant first
+    // (RPC + revoke sync), the cost the paper's bit vector avoids.
+    for (auto it = counts.begin(); it != counts.end();) {
+      if (it->first != client_cell) {
+        cell_->machine().firewall().RevokeCpus(
+            pfn, cell_->system()->cell(it->first).CpuMask(), LocalCpuFor(pfn));
+        ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+        ctx.Charge(cell_->costs().NullRpcNs(cell_->machine().config().latency));
+        ++writer_conflicts_;
+        it = counts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (++counts[client_cell] == 1) {
+    const uint64_t mask = policy == FirewallPolicy::kGlobalBit
+                              ? ~0ull  // One bit per page: all or nothing.
+                              : cell_->system()->cell(client_cell).CpuMask();
+    cell_->machine().firewall().GrantCpus(pfn, mask, LocalCpuFor(pfn));
+    ctx.Charge(cell_->machine().config().latency.firewall_grant_ns);
+    ++grants_;
+  }
+  return base::OkStatus();
+}
+
+base::Status FirewallManager::RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell) {
+  auto page_it = grants_by_page_.find(pfn);
+  if (page_it == grants_by_page_.end()) {
+    return base::NotFound();
+  }
+  auto cell_it = page_it->second.find(client_cell);
+  if (cell_it == page_it->second.end()) {
+    return base::NotFound();
+  }
+  if (--cell_it->second == 0) {
+    page_it->second.erase(cell_it);
+    cell_->machine().firewall().RevokeCpus(
+        pfn, cell_->system()->cell(client_cell).CpuMask(), LocalCpuFor(pfn));
+    // Revocation must wait for pending valid writebacks to drain (section 4.2).
+    ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+    ++revokes_;
+    if (page_it->second.empty()) {
+      grants_by_page_.erase(page_it);
+    }
+  }
+  return base::OkStatus();
+}
+
+std::vector<Pfn> FirewallManager::RevokeAllFor(Ctx& ctx, CellId failed_cell) {
+  std::vector<Pfn> writable_pages;
+  for (auto it = grants_by_page_.begin(); it != grants_by_page_.end();) {
+    auto cell_it = it->second.find(failed_cell);
+    if (cell_it != it->second.end()) {
+      writable_pages.push_back(it->first);
+      it->second.erase(cell_it);
+      cell_->machine().firewall().RevokeCpus(
+          it->first, cell_->system()->cell(failed_cell).CpuMask(), LocalCpuFor(it->first));
+      ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+      ++revokes_;
+    }
+    if (it->second.empty()) {
+      it = grants_by_page_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return writable_pages;
+}
+
+int FirewallManager::RevokeAllRemote(Ctx& ctx) {
+  int revoked = 0;
+  for (auto& [pfn, cells] : grants_by_page_) {
+    for (auto& [client, count] : cells) {
+      cell_->machine().firewall().RevokeCpus(
+          pfn, cell_->system()->cell(client).CpuMask(), LocalCpuFor(pfn));
+      ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+      ++revokes_;
+      ++revoked;
+    }
+  }
+  grants_by_page_.clear();
+  return revoked;
+}
+
+int FirewallManager::RemotelyWritablePages() const {
+  return static_cast<int>(grants_by_page_.size());
+}
+
+int FirewallManager::GloballyWritablePages() const {
+  int count = 0;
+  for (const auto& [pfn, cells] : grants_by_page_) {
+    if (cell_->machine().firewall().GetVector(pfn) == flash::Firewall::kAllowAll) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hive

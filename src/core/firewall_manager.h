@@ -1,0 +1,76 @@
+// Firewall management policy (paper section 4.2).
+//
+// Write access to a page is granted to all processors of a client cell as a
+// group, when any process on that cell faults the page into a writable
+// portion of its address space; it remains granted as long as any process on
+// that cell has the page mapped. This lets the client freely reschedule the
+// process on its own CPUs without firewall RPCs, while keeping the number of
+// remotely-writable pages small for workloads that share few writable pages.
+//
+// The manager runs on the page's *memory home* (only local processors can
+// change local firewall bits). The data home drives it: directly when the
+// frame is local, through kGrantFirewall/kRevokeFirewall RPCs when the frame
+// was borrowed (paper section 5.4).
+
+#ifndef HIVE_SRC_CORE_FIREWALL_MANAGER_H_
+#define HIVE_SRC_CORE_FIREWALL_MANAGER_H_
+
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+
+class FirewallManager {
+ public:
+  explicit FirewallManager(Cell* cell);
+
+  // Boot: protect a local page so only this cell's processors may write it.
+  void ProtectLocal(Pfn pfn);
+  // Boot: protect the cell's kernel ranges.
+  void ProtectRange(PhysAddr base, uint64_t size);
+
+  // Grants/revokes write access on a *local* page for all processors of
+  // `client_cell`, charging the hardware cost. Grant counts are tracked per
+  // (page, cell) so overlapping exports revoke correctly.
+  base::Status GrantWrite(Ctx& ctx, Pfn pfn, CellId client_cell);
+  base::Status RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell);
+
+  // Recovery: revoke every grant made to `failed_cell` and report which local
+  // pages were writable by it (candidates for preemptive discard).
+  std::vector<Pfn> RevokeAllFor(Ctx& ctx, CellId failed_cell);
+
+  // Recovery: after barrier 1 no remote mapping is valid anywhere, so every
+  // remaining remote grant is revoked; bindings are re-established by fresh
+  // faults (paper section 4.3). Returns grants revoked.
+  int RevokeAllRemote(Ctx& ctx);
+
+  // Measurement for the section 4.2 experiment: number of local pages
+  // currently writable by at least one remote cell.
+  int RemotelyWritablePages() const;
+
+  uint64_t grants() const { return grants_; }
+  uint64_t revokes() const { return revokes_; }
+  // kSingleWriter ablation: grants that had to evict another cell first.
+  uint64_t writer_conflicts() const { return writer_conflicts_; }
+  // kGlobalBit ablation: pages currently writable by EVERY processor.
+  int GloballyWritablePages() const;
+
+ private:
+  int LocalCpuFor(Pfn pfn) const;
+
+  Cell* cell_;
+  // pfn -> (cell -> grant count).
+  std::unordered_map<Pfn, std::unordered_map<CellId, int>> grants_by_page_;
+  uint64_t grants_ = 0;
+  uint64_t revokes_ = 0;
+  uint64_t writer_conflicts_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_FIREWALL_MANAGER_H_

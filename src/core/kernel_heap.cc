@@ -1,0 +1,73 @@
+#include "src/core/kernel_heap.h"
+
+#include "src/base/log.h"
+
+namespace hive {
+
+KernelHeap::KernelHeap(flash::PhysMem* mem, int owner_cpu, PhysAddr base, uint64_t size)
+    : mem_(mem), owner_cpu_(owner_cpu), base_(base), size_(size), bump_(base) {
+  CHECK_EQ(base % 8, 0u);
+}
+
+base::Result<PhysAddr> KernelHeap::Alloc(uint32_t type_tag, uint64_t size) {
+  // Round the payload to 8 bytes so typed accesses stay aligned.
+  const uint64_t rounded = (size + 7) & ~7ull;
+  PhysAddr payload = 0;
+
+  auto it = free_lists_.find(rounded);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    payload = it->second.back();
+    it->second.pop_back();
+  } else {
+    const uint64_t need = kHeaderSize + rounded;
+    if (bump_ + need > base_ + size_) {
+      return base::OutOfMemory();
+    }
+    payload = bump_ + kHeaderSize;
+    bump_ += need;
+  }
+
+  const PhysAddr header = payload - kHeaderSize;
+  mem_->WriteValue<uint32_t>(owner_cpu_, header, kHeaderMagic);
+  mem_->WriteValue<uint32_t>(owner_cpu_, header + 4, type_tag);
+  mem_->WriteValue<uint64_t>(owner_cpu_, header + 8, rounded);
+
+  // Zero the payload: kernel allocations must not leak stale data.
+  static constexpr uint8_t kZeros[256] = {};
+  uint64_t remaining = rounded;
+  PhysAddr cursor = payload;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min<uint64_t>(remaining, sizeof(kZeros));
+    mem_->Write(owner_cpu_, cursor, std::span<const uint8_t>(kZeros, chunk));
+    cursor += chunk;
+    remaining -= chunk;
+  }
+
+  bytes_in_use_ += rounded;
+  ++allocations_;
+  return payload;
+}
+
+void KernelHeap::Free(PhysAddr payload) {
+  const PhysAddr header = payload - kHeaderSize;
+  CHECK(Contains(header));
+  CHECK_EQ(mem_->ReadValue<uint32_t>(owner_cpu_, header), kHeaderMagic)
+      << "Free of a non-allocation address";
+  const uint32_t tag = mem_->ReadValue<uint32_t>(owner_cpu_, header + 4);
+  CHECK_NE(tag, static_cast<uint32_t>(kTagFree)) << "double free";
+  const uint64_t size = mem_->ReadValue<uint64_t>(owner_cpu_, header + 8);
+
+  mem_->WriteValue<uint32_t>(owner_cpu_, header + 4, kTagFree);
+  free_lists_[size].push_back(payload);
+  bytes_in_use_ -= size;
+}
+
+uint32_t KernelHeap::ReadTypeTag(int reader_cpu, PhysAddr payload) const {
+  return mem_->ReadValue<uint32_t>(reader_cpu, payload - kHeaderSize + 4);
+}
+
+uint64_t KernelHeap::ReadAllocSize(int reader_cpu, PhysAddr payload) const {
+  return mem_->ReadValue<uint64_t>(reader_cpu, payload - kHeaderSize + 8);
+}
+
+}  // namespace hive

@@ -1,0 +1,75 @@
+// Per-cell kernel memory allocator backed by the cell's *simulated* physical
+// memory. Kernel structures that other cells read directly (clock words, COW
+// tree nodes, address map entries) are allocated here, so that fault-injected
+// corruption mutates real bytes and the careful reference protocol has real
+// type tags to check.
+//
+// Every allocation carries a header whose type tag is written by the
+// allocator and destroyed by the deallocator (paper section 4.1 step 4).
+
+#ifndef HIVE_SRC_CORE_KERNEL_HEAP_H_
+#define HIVE_SRC_CORE_KERNEL_HEAP_H_
+
+#include <map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/types.h"
+#include "src/flash/phys_mem.h"
+
+namespace hive {
+
+class KernelHeap {
+ public:
+  // Manages [base, base+size) of physical memory; `owner_cpu` is the CPU the
+  // heap's stores are attributed to (must have firewall write permission,
+  // i.e. a CPU of the owning cell).
+  KernelHeap(flash::PhysMem* mem, int owner_cpu, PhysAddr base, uint64_t size);
+
+  // Allocates `size` payload bytes tagged `type_tag`; returns the payload
+  // address (header lives just below it).
+  base::Result<PhysAddr> Alloc(uint32_t type_tag, uint64_t size);
+
+  // Frees a payload address returned by Alloc. Overwrites the type tag with
+  // kTagFree so stale remote pointers are detectable.
+  void Free(PhysAddr payload);
+
+  // Reads the type tag of an allocation as `reader_cpu` through the normal
+  // checked path (may throw BusError like any remote read).
+  uint32_t ReadTypeTag(int reader_cpu, PhysAddr payload) const;
+  uint64_t ReadAllocSize(int reader_cpu, PhysAddr payload) const;
+
+  // Typed helpers routed through the checked store path as the owner CPU.
+  template <typename T>
+  void Write(PhysAddr addr, const T& value) {
+    mem_->WriteValue<T>(owner_cpu_, addr, value);
+  }
+  template <typename T>
+  T Read(PhysAddr addr) const {
+    return mem_->ReadValue<T>(owner_cpu_, addr);
+  }
+
+  PhysAddr base() const { return base_; }
+  uint64_t size() const { return size_; }
+  bool Contains(PhysAddr addr) const { return addr >= base_ && addr < base_ + size_; }
+
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+  uint64_t allocations() const { return allocations_; }
+
+  static constexpr uint64_t kHeaderSize = 16;  // {u32 magic, u32 tag, u64 size}.
+  static constexpr uint32_t kHeaderMagic = 0x48564850;  // "HVHP"
+
+ private:
+  flash::PhysMem* mem_;
+  int owner_cpu_;
+  PhysAddr base_;
+  uint64_t size_;
+  PhysAddr bump_;  // Next never-allocated address.
+  std::map<uint64_t, std::vector<PhysAddr>> free_lists_;  // size -> payloads.
+  uint64_t bytes_in_use_ = 0;
+  uint64_t allocations_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_KERNEL_HEAP_H_

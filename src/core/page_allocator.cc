@@ -1,0 +1,232 @@
+#include "src/core/page_allocator.h"
+
+#include "src/base/log.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+
+namespace hive {
+namespace {
+
+// Local allocation path cost (free list pop + bookkeeping).
+constexpr Time kLocalAllocNs = 800;
+// Frames requested per borrow RPC (paper 5.4: "asking for a set of pages").
+constexpr int kBorrowBatch = 4;
+
+}  // namespace
+
+PageAllocator::PageAllocator(Cell* cell) : cell_(cell) {}
+
+void PageAllocator::AddBootFrame(Pfdat* pfdat) { free_list_.push_back(pfdat); }
+
+base::Result<Pfdat*> PageAllocator::TakeLocalFree(Ctx& ctx) {
+  if (free_list_.empty()) {
+    return base::OutOfMemory();
+  }
+  ctx.Charge(kLocalAllocNs);
+  Pfdat* pfdat = free_list_.front();
+  free_list_.pop_front();
+  pfdat->refcount = 1;
+  pfdat->dirty = false;
+  pfdat->lpid = LogicalPageId{};
+  return pfdat;
+}
+
+base::Result<Pfdat*> PageAllocator::AllocFrame(Ctx& ctx, const AllocConstraints& constraints) {
+  const CellId self = cell_->id();
+  const bool local_ok = (constraints.acceptable_cells & (1ull << self)) != 0;
+
+  if (constraints.kernel_internal) {
+    // Kernel-internal frames must be local: the firewall does not defend
+    // against wild writes by the memory home (paper 5.4).
+    CHECK(local_ok);
+    return TakeLocalFree(ctx);
+  }
+
+  // Decide whether to go remote: an explicit remote preference, or local
+  // memory pressure with remote cells acceptable.
+  CellId remote_target = kInvalidCell;
+  if (constraints.preferred_cell != kInvalidCell && constraints.preferred_cell != self) {
+    remote_target = constraints.preferred_cell;
+  } else if (free_list_.size() <= kLocalReserveFrames) {
+    // Under pressure: consult the Wax hint, fall back to any acceptable cell.
+    const WaxHints& hints = cell_->wax_hints();
+    if (hints.valid && hints.preferred_borrow_target != kInvalidCell &&
+        hints.preferred_borrow_target != self) {
+      remote_target = hints.preferred_borrow_target;
+    } else {
+      for (CellId c = 0; c < cell_->system()->num_cells(); ++c) {
+        if (c != self && (constraints.acceptable_cells & (1ull << c)) != 0 &&
+            cell_->system()->cell(c).alive()) {
+          remote_target = c;
+          break;
+        }
+      }
+    }
+  }
+
+  if (remote_target != kInvalidCell &&
+      (constraints.acceptable_cells & (1ull << remote_target)) != 0) {
+    // Use a previously borrowed free frame from that home if available.
+    for (auto it = borrowed_free_.begin(); it != borrowed_free_.end(); ++it) {
+      if ((*it)->borrowed_from == remote_target) {
+        Pfdat* pfdat = *it;
+        borrowed_free_.erase(it);
+        pfdat->refcount = 1;
+        ctx.Charge(kLocalAllocNs);
+        return pfdat;
+      }
+    }
+    auto borrowed = BorrowFrom(ctx, remote_target);
+    if (borrowed.ok()) {
+      return borrowed;
+    }
+    // Borrowing failed (home dead / out of memory): fall through to local.
+  }
+
+  if (!local_ok) {
+    return base::ResourceExhausted();
+  }
+  return TakeLocalFree(ctx);
+}
+
+base::Result<Pfdat*> PageAllocator::BorrowFrom(Ctx& ctx, CellId memory_home) {
+  ++borrow_rpcs_;
+  RpcArgs args;
+  args.w[0] = static_cast<uint64_t>(cell_->id());
+  args.w[1] = kBorrowBatch;
+  RpcReply reply;
+  base::Status status = cell_->rpc().Call(ctx, memory_home, MsgType::kBorrowFrames, args,
+                                          &reply, CallOptions{.fat_stub = true});
+  if (!status.ok()) {
+    return status;
+  }
+  const uint64_t count = reply.w[0];
+  if (count == 0) {
+    return base::OutOfMemory();
+  }
+  Pfdat* first = nullptr;
+  for (uint64_t i = 0; i < count; ++i) {
+    const PhysAddr frame = reply.w[1 + i];
+    // Sanity-check the reply: frames must be page-aligned addresses within
+    // the memory home's range (inputs from other cells are never trusted).
+    if (frame % cell_->machine().mem().page_size() != 0 ||
+        !cell_->system()->cell(memory_home).OwnsAddr(frame)) {
+      cell_->detector().RaiseHint(ctx, memory_home, HintReason::kCarefulCheckFailed);
+      continue;
+    }
+    Pfdat* pfdat = cell_->pfdats().AddExtended(frame);
+    pfdat->borrowed_from = memory_home;
+    if (first == nullptr) {
+      pfdat->refcount = 1;
+      first = pfdat;
+    } else {
+      borrowed_free_.push_back(pfdat);
+    }
+  }
+  if (first == nullptr) {
+    return base::OutOfMemory();
+  }
+  return first;
+}
+
+void PageAllocator::FreeFrame(Ctx& ctx, Pfdat* pfdat) {
+  CHECK_EQ(pfdat->refcount, 0);
+  pfdat->dirty = false;
+  pfdat->lpid = LogicalPageId{};
+  if (pfdat->borrowed_from != kInvalidCell) {
+    // Current policy (paper 5.4): return the frame to the memory home as soon
+    // as the data cached in it is no longer in use.
+    RpcArgs args;
+    args.w[0] = static_cast<uint64_t>(cell_->id());
+    args.w[1] = pfdat->frame;
+    RpcReply reply;
+    (void)cell_->rpc().Call(ctx, pfdat->borrowed_from, MsgType::kReturnFrame, args, &reply);
+    cell_->pfdats().RemoveExtended(pfdat);
+    return;
+  }
+  free_list_.push_back(pfdat);
+}
+
+std::vector<PhysAddr> PageAllocator::LoanFrames(Ctx& ctx, CellId client, int count) {
+  std::vector<PhysAddr> frames;
+  // Keep a local reserve so loaning cannot deadlock this cell (section 3.2:
+  // each cell preserves enough local free memory to avoid deadlock).
+  while (static_cast<int>(frames.size()) < count &&
+         free_list_.size() > kLocalReserveFrames) {
+    Pfdat* pfdat = free_list_.front();
+    free_list_.pop_front();
+    pfdat->loaned_out = true;
+    pfdat->loaned_to = client;
+    loaned_.insert(pfdat);
+    // The loan hands write control to the borrower: the frame's firewall
+    // vector becomes the borrowing cell's processors.
+    const Pfn loan_pfn = cell_->machine().mem().PfnOfAddr(pfdat->frame);
+    cell_->machine().firewall().SetVector(
+        loan_pfn, cell_->system()->cell(client).CpuMask(),
+        cell_->machine().firewall().NodeOfPfn(loan_pfn) *
+            cell_->machine().config().cpus_per_node);
+    ctx.Charge(cell_->machine().config().latency.firewall_grant_ns);
+    frames.push_back(pfdat->frame);
+  }
+  return frames;
+}
+
+base::Status PageAllocator::AcceptReturnedFrame(Ctx& ctx, PhysAddr frame, CellId client) {
+  Pfdat* pfdat = cell_->pfdats().FindByFrame(frame);
+  if (pfdat == nullptr || !pfdat->loaned_out || pfdat->loaned_to != client) {
+    // Bogus return: never trust remote input.
+    cell_->detector().RaiseHint(ctx, client, HintReason::kCarefulCheckFailed);
+    return base::InvalidArgument();
+  }
+  pfdat->loaned_out = false;
+  pfdat->loaned_to = kInvalidCell;
+  loaned_.erase(pfdat);
+  cell_->firewall_manager().ProtectLocal(cell_->machine().mem().PfnOfAddr(frame));
+  ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+  free_list_.push_back(pfdat);
+  return base::OkStatus();
+}
+
+int PageAllocator::ReclaimLoansTo(CellId failed_cell) {
+  int reclaimed = 0;
+  for (auto it = loaned_.begin(); it != loaned_.end();) {
+    Pfdat* pfdat = *it;
+    if (pfdat->loaned_to == failed_cell) {
+      it = loaned_.erase(it);
+      pfdat->loaned_out = false;
+      pfdat->loaned_to = kInvalidCell;
+      cell_->firewall_manager().ProtectLocal(cell_->machine().mem().PfnOfAddr(pfdat->frame));
+      free_list_.push_back(pfdat);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+void PageAllocator::ReleaseToFreeList(Pfdat* pfdat) {
+  CHECK(!pfdat->extended);
+  pfdat->refcount = 0;
+  pfdat->dirty = false;
+  pfdat->lpid = LogicalPageId{};
+  pfdat->exported_to = 0;
+  pfdat->exported_writable = 0;
+  free_list_.push_back(pfdat);
+}
+
+int PageAllocator::DropBorrowsFrom(CellId failed_cell) {
+  int dropped = 0;
+  for (auto it = borrowed_free_.begin(); it != borrowed_free_.end();) {
+    if ((*it)->borrowed_from == failed_cell) {
+      cell_->pfdats().RemoveExtended(*it);
+      it = borrowed_free_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace hive

@@ -1,0 +1,61 @@
+#include "src/core/pfdat.h"
+
+#include "src/base/log.h"
+
+namespace hive {
+
+Pfdat* PfdatTable::AddRegular(PhysAddr frame) {
+  auto pfdat = std::make_unique<Pfdat>();
+  pfdat->frame = frame;
+  pfdat->extended = false;
+  Pfdat* raw = pfdat.get();
+  auto [it, inserted] = by_frame_.emplace(frame, std::move(pfdat));
+  CHECK(inserted) << "duplicate pfdat for frame";
+  (void)it;
+  return raw;
+}
+
+Pfdat* PfdatTable::AddExtended(PhysAddr frame) {
+  auto pfdat = std::make_unique<Pfdat>();
+  pfdat->frame = frame;
+  pfdat->extended = true;
+  Pfdat* raw = pfdat.get();
+  auto [it, inserted] = by_frame_.emplace(frame, std::move(pfdat));
+  CHECK(inserted) << "extended pfdat collides with existing pfdat for frame";
+  (void)it;
+  return raw;
+}
+
+void PfdatTable::RemoveExtended(Pfdat* pfdat) {
+  CHECK(pfdat->extended);
+  if (pfdat->HasLogicalBinding()) {
+    RemoveHash(pfdat);
+  }
+  by_frame_.erase(pfdat->frame);  // Destroys *pfdat.
+}
+
+Pfdat* PfdatTable::FindByFrame(PhysAddr frame) {
+  auto it = by_frame_.find(frame);
+  return it == by_frame_.end() ? nullptr : it->second.get();
+}
+
+Pfdat* PfdatTable::FindByLpid(const LogicalPageId& lpid) {
+  auto it = by_lpid_.find(lpid);
+  return it == by_lpid_.end() ? nullptr : it->second;
+}
+
+void PfdatTable::InsertHash(Pfdat* pfdat) {
+  CHECK(pfdat->HasLogicalBinding());
+  auto [it, inserted] = by_lpid_.emplace(pfdat->lpid, pfdat);
+  CHECK(inserted) << "logical page already present in hash";
+  (void)it;
+}
+
+void PfdatTable::RemoveHash(Pfdat* pfdat) {
+  auto it = by_lpid_.find(pfdat->lpid);
+  if (it != by_lpid_.end() && it->second == pfdat) {
+    by_lpid_.erase(it);
+  }
+}
+
+}  // namespace hive

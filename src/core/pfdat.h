@@ -1,0 +1,104 @@
+// Page frame data structures (paper section 5.1-5.2).
+//
+// Each page frame in paged memory is managed by a pfdat recording the logical
+// page id of the data stored in the frame. Pfdats are linked into a hash
+// table for lookup by logical page id. When a cell needs to access a page of
+// another cell it allocates an *extended* pfdat binding the remote physical
+// address to a local hash entry, after which most kernel modules operate on
+// the page without knowing it is remote.
+//
+// Logical-level sharing state (export/import) and physical-level sharing
+// state (loan/borrow) use separate storage within each pfdat, so a frame can
+// be simultaneously loaned out and imported back (paper section 5.5).
+
+#ifndef HIVE_SRC_CORE_PFDAT_H_
+#define HIVE_SRC_CORE_PFDAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+struct Pfdat {
+  // Identity: the frame this pfdat manages. For a regular pfdat the frame is
+  // in the owning cell's memory; for an extended pfdat it is remote.
+  PhysAddr frame = flash::kInvalidPhysAddr;
+  bool extended = false;
+
+  // Logical binding: which data page currently lives in the frame.
+  LogicalPageId lpid;  // kind == kInvalid when the frame holds no data.
+  bool dirty = false;
+  Generation generation = 0;  // Snapshot of the file generation at bind time.
+  int refcount = 0;           // Local references (mappings, ongoing I/O).
+
+  // --- Logical-level sharing: data home side. ---
+  uint64_t exported_to = 0;        // Bitmask of client cells using this page.
+  uint64_t exported_writable = 0;  // Clients granted write access.
+
+  // --- Logical-level sharing: client side. ---
+  CellId imported_from = kInvalidCell;  // Data home, for imported pages.
+  bool import_writable = false;         // Write access was granted to us.
+
+  // --- Physical-level sharing: memory home side. ---
+  bool loaned_out = false;
+  CellId loaned_to = kInvalidCell;
+
+  // --- Physical-level sharing: borrower side. ---
+  CellId borrowed_from = kInvalidCell;  // Memory home, for borrowed frames.
+
+  bool HasLogicalBinding() const { return lpid.valid(); }
+};
+
+// Per-cell pfdat table + hash (paper figure 5.3). Owns regular pfdats for
+// every local paged frame and dynamically allocated extended pfdats.
+class PfdatTable {
+ public:
+  PfdatTable() = default;
+
+  // Registers a regular pfdat for a local frame (called at cell boot).
+  Pfdat* AddRegular(PhysAddr frame);
+
+  // Allocates an extended pfdat bound to a remote frame.
+  Pfdat* AddExtended(PhysAddr frame);
+
+  // Removes an extended pfdat (release/return_frame).
+  void RemoveExtended(Pfdat* pfdat);
+
+  // Frame index: any pfdat (regular or extended) for this frame address.
+  Pfdat* FindByFrame(PhysAddr frame);
+
+  // Logical page hash.
+  Pfdat* FindByLpid(const LogicalPageId& lpid);
+  void InsertHash(Pfdat* pfdat);
+  void RemoveHash(Pfdat* pfdat);
+
+  // Enumeration for recovery scans.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [frame, pfdat] : by_frame_) {
+      fn(pfdat.get());
+    }
+  }
+
+  size_t hash_size() const { return by_lpid_.size(); }
+  size_t total_pfdats() const { return by_frame_.size(); }
+
+  // Reboot: drops everything.
+  void Clear() {
+    by_lpid_.clear();
+    by_frame_.clear();
+  }
+
+ private:
+  std::unordered_map<PhysAddr, std::unique_ptr<Pfdat>> by_frame_;
+  std::unordered_map<LogicalPageId, Pfdat*, LogicalPageIdHash> by_lpid_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_PFDAT_H_

@@ -1,0 +1,248 @@
+#include "src/core/recovery.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/core/cell.h"
+#include "src/core/filesystem.h"
+#include "src/core/hive_system.h"
+
+namespace hive {
+namespace {
+
+constexpr Time kAlertDeliveryNs = 1 * kMicrosecond;
+constexpr Time kDiagnosticsDelayNs = 5 * kMillisecond;
+
+}  // namespace
+
+Time RecoveryManager::PhaseFlushMappings(Ctx& ctx, CellId cell_id) {
+  Cell& cell = system_->cell(cell_id);
+  Ctx phase_ctx = cell.MakeCtx();
+  phase_ctx.start = ctx.VirtualNow();
+  phase_ctx.Charge(cell.costs().recovery_tlb_flush_ns);
+  for (Process* proc : cell.sched().AllProcesses()) {
+    if (!proc->finished()) {
+      proc->address_space().FlushMappings(phase_ctx, /*remote_only=*/false);
+    }
+  }
+  return phase_ctx.elapsed;
+}
+
+Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
+                                             const std::vector<CellId>& failed,
+                                             RecoveryStats* stats) {
+  Cell& cell = system_->cell(cell_id);
+  Ctx phase_ctx = cell.MakeCtx();
+  phase_ctx.start = ctx.VirtualNow();
+
+  uint64_t failed_mask = 0;
+  for (CellId f : failed) {
+    failed_mask |= 1ull << f;
+  }
+
+  // Scanning the virtual memory state costs time proportional to the pfdat
+  // table (the dominant recovery cost for large memories).
+  phase_ctx.Charge(static_cast<Time>(cell.pfdats().total_pfdats()) *
+                   cell.costs().recovery_per_page_scan_ns);
+
+  // 1. Revoke firewall write permission granted to the failed cells; the
+  //    pages they could write are preemptively discarded below.
+  (void)cell.firewall_manager().RevokeAllFor(phase_ctx, failed.front());
+  for (size_t i = 1; i < failed.size(); ++i) {
+    (void)cell.firewall_manager().RevokeAllFor(phase_ctx, failed[i]);
+  }
+
+  // 2. Walk the pfdat table: discard pages writable by failed cells, drop
+  //    bindings cached in frames whose memory home failed, clear export
+  //    state (every remaining remote grant is also revoked -- no remote
+  //    mapping survives barrier 1).
+  std::vector<Pfdat*> dead_borrows;
+  cell.pfdats().ForEach([&](Pfdat* pfdat) {
+    if (pfdat->extended && pfdat->borrowed_from != kInvalidCell &&
+        (failed_mask & (1ull << pfdat->borrowed_from)) != 0) {
+      dead_borrows.push_back(pfdat);
+      return;
+    }
+    if (!pfdat->extended && pfdat->HasLogicalBinding() &&
+        (pfdat->exported_writable & failed_mask) != 0) {
+      // Pessimistic assumption: everything the failed cell could write is
+      // corrupt (paper section 3.1).
+      ++stats->pages_discarded;
+      cell.Trace(TraceEvent::kPageDiscarded, pfdat->frame);
+      if (pfdat->dirty && pfdat->lpid.kind == LogicalPageId::Kind::kFile) {
+        cell.fs().NoteDirtyPageLost(static_cast<VnodeId>(pfdat->lpid.object));
+        ++stats->dirty_pages_lost;
+      }
+      cell.pfdats().RemoveHash(pfdat);
+      pfdat->lpid = LogicalPageId{};
+      pfdat->dirty = false;
+      pfdat->exported_to = 0;
+      pfdat->exported_writable = 0;
+      if (pfdat->refcount == 0 && !pfdat->loaned_out) {
+        cell.allocator().ReleaseToFreeList(pfdat);
+      }
+      return;
+    }
+    pfdat->exported_to = 0;
+    pfdat->exported_writable = 0;
+  });
+  for (Pfdat* pfdat : dead_borrows) {
+    // The frame's memory is gone. Dirty file data cached there is lost.
+    if (pfdat->HasLogicalBinding() && pfdat->dirty &&
+        pfdat->lpid.kind == LogicalPageId::Kind::kFile &&
+        pfdat->lpid.data_home == cell.id()) {
+      cell.fs().NoteDirtyPageLost(static_cast<VnodeId>(pfdat->lpid.object));
+      ++stats->dirty_pages_lost;
+    }
+    cell.pfdats().RemoveExtended(pfdat);
+  }
+  cell.allocator().DropBorrowsFrom(failed.front());
+  for (size_t i = 1; i < failed.size(); ++i) {
+    cell.allocator().DropBorrowsFrom(failed[i]);
+  }
+
+  // 3. Drop all imports (rebuilt by fresh faults) and remaining grants.
+  stats->imports_dropped += cell.fs().DropAllImports(phase_ctx);
+  cell.firewall_manager().RevokeAllRemote(phase_ctx);
+
+  // 4. Reclaim frames loaned to failed cells.
+  for (CellId f : failed) {
+    stats->loans_reclaimed += cell.allocator().ReclaimLoansTo(f);
+  }
+
+  phase_ctx.Charge(cell.costs().recovery_fs_cleanup_ns);
+  return phase_ctx.elapsed;
+}
+
+Time RecoveryManager::PhaseKillDependents(Ctx& ctx, CellId cell_id,
+                                          const std::vector<CellId>& failed,
+                                          RecoveryStats* stats) {
+  Cell& cell = system_->cell(cell_id);
+  Ctx phase_ctx = cell.MakeCtx();
+  phase_ctx.start = ctx.VirtualNow();
+
+  uint64_t failed_mask = 0;
+  for (CellId f : failed) {
+    failed_mask |= 1ull << f;
+  }
+
+  for (Process* proc : cell.sched().AllProcesses()) {
+    if (proc->finished()) {
+      continue;
+    }
+    const bool hard_dependency = (proc->dependency_mask() & failed_mask) != 0;
+    const bool group_hit =
+        proc->task_group() >= 0 &&
+        (system_->GroupCells(proc->task_group()) & failed_mask) != 0;
+    if (hard_dependency || group_hit) {
+      cell.sched().KillProcess(phase_ctx, proc,
+                               hard_dependency ? "used resources of a failed cell"
+                                               : "task group member on a failed cell");
+      ++stats->processes_killed;
+    }
+  }
+  return phase_ctx.elapsed;
+}
+
+RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_cells) {
+  ++recoveries_run_;
+  RecoveryStats stats;
+  stats.failed_cells = failed_cells;
+  stats.detect_time = ctx.VirtualNow();
+
+  const std::vector<CellId> live = system_->LiveCells();
+  if (live.empty()) {
+    last_stats_ = stats;
+    return stats;
+  }
+
+  // Every live cell enters recovery when the confirmation broadcast reaches
+  // it; processes already running at kernel level complete their current
+  // operation (modelled as the alert delivery cost).
+  std::vector<Time> entry(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    entry[i] = stats.detect_time + kAlertDeliveryNs;
+    system_->cell(live[i]).set_in_recovery(true);
+    system_->cell(live[i]).Trace(TraceEvent::kEnterRecovery,
+                                 static_cast<uint64_t>(failed_cells.front()));
+  }
+  stats.entered_recovery = entry;
+
+  // Phase A (before barrier 1): flush TLBs, remove mappings. Page faults that
+  // arrive after a cell joins the barrier are held up on the client side.
+  Time barrier1 = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    const Time cost = PhaseFlushMappings(ctx, live[i]);
+    barrier1 = std::max(barrier1, entry[i] + cost);
+  }
+  barrier1 += system_->costs().recovery_barrier_round_ns;
+  stats.barrier1_time = barrier1;
+
+  // Phase B (between barriers): revoke grants, preemptive discard, VM and
+  // process cleanup.
+  Time barrier2 = barrier1;
+  for (CellId cell_id : live) {
+    Time cost = PhaseDiscardAndCleanup(ctx, cell_id, failed_cells, &stats);
+    cost += PhaseKillDependents(ctx, cell_id, failed_cells, &stats);
+    barrier2 = std::max(barrier2, barrier1 + cost);
+  }
+  barrier2 += system_->costs().recovery_barrier_round_ns;
+  stats.barrier2_time = barrier2;
+
+  // Cells that exit the second barrier resume normal operation.
+  for (CellId cell_id : live) {
+    Cell& cell = system_->cell(cell_id);
+    cell.SuspendUsersUntil(barrier2);
+    cell.set_in_recovery(false);
+    cell.Trace(TraceEvent::kExitRecovery, static_cast<uint64_t>(stats.pages_discarded));
+    cell.detector().ForgetCell(failed_cells.front());
+    for (size_t i = 1; i < failed_cells.size(); ++i) {
+      cell.detector().ForgetCell(failed_cells[i]);
+    }
+    cell.sched().KickAll();
+  }
+
+  // Waiters blocked on processes that died with a failed cell are woken.
+  system_->WakeOrphanedWaiters();
+
+  // Elect the recovery master (lowest live cell id) and run diagnostics on
+  // the failed nodes; if they pass, reboot and reintegrate.
+  stats.recovery_master = *std::min_element(live.begin(), live.end());
+  if (auto_reintegrate) {
+    for (CellId f : failed_cells) {
+      system_->machine().events().ScheduleAt(
+          barrier2 + kDiagnosticsDelayNs, [this, f] {
+            Ctx reint_ctx;
+            Cell& master = system_->cell(system_->LiveCells().front());
+            reint_ctx.cell = &master;
+            reint_ctx.cpu = master.FirstCpu();
+            reint_ctx.start = system_->machine().Now();
+            (void)Reintegrate(reint_ctx, f);
+          });
+    }
+  }
+
+  LOG(kInfo) << "recovery complete: " << stats.pages_discarded << " pages discarded, "
+             << stats.dirty_pages_lost << " dirty pages lost, " << stats.processes_killed
+             << " processes killed; users resume at t=" << barrier2;
+  last_stats_ = stats;
+  return stats;
+}
+
+base::Status RecoveryManager::Reintegrate(Ctx& ctx, CellId cell_id) {
+  (void)ctx;
+  Cell& cell = system_->cell(cell_id);
+  if (cell.alive()) {
+    return base::InvalidArgument();
+  }
+  for (int node = cell.first_node(); node < cell.first_node() + cell.num_nodes(); ++node) {
+    system_->machine().RestoreNode(node);
+  }
+  cell.Reboot();
+  system_->NoteCellReintegrated(cell_id);
+  LOG(kInfo) << "cell " << cell_id << " rebooted and reintegrated at t="
+             << system_->machine().Now();
+  return base::OkStatus();
+}
+
+}  // namespace hive

@@ -1,0 +1,83 @@
+// Failure recovery (paper section 4.3): given consensus on the live set,
+// each cell runs recovery algorithms to clean up dangling references and
+// determine which processes must be killed. A double global barrier
+// synchronizes the preemptive discard:
+//
+//   - Before barrier 1: user processes are suspended; each cell flushes its
+//     TLBs and removes remote mappings from process address spaces. Page
+//     faults arriving after a cell joined barrier 1 are held on the client
+//     side.
+//   - After barrier 1 no valid remote accesses are pending: each cell revokes
+//     firewall write permission it granted to other cells, discards every
+//     page writable by a failed cell (notifying the file system, which bumps
+//     generation numbers for lost dirty pages), and cleans up virtual memory
+//     state (imports, borrows, loans touching failed cells).
+//   - After barrier 2 cells resume normal operation. A recovery master is
+//     elected from the new live set, runs hardware diagnostics on the failed
+//     nodes, and (if they pass) reboots and reintegrates the failed cells.
+
+#ifndef HIVE_SRC_CORE_RECOVERY_H_
+#define HIVE_SRC_CORE_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class HiveSystem;
+
+struct RecoveryStats {
+  Time detect_time = 0;                  // Agreement confirmed.
+  std::vector<Time> entered_recovery;    // Per live cell.
+  Time barrier1_time = 0;
+  Time barrier2_time = 0;                // == user resume time.
+  CellId recovery_master = kInvalidCell;
+  int pages_discarded = 0;
+  int dirty_pages_lost = 0;              // Caused generation bumps.
+  int processes_killed = 0;
+  int imports_dropped = 0;
+  int loans_reclaimed = 0;
+  std::vector<CellId> failed_cells;
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(HiveSystem* system) : system_(system) {}
+
+  // Runs the full recovery algorithm for `failed_cells`, starting at the
+  // (virtual) time of ctx. Synchronously updates all kernel state; the
+  // simulated cost of each phase determines the barrier times and when user
+  // execution resumes on each cell.
+  RecoveryStats Run(Ctx& ctx, const std::vector<CellId>& failed_cells);
+
+  // Reboots a failed cell after diagnostics and reintegrates it into the
+  // system (fresh kernel, file system intact on disk). Paper section 4.3's
+  // automatic reintegration.
+  base::Status Reintegrate(Ctx& ctx, CellId cell_id);
+
+  const RecoveryStats& last_stats() const { return last_stats_; }
+  int recoveries_run() const { return recoveries_run_; }
+
+  // Enables/disables automatic reboot of failed cells after recovery.
+  bool auto_reintegrate = false;
+
+ private:
+  // Phase work; each returns the simulated cost on that cell.
+  Time PhaseFlushMappings(Ctx& ctx, CellId cell_id);
+  Time PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id, const std::vector<CellId>& failed,
+                              RecoveryStats* stats);
+  Time PhaseKillDependents(Ctx& ctx, CellId cell_id, const std::vector<CellId>& failed,
+                           RecoveryStats* stats);
+
+  HiveSystem* system_;
+  RecoveryStats last_stats_;
+  int recoveries_run_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_RECOVERY_H_

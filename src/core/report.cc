@@ -1,0 +1,155 @@
+#include "src/core/report.h"
+
+#include <sstream>
+
+#include "src/base/table.h"
+#include "src/core/cell.h"
+#include "src/core/filesystem.h"
+#include "src/core/hive_system.h"
+#include "src/core/pageout.h"
+#include "src/core/swap.h"
+
+namespace hive {
+namespace {
+
+const char* StateName(CellState state) {
+  switch (state) {
+    case CellState::kBooting:
+      return "BOOTING";
+    case CellState::kRunning:
+      return "RUNNING";
+    case CellState::kPanicked:
+      return "PANICKED";
+    case CellState::kDead:
+      return "DEAD";
+    case CellState::kRebooting:
+      return "REBOOTING";
+  }
+  return "?";
+}
+
+struct SharingCounts {
+  int exported = 0;
+  int exported_writable = 0;
+  int imported = 0;
+  int borrowed = 0;
+  int loaned = 0;
+  int cached = 0;
+};
+
+SharingCounts CountSharing(Cell& cell) {
+  SharingCounts counts;
+  cell.pfdats().ForEach([&](Pfdat* pfdat) {
+    if (pfdat->HasLogicalBinding()) {
+      ++counts.cached;
+    }
+    if (pfdat->exported_to != 0) {
+      ++counts.exported;
+    }
+    if (pfdat->exported_writable != 0) {
+      ++counts.exported_writable;
+    }
+    if (pfdat->imported_from != kInvalidCell) {
+      ++counts.imported;
+    }
+    if (pfdat->borrowed_from != kInvalidCell) {
+      ++counts.borrowed;
+    }
+    if (pfdat->loaned_out) {
+      ++counts.loaned;
+    }
+  });
+  return counts;
+}
+
+}  // namespace
+
+std::string RenderSystemReport(HiveSystem& system) {
+  base::Table table({"Cell", "State", "Nodes", "Free frames", "Cached pages", "Exports",
+                     "Imports", "Loans/Borrows", "Writable-by-remote", "Procs (live/total)",
+                     "Swap slots"});
+  for (CellId c = 0; c < system.num_cells(); ++c) {
+    Cell& cell = system.cell(c);
+    if (!cell.alive()) {
+      table.AddRow({"cell " + base::Table::I64(c), StateName(cell.state()),
+                    base::Table::I64(cell.first_node()) + "-" +
+                        base::Table::I64(cell.first_node() + cell.num_nodes() - 1),
+                    "-", "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const SharingCounts counts = CountSharing(cell);
+    int live_procs = 0;
+    int total_procs = 0;
+    for (Process* proc : cell.sched().AllProcesses()) {
+      ++total_procs;
+      live_procs += proc->finished() ? 0 : 1;
+    }
+    table.AddRow(
+        {"cell " + base::Table::I64(c), StateName(cell.state()),
+         base::Table::I64(cell.first_node()) + "-" +
+             base::Table::I64(cell.first_node() + cell.num_nodes() - 1),
+         base::Table::I64(static_cast<int64_t>(cell.allocator().free_frames())),
+         base::Table::I64(counts.cached), base::Table::I64(counts.exported),
+         base::Table::I64(counts.imported),
+         base::Table::I64(counts.loaned) + "/" + base::Table::I64(counts.borrowed),
+         base::Table::I64(cell.firewall_manager().RemotelyWritablePages()),
+         base::Table::I64(live_procs) + "/" + base::Table::I64(total_procs),
+         base::Table::I64(static_cast<int64_t>(cell.swap().slots_in_use()))});
+  }
+  std::ostringstream out;
+  out << table.Render("Hive system state (t=" +
+                      base::Table::F64(static_cast<double>(system.machine().Now()) / 1e9, 3) +
+                      " s)");
+  return out.str();
+}
+
+std::string RenderCellSharing(HiveSystem& system, CellId cell_id) {
+  Cell& cell = system.cell(cell_id);
+  std::ostringstream out;
+  out << "cell " << cell_id << " sharing state:\n";
+  if (!cell.alive()) {
+    out << "  (cell is " << StateName(cell.state()) << ")\n";
+    return out.str();
+  }
+  int lines = 0;
+  cell.pfdats().ForEach([&](Pfdat* pfdat) {
+    if (pfdat->exported_to == 0 && pfdat->imported_from == kInvalidCell &&
+        pfdat->borrowed_from == kInvalidCell && !pfdat->loaned_out) {
+      return;
+    }
+    if (++lines > 40) {
+      return;  // Cap the dump.
+    }
+    out << "  frame 0x" << std::hex << pfdat->frame << std::dec;
+    if (pfdat->HasLogicalBinding()) {
+      out << " ["
+          << (pfdat->lpid.kind == LogicalPageId::Kind::kFile ? "file " : "anon ")
+          << pfdat->lpid.object << " page " << pfdat->lpid.page_offset << "]";
+    }
+    if (pfdat->exported_to != 0) {
+      out << " exported-to=0x" << std::hex << pfdat->exported_to << std::dec;
+      if (pfdat->exported_writable != 0) {
+        out << " (writable 0x" << std::hex << pfdat->exported_writable << std::dec << ")";
+      }
+    }
+    if (pfdat->imported_from != kInvalidCell) {
+      out << " imported-from=" << pfdat->imported_from
+          << (pfdat->import_writable ? " (writable)" : "");
+    }
+    if (pfdat->borrowed_from != kInvalidCell) {
+      out << " borrowed-from=" << pfdat->borrowed_from;
+    }
+    if (pfdat->loaned_out) {
+      out << " loaned-to=" << pfdat->loaned_to;
+    }
+    out << "\n";
+  });
+  if (lines == 0) {
+    out << "  (no intercell sharing)\n";
+  } else if (lines > 40) {
+    out << "  ... " << (lines - 40) << " more\n";
+  }
+  return out.str();
+}
+
+}  // namespace hive

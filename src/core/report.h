@@ -1,0 +1,25 @@
+// System introspection: renders the live structures of paper figures 3.1 and
+// 5.3 (the cell partition, each cell's memory/pfdat/export/import state, and
+// process tables) as text. Used by examples and for debugging.
+
+#ifndef HIVE_SRC_CORE_REPORT_H_
+#define HIVE_SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/types.h"
+
+namespace hive {
+
+class HiveSystem;
+
+// One-line-per-cell summary: state, memory, page cache, sharing, processes.
+std::string RenderSystemReport(HiveSystem& system);
+
+// Detailed sharing view for one cell: exports, imports, loans, borrows,
+// firewall grants (figure 5.3's pfdat bindings).
+std::string RenderCellSharing(HiveSystem& system, CellId cell_id);
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_REPORT_H_

@@ -1,0 +1,189 @@
+#include "src/core/rpc.h"
+
+#include "src/base/log.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+#include "src/flash/bus_error.h"
+
+namespace hive {
+namespace {
+
+// A cell is reachable if its kernel is up AND the hardware under it is alive
+// (a freshly failed node drops SIPS messages before the kernel state knows).
+bool Reachable(Cell& cell) {
+  if (!cell.alive()) {
+    return false;
+  }
+  for (int node = cell.first_node(); node < cell.first_node() + cell.num_nodes(); ++node) {
+    if (cell.machine().NodeDead(node)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RpcLayer::RpcLayer(Cell* cell, HiveSystem* system, const KernelCosts& costs)
+    : cell_(cell), system_(system), costs_(costs) {}
+
+void RpcLayer::RegisterInterrupt(MsgType type, RpcHandler handler) {
+  handlers_[static_cast<uint32_t>(type)] = Registration{std::move(handler), /*queued=*/false};
+}
+
+void RpcLayer::RegisterQueued(MsgType type, RpcHandler handler) {
+  handlers_[static_cast<uint32_t>(type)] = Registration{std::move(handler), /*queued=*/true};
+}
+
+base::Status RpcLayer::Serve(Ctx& server_ctx, MsgType type, const RpcArgs& args,
+                             RpcReply* reply) {
+  auto it = handlers_.find(static_cast<uint32_t>(type));
+  if (it == handlers_.end()) {
+    return base::NotFound();
+  }
+  if (it->second.queued) {
+    // Queued service: the interrupt-level stub launches the operation on a
+    // server process; context switch + synchronization dominate (section 6).
+    server_ctx.Charge(costs_.rpc_queue_service_ns);
+    ++stats_.queued_calls;
+  }
+  return it->second.handler(server_ctx, args, reply);
+}
+
+base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
+                            RpcReply* reply, const CallOptions& options) {
+  ++stats_.calls;
+  const flash::LatencyParams& lat = cell_->machine().config().latency;
+  const Time sips_hop = lat.ipi_ns + lat.sips_payload_ns;
+
+  // Client stub marshals the request.
+  ctx.Charge(costs_.rpc_client_stub_ns);
+  if (options.fat_stub) {
+    ctx.Charge(costs_.rpc_fat_stub_extra_ns);
+  }
+  if (options.bulk_bytes > 0) {
+    // Argument/result data beyond the 128-byte line: allocate shared-memory
+    // buffers and copy through them.
+    ctx.Charge(costs_.rpc_arg_alloc_ns + costs_.rpc_arg_copy_ns);
+  }
+
+  if (target == cell_->id()) {
+    // Intracell shortcut: dispatch directly (no SIPS).
+    return Serve(ctx, type, args, reply);
+  }
+
+  Cell& tcell = system_->cell(target);
+  if (!Reachable(tcell)) {
+    // The message vanishes; the client spins 50 us for the reply, then
+    // context-switches, and the timeout raises a failure hint.
+    ctx.Charge(costs_.rpc_client_spin_poll_ns + costs_.rpc_context_switch_ns);
+    ++stats_.timeouts;
+    cell_->Trace(TraceEvent::kRpcTimeout, static_cast<uint64_t>(target));
+    cell_->detector().RaiseHint(ctx, target, HintReason::kRpcTimeout);
+    return base::Timeout();
+  }
+  if (tcell.in_recovery()) {
+    // Requests to a cell that already joined the recovery barrier are held on
+    // the client side (section 4.3); the caller retries after recovery.
+    return base::Unavailable();
+  }
+
+  // Request message delivery.
+  ctx.Charge(sips_hop);
+
+  // Service on the target: round-robin over its processors.
+  const auto& tcpus = tcell.cpus();
+  const int server_cpu = tcpus[static_cast<size_t>(next_server_cpu_++) % tcpus.size()];
+  Ctx server_ctx;
+  server_ctx.cell = &tcell;
+  server_ctx.cpu = server_cpu;
+  server_ctx.start = ctx.VirtualNow();
+  server_ctx.fault_bd = ctx.fault_bd;
+
+  server_ctx.Charge(costs_.rpc_dispatch_ns + costs_.rpc_server_stub_ns);
+  base::Status status = base::OkStatus();
+  try {
+    status = tcell.rpc().Serve(server_ctx, type, args, reply);
+  } catch (const flash::BusError& e) {
+    // A bus error during kernel service outside a careful section means the
+    // serving kernel is corrupt: it panics, and the client times out.
+    tcell.Panic(std::string("bus error during RPC service: ") + e.what());
+  }
+
+  if (!Reachable(tcell)) {
+    ctx.Charge(costs_.rpc_client_spin_poll_ns + costs_.rpc_context_switch_ns);
+    ++stats_.timeouts;
+    cell_->Trace(TraceEvent::kRpcTimeout, static_cast<uint64_t>(target));
+    cell_->detector().RaiseHint(ctx, target, HintReason::kRpcTimeout);
+    return base::Timeout();
+  }
+
+  // Server occupancy: the serving CPU is busy for the service duration.
+  flash::Cpu& scpu = cell_->machine().cpu(server_cpu);
+  scpu.free_at = std::max(scpu.free_at, server_ctx.start) + server_ctx.elapsed;
+
+  // The client waits for the full service, then the reply message.
+  ctx.Charge(server_ctx.elapsed);
+  ctx.Charge(sips_hop);
+  return status;
+}
+
+base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
+                                 RpcReply* reply) {
+  ++stats_.calls;
+
+  // Table 5.2 RPC components, charged on the client side (the client spins
+  // for the whole exchange).
+  ctx.Charge(costs_.fault_rpc_stub_ns);
+  ctx.Charge(costs_.fault_rpc_hw_ns);
+  ctx.Charge(costs_.fault_rpc_copy_ns);
+  ctx.Charge(costs_.fault_rpc_alloc_ns);
+  if (ctx.fault_bd != nullptr) {
+    ctx.fault_bd->rpc_stub += costs_.fault_rpc_stub_ns;
+    ctx.fault_bd->rpc_hw += costs_.fault_rpc_hw_ns;
+    ctx.fault_bd->rpc_copy += costs_.fault_rpc_copy_ns;
+    ctx.fault_bd->rpc_alloc += costs_.fault_rpc_alloc_ns;
+  }
+
+  Cell& tcell = system_->cell(target);
+  if (!Reachable(tcell)) {
+    ctx.Charge(costs_.rpc_client_spin_poll_ns + costs_.rpc_context_switch_ns);
+    ++stats_.timeouts;
+    cell_->Trace(TraceEvent::kRpcTimeout, static_cast<uint64_t>(target));
+    cell_->detector().RaiseHint(ctx, target, HintReason::kRpcTimeout);
+    return base::Timeout();
+  }
+  if (tcell.in_recovery()) {
+    return base::Unavailable();
+  }
+
+  const auto& tcpus = tcell.cpus();
+  const int server_cpu = tcpus[static_cast<size_t>(next_server_cpu_++) % tcpus.size()];
+  Ctx server_ctx;
+  server_ctx.cell = &tcell;
+  server_ctx.cpu = server_cpu;
+  server_ctx.start = ctx.VirtualNow();
+  server_ctx.fault_bd = ctx.fault_bd;
+
+  base::Status status = base::OkStatus();
+  try {
+    status = tcell.rpc().Serve(server_ctx, type, args, reply);
+  } catch (const flash::BusError& e) {
+    tcell.Panic(std::string("bus error during RPC service: ") + e.what());
+  }
+
+  if (!Reachable(tcell)) {
+    ctx.Charge(costs_.rpc_client_spin_poll_ns + costs_.rpc_context_switch_ns);
+    ++stats_.timeouts;
+    cell_->Trace(TraceEvent::kRpcTimeout, static_cast<uint64_t>(target));
+    cell_->detector().RaiseHint(ctx, target, HintReason::kRpcTimeout);
+    return base::Timeout();
+  }
+
+  flash::Cpu& scpu = cell_->machine().cpu(server_cpu);
+  scpu.free_at = std::max(scpu.free_at, server_ctx.start) + server_ctx.elapsed;
+  ctx.Charge(server_ctx.elapsed);
+  return status;
+}
+
+}  // namespace hive

@@ -1,0 +1,139 @@
+// Intercell remote procedure calls built on the SIPS hardware primitive
+// (paper section 6). Two service classes:
+//
+//  - Interrupt-level: the request is serviced entirely in the receiving
+//    node's message interrupt handler. Null RPC: 7.2 us end to end. The
+//    client processor spins for the reply (up to 50 us) before context
+//    switching, which almost never happens.
+//  - Queued: an initial interrupt-level RPC launches the operation on a
+//    server process, and a completion RPC returns the result. Null queued
+//    RPC: 34 us, dominated by context switch + synchronization.
+//
+// Because the SIPS primitive is reliable, there is no retransmission or
+// duplicate suppression; anything beyond the 128-byte line is passed by
+// reference through shared memory (and read with the careful reference
+// protocol where trust demands it).
+//
+// Simulation note: calls execute synchronously in the caller's event, with
+// latencies charged to the client context and occupancy charged to the
+// serving CPU. Failure semantics are preserved: calls to dead or panicked
+// cells charge the spin + context-switch cost and return kTimeout, which
+// feeds the failure detector a hint.
+
+#ifndef HIVE_SRC_CORE_RPC_H_
+#define HIVE_SRC_CORE_RPC_H_
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/costs.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+class HiveSystem;
+
+enum class MsgType : uint32_t {
+  kNull = 0,          // Latency calibration.
+  kNullQueued,        // Latency calibration (queued service).
+  kPageFault,         // Client fault on a remote file/anon page -> export.
+  kUpgradeWrite,      // Client wants write access to an imported page.
+  kReleasePage,       // Client released an imported page.
+  kOpen,              // Resolve a file on its data home (queued).
+  kCreate,            // Create a file on a data home (queued).
+  kReadAhead,         // Bulk read pages into data-home cache (queued).
+  kWriteBehind,       // Write one partial page through the data home (queued).
+  kWriteBehindBulk,   // Write a batch of full pages through the data home.
+  kSyncFile,          // Remote close: ask the data home to sync the file.
+  kUnlink,            // Remove a file at its data home (queued).
+  kBorrowFrames,      // Physical-level sharing: ask memory home for frames.
+  kReturnFrame,       // Give a borrowed frame back.
+  kGrantFirewall,     // Data home asks memory home to open the firewall.
+  kRevokeFirewall,    // ... and to close it.
+  kCowBind,           // Bind to an anonymous page found in a remote COW node.
+  kForkRemote,        // Create a process on another cell (queued).
+  kKillProc,          // Signal/kill a process on another cell.
+  kPing,              // Agreement probe.
+  kWaxHint,           // Wax pushes a policy hint to a cell.
+  kNumTypes,
+};
+
+// Arguments/results must fit in one SIPS line together with the header.
+constexpr size_t kRpcWords = 12;
+
+struct RpcArgs {
+  std::array<uint64_t, kRpcWords> w{};
+};
+
+struct RpcReply {
+  std::array<uint64_t, kRpcWords> w{};
+};
+
+struct RpcCallStats {
+  uint64_t calls = 0;
+  uint64_t timeouts = 0;
+  uint64_t queued_calls = 0;
+};
+
+// A handler runs on the serving cell. It charges its work to `server_ctx`.
+using RpcHandler = std::function<base::Status(Ctx& server_ctx, const RpcArgs& args,
+                                              RpcReply* reply)>;
+
+struct CallOptions {
+  bool fat_stub = false;       // Commonly-used request: +2.4 us stub work.
+  uint64_t bulk_bytes = 0;     // Arg/result data beyond the 128-byte line.
+};
+
+class RpcLayer {
+ public:
+  RpcLayer(Cell* cell, HiveSystem* system, const KernelCosts& costs);
+
+  // Registration happens at cell boot. Queued handlers may block (e.g. disk).
+  void RegisterInterrupt(MsgType type, RpcHandler handler);
+  void RegisterQueued(MsgType type, RpcHandler handler);
+
+  // Synchronous call; returns the handler's status, kTimeout if the target
+  // never answers, or kUnavailable while the target is in recovery.
+  base::Status Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
+                    RpcReply* reply, const CallOptions& options = {});
+
+  // The page-fault RPC uses the cost accounting of paper table 5.2 (fat
+  // stubs, hardware message + interrupts, arg/result copy, arg memory
+  // alloc/free) instead of the standard profile, and records the breakdown
+  // into ctx.fault_bd when attached.
+  base::Status CallFault(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
+                         RpcReply* reply);
+
+  // Serves one incoming request on this cell; used by Call on the target
+  // side and by tests that drive the server path directly.
+  base::Status Serve(Ctx& server_ctx, MsgType type, const RpcArgs& args, RpcReply* reply);
+
+  // True if a handler is registered for the message type.
+  bool HasHandler(MsgType type) const {
+    return handlers_.count(static_cast<uint32_t>(type)) > 0;
+  }
+
+  const RpcCallStats& stats() const { return stats_; }
+
+ private:
+  struct Registration {
+    RpcHandler handler;
+    bool queued = false;
+  };
+
+  Cell* cell_;
+  HiveSystem* system_;
+  const KernelCosts& costs_;
+  std::unordered_map<uint32_t, Registration> handlers_;
+  RpcCallStats stats_;
+  int next_server_cpu_ = 0;  // Round-robin over the cell's CPUs for service.
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_RPC_H_

@@ -1,0 +1,67 @@
+// Per-cell process scheduler. Each cell schedules processes onto its own
+// CPUs with quantum-based time slicing; processes execute synchronously in
+// simulation events, charging latency to their context.
+//
+// During failure recovery user-level execution is suspended (paper section
+// 4.3): the scheduler re-queues run events until the cell resumes.
+
+#ifndef HIVE_SRC_CORE_SCHEDULER_H_
+#define HIVE_SRC_CORE_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/process.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+class Cell;
+
+class Scheduler {
+ public:
+  explicit Scheduler(Cell* cell);
+  ~Scheduler();  // Cancels pending run-slice events (they capture `this`).
+
+  static constexpr Time kQuantum = 10 * kMillisecond;
+
+  // Takes ownership and makes the process runnable.
+  Process* AddProcess(std::unique_ptr<Process> proc);
+
+  void MakeRunnable(Process* proc);
+
+  // Called when a CPU may have work: schedules a run-slice event.
+  void KickCpu(int cpu);
+  void KickAll();
+
+  Process* FindProcess(ProcId pid);
+
+  // Kills a process (recovery / signal); releases its resources.
+  void KillProcess(Ctx& ctx, Process* proc, const std::string& reason);
+
+  // Process exit path (normal completion).
+  void ExitProcess(Ctx& ctx, Process* proc, StepOutcome outcome);
+
+  // All processes, including finished ones (kept for result inspection).
+  std::vector<Process*> AllProcesses();
+  size_t runnable() const { return ready_.size(); }
+  int64_t context_switches() const { return context_switches_; }
+  Time cpu_busy_ns() const { return cpu_busy_ns_; }
+
+ private:
+  void RunSlice(int cpu);
+
+  Cell* cell_;
+  std::deque<Process*> ready_;
+  std::unordered_map<ProcId, std::unique_ptr<Process>> processes_;
+  std::vector<bool> cpu_has_event_;  // Guards against duplicate run events.
+  std::vector<uint64_t> cpu_event_id_;  // For cancellation at teardown.
+  int64_t context_switches_ = 0;
+  Time cpu_busy_ns_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_SCHEDULER_H_

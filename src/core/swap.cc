@@ -1,0 +1,78 @@
+#include "src/core/swap.h"
+
+#include "src/base/log.h"
+#include "src/core/cell.h"
+#include "src/core/hive_system.h"
+
+namespace hive {
+
+base::Status SwapArea::SwapOut(Ctx& ctx, Pfdat* pfdat) {
+  CHECK(pfdat->HasLogicalBinding() && pfdat->lpid.kind == LogicalPageId::Kind::kAnon);
+  CHECK_EQ(pfdat->refcount, 0);
+  CHECK_EQ(pfdat->exported_to, 0u);
+
+  const uint64_t page_size = cell_->machine().mem().page_size();
+  Slot& slot = slots_[pfdat->lpid];
+  slot.bytes.resize(page_size);
+  slot.disk_offset = next_disk_offset_;
+  next_disk_offset_ += page_size;
+
+  // DMA the frame to the swap disk; the write-out is asynchronous
+  // (occupancy charged to the disk, not the caller).
+  cell_->machine().mem().DmaRead(cell_->first_node(), pfdat->frame,
+                                 std::span<uint8_t>(slot.bytes));
+  (void)cell_->machine().disk(cell_->first_node()).AccessTime(slot.disk_offset, page_size);
+
+  cell_->pfdats().RemoveHash(pfdat);
+  pfdat->lpid = LogicalPageId{};
+  pfdat->dirty = false;
+  if (pfdat->extended) {
+    // Page was cached in a borrowed frame: hand the frame back.
+    cell_->allocator().FreeFrame(ctx, pfdat);
+  } else {
+    cell_->allocator().ReleaseToFreeList(pfdat);
+  }
+  ++swap_outs_;
+  cell_->Trace(TraceEvent::kSwapOut, slot.disk_offset);
+  return base::OkStatus();
+}
+
+bool SwapArea::Contains(const LogicalPageId& lpid) const {
+  return slots_.count(lpid) > 0;
+}
+
+base::Result<Pfdat*> SwapArea::SwapIn(Ctx& ctx, const LogicalPageId& lpid) {
+  auto it = slots_.find(lpid);
+  if (it == slots_.end()) {
+    return base::NotFound();
+  }
+  AllocConstraints constraints;
+  ASSIGN_OR_RETURN(Pfdat * pfdat, cell_->allocator().AllocFrame(ctx, constraints));
+  // The caller waits for the swap-in disk read.
+  const uint64_t page_size = cell_->machine().mem().page_size();
+  ctx.Charge(cell_->machine().disk(cell_->first_node())
+                 .AccessTime(it->second.disk_offset, page_size));
+  // DMA from OUR swap disk into the frame; borrowed frames were granted to
+  // this cell's processors at loan time.
+  cell_->machine().mem().DmaWrite(cell_->first_node(), pfdat->frame,
+                                  std::span<const uint8_t>(it->second.bytes));
+  pfdat->lpid = lpid;
+  pfdat->dirty = true;  // Anonymous pages are always dirty relative to swap.
+  cell_->pfdats().InsertHash(pfdat);
+  slots_.erase(it);
+  ++swap_ins_;
+  cell_->Trace(TraceEvent::kSwapIn, pfdat->frame);
+  return pfdat;
+}
+
+void SwapArea::DropNode(uint64_t node_id) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.object == node_id) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace hive

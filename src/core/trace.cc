@@ -1,0 +1,81 @@
+#include "src/core/trace.h"
+
+#include <sstream>
+
+namespace hive {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kBoot:
+      return "boot";
+    case TraceEvent::kPanic:
+      return "panic";
+    case TraceEvent::kMarkedDead:
+      return "marked-dead";
+    case TraceEvent::kReboot:
+      return "reboot";
+    case TraceEvent::kHintRaised:
+      return "hint-raised";
+    case TraceEvent::kEnterRecovery:
+      return "enter-recovery";
+    case TraceEvent::kExitRecovery:
+      return "exit-recovery";
+    case TraceEvent::kPageDiscarded:
+      return "page-discarded";
+    case TraceEvent::kRpcTimeout:
+      return "rpc-timeout";
+    case TraceEvent::kSwapOut:
+      return "swap-out";
+    case TraceEvent::kSwapIn:
+      return "swap-in";
+    case TraceEvent::kPageMigrated:
+      return "page-migrated";
+    case TraceEvent::kProcessKilled:
+      return "process-killed";
+  }
+  return "?";
+}
+
+std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::vector<TraceRecord> out;
+  const uint64_t count = next_ < kCapacity ? next_ : kCapacity;
+  const uint64_t start = next_ - count;
+  out.reserve(count);
+  for (uint64_t i = start; i < next_; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+int TraceBuffer::Count(TraceEvent event) const {
+  int count = 0;
+  const uint64_t retained = next_ < kCapacity ? next_ : kCapacity;
+  for (uint64_t i = next_ - retained; i < next_; ++i) {
+    if (ring_[i % kCapacity].event == event) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string TraceBuffer::Render(int max_lines) const {
+  std::ostringstream out;
+  const std::vector<TraceRecord> records = Snapshot();
+  const size_t start =
+      records.size() > static_cast<size_t>(max_lines) ? records.size() - max_lines : 0;
+  for (size_t i = start; i < records.size(); ++i) {
+    const TraceRecord& record = records[i];
+    out << "  t=" << record.when / 1000 << "us " << TraceEventName(record.event);
+    if (record.arg0 != 0 || record.arg1 != 0) {
+      out << " arg0=0x" << std::hex << record.arg0;
+      if (record.arg1 != 0) {
+        out << " arg1=0x" << record.arg1;
+      }
+      out << std::dec;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hive

@@ -1,0 +1,72 @@
+// Per-cell kernel event trace: a fixed-size ring of timestamped events for
+// debugging the complex sequences that follow a fault (the role SimOS's
+// deterministic replay played for the original authors, section 7.4).
+//
+// Tracing is always on but cheap (one ring slot per event, no allocation);
+// the ring survives a panic so the post-mortem shows what the cell did last.
+
+#ifndef HIVE_SRC_CORE_TRACE_H_
+#define HIVE_SRC_CORE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace hive {
+
+enum class TraceEvent : uint8_t {
+  kBoot,
+  kPanic,
+  kMarkedDead,
+  kReboot,
+  kHintRaised,        // arg0 = suspect, arg1 = reason.
+  kEnterRecovery,     // arg0 = failed cell.
+  kExitRecovery,      // arg0 = pages discarded.
+  kPageDiscarded,     // arg0 = frame.
+  kRpcTimeout,        // arg0 = target cell.
+  kSwapOut,           // arg0 = frame.
+  kSwapIn,            // arg0 = frame.
+  kPageMigrated,      // arg0 = old frame, arg1 = new frame.
+  kProcessKilled,     // arg0 = pid.
+};
+
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  Time when = 0;
+  TraceEvent event = TraceEvent::kBoot;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  void Record(Time when, TraceEvent event, uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    ring_[next_ % kCapacity] = TraceRecord{when, event, arg0, arg1};
+    ++next_;
+  }
+
+  // Oldest-to-newest snapshot of the retained events.
+  std::vector<TraceRecord> Snapshot() const;
+
+  // Number of events of a given kind still in the ring.
+  int Count(TraceEvent event) const;
+
+  uint64_t total_recorded() const { return next_; }
+
+  // Human-readable dump (post-mortem).
+  std::string Render(int max_lines = 32) const;
+
+ private:
+  std::array<TraceRecord, kCapacity> ring_{};
+  uint64_t next_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_TRACE_H_

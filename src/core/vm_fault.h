@@ -1,0 +1,31 @@
+// The top-level page fault path: resolves a virtual address against the
+// process address map, pulls the page through the unified page cache (local,
+// imported file page, or COW anonymous page) and installs the hardware
+// mapping. This is the code path whose local/remote costs table 5.2 and
+// table 7.3 measure.
+
+#ifndef HIVE_SRC_CORE_VM_FAULT_H_
+#define HIVE_SRC_CORE_VM_FAULT_H_
+
+#include "src/base/status.h"
+#include "src/core/context.h"
+#include "src/core/process.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+// Handles a user access to `va`. Returns:
+//  - OK: the access proceeds (mapping installed or already present).
+//  - kPermissionDenied: write to a read-only region (SIGSEGV equivalent).
+//  - kStaleGeneration: the file lost dirty pages in a recovery (EIO).
+//  - kCellFailed / kTimeout / kBusError / kBadRemoteData: the page's home is
+//    unreachable; the process observes an error.
+base::Status PageFault(Ctx& ctx, Process& proc, VirtAddr va, bool write);
+
+// Cost of a user access whose translation is already present (no kernel
+// entry); charged by workload behaviours per touched page.
+constexpr Time kMappedAccessNs = 0;
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_VM_FAULT_H_

@@ -1,0 +1,61 @@
+// Vnodes and file handles. Each cell's file system owns the files whose
+// backing store lives on its disks (it is their *data home*). Files on other
+// cells are reached through shadow vnodes (paper section 5.2), which record
+// the data home and the remote vnode identity.
+//
+// Each vnode carries a generation number, incremented when a dirty page of
+// the file is lost to preemptive discard. A process copies the generation
+// into its file descriptor (or address space region) at open/map time; a
+// mismatched access yields an I/O error, while fresh opens read whatever is
+// on disk (paper section 4.2, relaxed stable-write semantics).
+
+#ifndef HIVE_SRC_CORE_VNODE_H_
+#define HIVE_SRC_CORE_VNODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace hive {
+
+struct Vnode {
+  VnodeId id = kInvalidVnode;
+  std::string path;
+  uint64_t size_bytes = 0;
+  Generation generation = 0;
+
+  // The "disk surface": contents as last written back. Owned natively because
+  // the disk is a device, not shared memory; it survives a cell failure and
+  // is readable again after reboot/reintegration.
+  std::vector<uint8_t> disk_image;
+
+  // Shadow vnode state: set when this vnode stands in for a remote file.
+  bool is_shadow = false;
+  CellId shadow_data_home = kInvalidCell;
+  VnodeId shadow_remote_id = kInvalidVnode;
+
+  int open_count = 0;
+};
+
+// A process's reference to an open file.
+struct FileHandle {
+  CellId data_home = kInvalidCell;
+  VnodeId vnode = kInvalidVnode;       // Vnode id on the data home.
+  VnodeId local_vnode = kInvalidVnode;  // Local (possibly shadow) vnode id.
+  Generation generation = 0;            // Snapshot at open time.
+  uint64_t size_bytes = 0;              // Snapshot at open time.
+
+  bool valid() const { return vnode != kInvalidVnode; }
+};
+
+// Identity of a file in the global name space.
+struct FileId {
+  CellId data_home = kInvalidCell;
+  VnodeId vnode = kInvalidVnode;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_VNODE_H_

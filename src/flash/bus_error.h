@@ -1,0 +1,54 @@
+// The simulated hardware trap. This is the single exception type in the
+// codebase: it models the bus error a MIPS processor takes when an access
+// fails. Under a careful-reference section (hive/careful_ref.h) the trap
+// handler converts it to a Status; anywhere else in kernel execution it
+// indicates internal corruption and the cell panics (paper section 4.1).
+
+#ifndef HIVE_SRC_FLASH_BUS_ERROR_H_
+#define HIVE_SRC_FLASH_BUS_ERROR_H_
+
+#include <exception>
+
+#include "src/flash/config.h"
+
+namespace flash {
+
+enum class BusErrorKind {
+  kNodeFailed,      // Target node's memory is gone (hardware fault).
+  kMemoryCutoff,    // Target cell panicked and cut off remote access.
+  kFirewall,        // Write denied by the firewall bit vector.
+  kInvalidAddress,  // Address outside the physical address space.
+  kMisaligned,      // Unaligned typed access.
+};
+
+class BusError : public std::exception {
+ public:
+  BusError(BusErrorKind kind, PhysAddr addr) : kind_(kind), addr_(addr) {}
+
+  BusErrorKind kind() const { return kind_; }
+  PhysAddr addr() const { return addr_; }
+
+  const char* what() const noexcept override {
+    switch (kind_) {
+      case BusErrorKind::kNodeFailed:
+        return "bus error: node failed";
+      case BusErrorKind::kMemoryCutoff:
+        return "bus error: memory cutoff";
+      case BusErrorKind::kFirewall:
+        return "bus error: firewall write denied";
+      case BusErrorKind::kInvalidAddress:
+        return "bus error: invalid physical address";
+      case BusErrorKind::kMisaligned:
+        return "bus error: misaligned access";
+    }
+    return "bus error";
+  }
+
+ private:
+  BusErrorKind kind_;
+  PhysAddr addr_;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_BUS_ERROR_H_

@@ -1,0 +1,47 @@
+#include "src/flash/disk.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace flash {
+
+Time Disk::SeekTime(uint64_t distance_cylinders) {
+  if (distance_cylinders == 0) {
+    return 0;
+  }
+  double ms;
+  if (distance_cylinders <= 383) {
+    ms = 3.24 + 0.400 * std::sqrt(static_cast<double>(distance_cylinders));
+  } else {
+    ms = 8.00 + 0.008 * static_cast<double>(distance_cylinders);
+  }
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+Time Disk::AccessTime(uint64_t offset, uint64_t nbytes) {
+  ++accesses_;
+  const uint64_t target_cylinder = CylinderOfOffset(offset) % kCylinders;
+  const uint64_t distance = target_cylinder > head_cylinder_
+                                ? target_cylinder - head_cylinder_
+                                : head_cylinder_ - target_cylinder;
+
+  Time latency = SeekTime(distance);
+  if (offset == next_sequential_offset_ && distance == 0) {
+    // Back-to-back sequential transfer: no rotational delay.
+    ++sequential_accesses_;
+  } else {
+    // Random rotational positioning, uniform over one revolution.
+    latency += static_cast<Time>(rng_.Below(static_cast<uint64_t>(kRevolutionNs)));
+  }
+
+  // Media transfer: one track (72 * 512 bytes) per revolution.
+  constexpr uint64_t kTrackBytes = kSectorsPerTrack * kSectorBytes;
+  latency += static_cast<Time>(static_cast<double>(nbytes) / static_cast<double>(kTrackBytes) *
+                               static_cast<double>(kRevolutionNs));
+
+  head_cylinder_ = target_cylinder;
+  next_sequential_offset_ = offset + nbytes;
+  return latency;
+}
+
+}  // namespace flash

@@ -1,0 +1,56 @@
+// HP 97560 disk latency model (paper section 7.2, following Kotz et al.,
+// "A Detailed Simulation of the HP 97560 Disk Drive", PCS-TR94-20).
+//
+// Parameters from the Kotz report: 1962 cylinders, 19 heads, 72 sectors of
+// 512 bytes per track, 4002 RPM (14.992 ms per revolution), seek time
+// 3.24 + 0.400 * sqrt(d) ms for d <= 383 cylinders and 8.00 + 0.008 * d ms
+// beyond. The model tracks head position so sequential I/O is cheap.
+
+#ifndef HIVE_SRC_FLASH_DISK_H_
+#define HIVE_SRC_FLASH_DISK_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/flash/config.h"
+
+namespace flash {
+
+class Disk {
+ public:
+  static constexpr uint64_t kSectorBytes = 512;
+  static constexpr uint64_t kSectorsPerTrack = 72;
+  static constexpr uint64_t kHeads = 19;
+  static constexpr uint64_t kCylinders = 1962;
+  static constexpr Time kRevolutionNs = 14992 * kMicrosecond;  // 14.992 ms.
+
+  explicit Disk(uint64_t seed) : rng_(seed) {}
+
+  uint64_t capacity_bytes() const {
+    return kSectorBytes * kSectorsPerTrack * kHeads * kCylinders;
+  }
+
+  // Latency to transfer `nbytes` starting at byte offset `offset`, including
+  // seek, rotation, and media transfer. Advances the head state.
+  Time AccessTime(uint64_t offset, uint64_t nbytes);
+
+  // Stats.
+  uint64_t accesses() const { return accesses_; }
+  uint64_t sequential_accesses() const { return sequential_accesses_; }
+
+ private:
+  uint64_t CylinderOfOffset(uint64_t offset) const {
+    return (offset / kSectorBytes) / (kSectorsPerTrack * kHeads);
+  }
+  static Time SeekTime(uint64_t distance_cylinders);
+
+  base::Rng rng_;
+  uint64_t head_cylinder_ = 0;
+  uint64_t next_sequential_offset_ = ~0ull;
+  uint64_t accesses_ = 0;
+  uint64_t sequential_accesses_ = 0;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_DISK_H_

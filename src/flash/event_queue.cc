@@ -1,0 +1,81 @@
+#include "src/flash/event_queue.h"
+
+#include "src/base/log.h"
+
+namespace flash {
+
+EventId EventQueue::ScheduleAt(Time when, std::function<void()> fn) {
+  CHECK_GE(when, now_) << "cannot schedule an event in the past";
+  const EventId id = next_seq_ + 1;  // ids are distinct from kInvalidEventId.
+  heap_.push(Event{when, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  ++live_count_;
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  // We cannot remove from the heap; mark the id dead and skip it at pop time.
+  if (pending_ids_.erase(id) == 0) {
+    return false;  // Already ran or already cancelled.
+  }
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::RunEvent(Event event) {
+  now_ = event.when;
+  --live_count_;
+  pending_ids_.erase(event.id);
+  event.fn();
+}
+
+size_t EventQueue::Run() {
+  size_t count = 0;
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(event.id) > 0) {
+      continue;
+    }
+    RunEvent(std::move(event));
+    ++count;
+  }
+  return count;
+}
+
+size_t EventQueue::RunUntil(Time deadline) {
+  size_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(event.id) > 0) {
+      continue;
+    }
+    RunEvent(std::move(event));
+    ++count;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+bool EventQueue::Step() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(event.id) > 0) {
+      continue;
+    }
+    RunEvent(std::move(event));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace flash

@@ -1,0 +1,81 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with
+// deterministic tie-breaking (FIFO among equal timestamps).
+
+#ifndef HIVE_SRC_FLASH_EVENT_QUEUE_H_
+#define HIVE_SRC_FLASH_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/flash/config.h"
+
+namespace flash {
+
+// Handle used to cancel a pending event.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules fn at absolute time `when` (>= Now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  // Schedules fn at Now() + delay.
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  size_t Run();
+
+  // Runs events with timestamp <= deadline; leaves Now() == deadline (unless
+  // already beyond it). Returns the number of events run.
+  size_t RunUntil(Time deadline);
+
+  // Runs at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;  // Tie-break: FIFO among equal timestamps.
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void RunEvent(Event event);
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_EVENT_QUEUE_H_

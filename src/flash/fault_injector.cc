@@ -1,0 +1,55 @@
+#include "src/flash/fault_injector.h"
+
+#include <array>
+
+#include "src/base/log.h"
+
+namespace flash {
+
+void FaultInjector::ScheduleNodeFailure(int node, Time when) {
+  machine_->events().ScheduleAt(when, [this, node] { machine_->FailNode(node); });
+}
+
+uint64_t FaultInjector::CorruptPointer(PhysAddr addr, PointerCorruptionMode mode,
+                                       PhysAddr victim_range_base, uint64_t victim_range_size,
+                                       PhysAddr other_range_base, uint64_t other_range_size) {
+  uint64_t original = 0;
+  machine_->mem().RawRead(addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&original),
+                                                   sizeof(original)));
+  uint64_t corrupt = 0;
+  switch (mode) {
+    case PointerCorruptionMode::kRandomSameCell:
+      corrupt = victim_range_base + (rng_.Below(victim_range_size) & ~7ull);
+      break;
+    case PointerCorruptionMode::kRandomOtherCell:
+      corrupt = other_range_base + (rng_.Below(other_range_size) & ~7ull);
+      break;
+    case PointerCorruptionMode::kOffByOneWord:
+      corrupt = original + 8;
+      break;
+    case PointerCorruptionMode::kSelfPointing:
+      corrupt = addr;
+      break;
+  }
+  LOG(kInfo) << "fault injection: pointer at 0x" << std::hex << addr << " 0x" << original
+             << " -> 0x" << corrupt << std::dec;
+  machine_->mem().RawWrite(addr, std::span<const uint8_t>(
+                                     reinterpret_cast<const uint8_t*>(&corrupt),
+                                     sizeof(corrupt)));
+  return corrupt;
+}
+
+void FaultInjector::CorruptBytes(PhysAddr addr, uint64_t len) {
+  std::array<uint8_t, 256> garbage;
+  while (len > 0) {
+    const uint64_t chunk = std::min<uint64_t>(len, garbage.size());
+    for (uint64_t i = 0; i < chunk; ++i) {
+      garbage[i] = static_cast<uint8_t>(rng_.Next());
+    }
+    machine_->mem().RawWrite(addr, std::span<const uint8_t>(garbage.data(), chunk));
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace flash

@@ -1,0 +1,61 @@
+// Fault injection (paper section 7.4). Two families:
+//
+//  - Hardware fail-stop faults: halting a processor and denying all access to
+//    the range of memory assigned to it (node failure).
+//  - Software faults: corrupting the contents of a kernel data structure of
+//    one cell, simulating a kernel bug. Pointer corruption modes match the
+//    paper's pathological cases: random physical addresses in the same cell
+//    or other cells, one word away from the original address, and pointing
+//    back at the data structure itself.
+//
+// Corruption uses the raw (unchecked) store path: a cell's own bug scribbling
+// its own memory is always "permitted" by the firewall. Damage to OTHER cells
+// can only happen later, when code dereferences the corrupt data -- and that
+// dereference goes through the normal checked paths.
+
+#ifndef HIVE_SRC_FLASH_FAULT_INJECTOR_H_
+#define HIVE_SRC_FLASH_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/flash/machine.h"
+
+namespace flash {
+
+enum class PointerCorruptionMode {
+  kRandomSameCell,   // Random physical address within the victim's own range.
+  kRandomOtherCell,  // Random physical address in another cell's range.
+  kOffByOneWord,     // Original value plus one word.
+  kSelfPointing,     // Points back at the data structure itself.
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Machine* machine, uint64_t seed)
+      : machine_(machine), rng_(seed) {}
+
+  // Schedules a fail-stop node failure at absolute time `when`.
+  void ScheduleNodeFailure(int node, Time when);
+
+  // Immediately corrupts the 8-byte pointer at `addr` according to `mode`.
+  // `victim_range_base/size` bound the victim cell's memory (for
+  // kRandomSameCell); `other_range_base/size` bound some other cell's memory.
+  // Returns the value written.
+  uint64_t CorruptPointer(PhysAddr addr, PointerCorruptionMode mode,
+                          PhysAddr victim_range_base, uint64_t victim_range_size,
+                          PhysAddr other_range_base, uint64_t other_range_size);
+
+  // Overwrites `len` bytes at addr with pseudo-random garbage (raw path).
+  void CorruptBytes(PhysAddr addr, uint64_t len);
+
+  base::Rng& rng() { return rng_; }
+
+ private:
+  Machine* machine_;
+  base::Rng rng_;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_FAULT_INJECTOR_H_

@@ -1,0 +1,23 @@
+#include "src/flash/interconnect.h"
+
+#include <cmath>
+
+namespace flash {
+
+Interconnect::Interconnect(const MachineConfig& config)
+    : hop_extra_ns_(config.latency.mesh_hop_extra_ns) {
+  // Most-square mesh: width = ceil(sqrt(n)), height covers the rest.
+  width_ = 1;
+  while (width_ * width_ < config.num_nodes) {
+    ++width_;
+  }
+  height_ = (config.num_nodes + width_ - 1) / width_;
+}
+
+int Interconnect::HopDistance(int node_a, int node_b) const {
+  const int dx = XOf(node_a) - XOf(node_b);
+  const int dy = YOf(node_a) - YOf(node_b);
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+}  // namespace flash

@@ -1,0 +1,45 @@
+// The mesh interconnect (paper figure 2.1: "the nodes communicate through a
+// high-speed low-latency mesh network"). Nodes are arranged in the most
+// square 2-D mesh that fits; distances are Manhattan hops.
+//
+// The paper's machine model charges a flat 700 ns average miss latency, so
+// per-hop latency defaults to zero and the mesh contributes topology only;
+// set LatencyParams::mesh_hop_extra_ns to study distance-dependent costs on
+// larger machines.
+
+#ifndef HIVE_SRC_FLASH_INTERCONNECT_H_
+#define HIVE_SRC_FLASH_INTERCONNECT_H_
+
+#include <cstdint>
+
+#include "src/flash/config.h"
+
+namespace flash {
+
+class Interconnect {
+ public:
+  explicit Interconnect(const MachineConfig& config);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  int XOf(int node) const { return node % width_; }
+  int YOf(int node) const { return node / width_; }
+
+  // Manhattan hop distance between two nodes (0 for the same node).
+  int HopDistance(int node_a, int node_b) const;
+
+  // Extra message latency for the given route.
+  Time RouteExtraNs(int node_a, int node_b) const {
+    return static_cast<Time>(HopDistance(node_a, node_b)) * hop_extra_ns_;
+  }
+
+ private:
+  int width_;
+  int height_;
+  Time hop_extra_ns_;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_INTERCONNECT_H_

@@ -1,0 +1,85 @@
+#include "src/flash/phys_mem.h"
+
+#include "src/base/log.h"
+
+namespace flash {
+
+PhysMem::PhysMem(const MachineConfig& config)
+    : memory_per_node_(config.memory_per_node),
+      page_size_(config.page_size),
+      total_size_(config.total_memory()),
+      cpus_per_node_(config.cpus_per_node),
+      firewall_(config),
+      bytes_(config.total_memory(), 0),
+      node_failed_(config.num_nodes, false),
+      node_cutoff_(config.num_nodes, false) {}
+
+void PhysMem::CheckAccessible(PhysAddr addr, uint64_t len, int accessor_node) const {
+  if (!ValidRange(addr, len)) {
+    throw BusError(BusErrorKind::kInvalidAddress, addr);
+  }
+  if (len == 0) {
+    return;
+  }
+  const int first_node = NodeOfAddr(addr);
+  const int last_node = NodeOfAddr(addr + len - 1);
+  for (int node = first_node; node <= last_node; ++node) {
+    if (node_failed_[node]) {
+      throw BusError(BusErrorKind::kNodeFailed, addr);
+    }
+    if (node_cutoff_[node] && node != accessor_node) {
+      throw BusError(BusErrorKind::kMemoryCutoff, addr);
+    }
+  }
+}
+
+void PhysMem::Read(int cpu, PhysAddr addr, std::span<uint8_t> out) const {
+  CheckAccessible(addr, out.size(), cpu / cpus_per_node_);
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void PhysMem::Write(int cpu, PhysAddr addr, std::span<const uint8_t> data) {
+  CheckAccessible(addr, data.size(), cpu / cpus_per_node_);
+  if (firewall_.checking_enabled() && !data.empty()) {
+    const Pfn first = PfnOfAddr(addr);
+    const Pfn last = PfnOfAddr(addr + data.size() - 1);
+    for (Pfn pfn = first; pfn <= last; ++pfn) {
+      firewall_.CountCheck();
+      if (!firewall_.MayWrite(pfn, cpu)) {
+        firewall_.CountDenied();
+        throw BusError(BusErrorKind::kFirewall, AddrOfPfn(pfn));
+      }
+    }
+  }
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void PhysMem::DmaWrite(int node, PhysAddr addr, std::span<const uint8_t> data) {
+  // DMA writes are checked as if they were writes from the processor on that
+  // node (paper section 4.2).
+  Write(node * cpus_per_node_, addr, data);
+}
+
+void PhysMem::DmaRead(int node, PhysAddr addr, std::span<uint8_t> out) const {
+  Read(node * cpus_per_node_, addr, out);
+}
+
+void PhysMem::RestoreNode(int node) {
+  node_failed_[node] = false;
+  node_cutoff_[node] = false;
+  // Diagnostics + reboot leave the node's memory zeroed.
+  std::memset(bytes_.data() + static_cast<uint64_t>(node) * memory_per_node_, 0,
+              memory_per_node_);
+}
+
+void PhysMem::RawWrite(PhysAddr addr, std::span<const uint8_t> data) {
+  CHECK(ValidRange(addr, data.size()));
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void PhysMem::RawRead(PhysAddr addr, std::span<uint8_t> out) const {
+  CHECK(ValidRange(addr, out.size()));
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+}  // namespace flash

@@ -1,0 +1,114 @@
+// The machine's physical memory with the FLASH memory fault model (paper
+// section 2):
+//  - Accesses to unaffected memory keep working after a fault.
+//  - Accesses to failed memory raise a bus error instead of stalling forever.
+//  - Only nodes authorized by the firewall can damage a given line.
+//
+// Every simulated store goes through Write() where the firewall check runs, so
+// wild writes are actually blocked (or actually corrupt bytes when permitted).
+
+#ifndef HIVE_SRC_FLASH_PHYS_MEM_H_
+#define HIVE_SRC_FLASH_PHYS_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/flash/bus_error.h"
+#include "src/flash/config.h"
+#include "src/flash/firewall.h"
+
+namespace flash {
+
+class PhysMem {
+ public:
+  explicit PhysMem(const MachineConfig& config);
+
+  // --- Normal processor access paths (firewall- and fault-checked). ---
+
+  // Reads `out.size()` bytes at addr on behalf of `cpu`. Throws BusError if
+  // the range is invalid or any page is on failed/cut-off memory.
+  void Read(int cpu, PhysAddr addr, std::span<uint8_t> out) const;
+
+  // Writes bytes at addr on behalf of `cpu`. Additionally throws BusError if
+  // the firewall denies `cpu` write permission on any touched page.
+  void Write(int cpu, PhysAddr addr, std::span<const uint8_t> data);
+
+  // Typed helpers; alignment is enforced (misaligned -> BusError, like the
+  // MIPS address error exception).
+  template <typename T>
+  T ReadValue(int cpu, PhysAddr addr) const {
+    CheckAlignment(addr, sizeof(T));
+    T value;
+    Read(cpu, addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), sizeof(T)));
+    return value;
+  }
+
+  template <typename T>
+  void WriteValue(int cpu, PhysAddr addr, const T& value) {
+    CheckAlignment(addr, sizeof(T));
+    Write(cpu, addr,
+          std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), sizeof(T)));
+  }
+
+  // DMA from a device on `node`: checked as if it were a write from the first
+  // processor of that node (paper section 4.2).
+  void DmaWrite(int node, PhysAddr addr, std::span<const uint8_t> data);
+  void DmaRead(int node, PhysAddr addr, std::span<uint8_t> out) const;
+
+  // --- Fault model control. ---
+
+  // Hardware fault: the node's memory range becomes inaccessible.
+  void FailNode(int node) { node_failed_[node] = true; }
+  bool node_failed(int node) const { return node_failed_[node]; }
+
+  // Memory cutoff (paper table 8.1): the cell panic routine cuts off all
+  // remote access to node-local memory so corrupt data cannot spread. Local
+  // CPUs of the node can still access it.
+  void CutOffNode(int node) { node_cutoff_[node] = true; }
+  bool node_cutoff(int node) const { return node_cutoff_[node]; }
+
+  // Clears failure/cutoff state after diagnostics + reboot (reintegration).
+  void RestoreNode(int node);
+
+  // --- Backdoor used only by the fault injector and test assertions. ---
+  // Models a software bug inside the owning cell scribbling its own memory:
+  // bypasses the firewall and the fault flags.
+  void RawWrite(PhysAddr addr, std::span<const uint8_t> data);
+  void RawRead(PhysAddr addr, std::span<uint8_t> out) const;
+
+  // --- Geometry. ---
+  int NodeOfAddr(PhysAddr addr) const { return static_cast<int>(addr / memory_per_node_); }
+  Pfn PfnOfAddr(PhysAddr addr) const { return addr / page_size_; }
+  PhysAddr AddrOfPfn(Pfn pfn) const { return pfn * page_size_; }
+  bool ValidRange(PhysAddr addr, uint64_t len) const {
+    return len <= total_size_ && addr <= total_size_ - len;
+  }
+  uint64_t page_size() const { return page_size_; }
+
+  Firewall& firewall() { return firewall_; }
+  const Firewall& firewall() const { return firewall_; }
+
+ private:
+  void CheckAlignment(PhysAddr addr, size_t size) const {
+    if (addr % size != 0) {
+      throw BusError(BusErrorKind::kMisaligned, addr);
+    }
+  }
+  // Throws if any byte of [addr, addr+len) is unreachable for `accessor_node`.
+  void CheckAccessible(PhysAddr addr, uint64_t len, int accessor_node) const;
+
+  uint64_t memory_per_node_;
+  uint64_t page_size_;
+  uint64_t total_size_;
+  int cpus_per_node_;
+  Firewall firewall_;
+  std::vector<uint8_t> bytes_;  // One flat image; node ranges are contiguous.
+  std::vector<bool> node_failed_;
+  std::vector<bool> node_cutoff_;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_PHYS_MEM_H_

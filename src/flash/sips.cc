@@ -1,0 +1,76 @@
+#include "src/flash/sips.h"
+
+#include "src/base/log.h"
+
+namespace flash {
+
+Sips::Sips(EventQueue* queue, const MachineConfig& config, const Interconnect* interconnect)
+    : queue_(queue),
+      interconnect_(interconnect),
+      cpus_per_node_(config.cpus_per_node),
+      queue_depth_(config.sips_queue_depth),
+      ipi_ns_(config.latency.ipi_ns),
+      payload_ns_(config.latency.sips_payload_ns),
+      handlers_(config.num_nodes),
+      inflight_requests_(config.num_nodes, 0),
+      inflight_replies_(config.num_nodes, 0),
+      node_dead_(config.num_nodes, false) {}
+
+void Sips::SetHandler(int node, SipsHandler handler) {
+  handlers_[static_cast<size_t>(node)] = std::move(handler);
+}
+
+void Sips::SetNodeDead(int node, bool dead) { node_dead_[static_cast<size_t>(node)] = dead; }
+
+base::Status Sips::Send(int src_cpu, int dst_node,
+                        bool is_reply,
+                        const std::array<uint8_t, kSipsPayloadBytes>& payload) {
+  if (node_dead_[static_cast<size_t>(NodeOfCpu(src_cpu))]) {
+    // A dead node sends nothing; callers on dead nodes should be halted
+    // already, this is a backstop.
+    ++messages_dropped_;
+    return base::OkStatus();
+  }
+  auto& inflight =
+      is_reply ? inflight_replies_[static_cast<size_t>(dst_node)]
+               : inflight_requests_[static_cast<size_t>(dst_node)];
+  if (inflight >= queue_depth_) {
+    return base::ResourceExhausted();
+  }
+  ++inflight;
+  ++messages_sent_;
+
+  SipsMessage msg;
+  msg.src_cpu = src_cpu;
+  msg.dst_node = dst_node;
+  msg.is_reply = is_reply;
+  msg.send_time = queue_->Now();
+  msg.payload = payload;
+
+  // Delivery: IPI latency (plus any per-hop mesh cost for the route), then
+  // the payload costs one more line access when the receiving processor
+  // touches it. We fold the payload access into the deliver_time.
+  const Time route_extra =
+      interconnect_ == nullptr
+          ? 0
+          : interconnect_->RouteExtraNs(NodeOfCpu(src_cpu), dst_node);
+  queue_->ScheduleAfter(ipi_ns_ + payload_ns_ + route_extra, [this, msg]() mutable {
+    auto& counter = msg.is_reply ? inflight_replies_[static_cast<size_t>(msg.dst_node)]
+                                 : inflight_requests_[static_cast<size_t>(msg.dst_node)];
+    --counter;
+    if (node_dead_[static_cast<size_t>(msg.dst_node)]) {
+      ++messages_dropped_;
+      return;
+    }
+    auto& handler = handlers_[static_cast<size_t>(msg.dst_node)];
+    if (!handler) {
+      ++messages_dropped_;
+      return;
+    }
+    msg.deliver_time = queue_->Now();
+    handler(msg);
+  });
+  return base::OkStatus();
+}
+
+}  // namespace flash

@@ -1,0 +1,76 @@
+// SIPS: the short interprocessor send facility added to the FLASH coherence
+// controller (paper section 6). Each message carries one cache line (128
+// bytes) of data, is delivered in about the latency of a remote cache miss,
+// and is reliable with hardware flow control. Each node has separate short
+// receive queues for requests and replies, which makes deadlock avoidance easy.
+
+#ifndef HIVE_SRC_FLASH_SIPS_H_
+#define HIVE_SRC_FLASH_SIPS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/flash/config.h"
+#include "src/flash/event_queue.h"
+#include "src/flash/interconnect.h"
+
+namespace flash {
+
+constexpr size_t kSipsPayloadBytes = 128;
+
+struct SipsMessage {
+  int src_cpu = -1;
+  int dst_node = -1;
+  bool is_reply = false;
+  Time send_time = 0;
+  Time deliver_time = 0;
+  std::array<uint8_t, kSipsPayloadBytes> payload{};
+};
+
+// Invoked at interrupt level on the destination node when a message arrives.
+using SipsHandler = std::function<void(const SipsMessage&)>;
+
+class Sips {
+ public:
+  Sips(EventQueue* queue, const MachineConfig& config, const Interconnect* interconnect);
+
+  // The kernel running on `node` registers its message interrupt handler.
+  void SetHandler(int node, SipsHandler handler);
+
+  // Marks a node dead: messages to it vanish (the sender discovers this via
+  // RPC timeout, per the memory fault model), messages from it stop.
+  void SetNodeDead(int node, bool dead);
+
+  // Sends one cache line. Fails with kResourceExhausted if the destination
+  // receive queue is full (hardware flow control: the sender retries).
+  // Returns OK even if the destination is dead -- reliability is hop-by-hop;
+  // a dead node simply never processes the message.
+  base::Status Send(int src_cpu, int dst_node, bool is_reply,
+                    const std::array<uint8_t, kSipsPayloadBytes>& payload);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  int NodeOfCpu(int cpu) const { return cpu / cpus_per_node_; }
+
+  EventQueue* queue_;
+  const Interconnect* interconnect_;
+  int cpus_per_node_;
+  int queue_depth_;
+  Time ipi_ns_;
+  Time payload_ns_;
+  std::vector<SipsHandler> handlers_;       // Per node.
+  std::vector<int> inflight_requests_;      // Per destination node.
+  std::vector<int> inflight_replies_;       // Per destination node.
+  std::vector<bool> node_dead_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_SIPS_H_

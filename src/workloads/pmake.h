@@ -1,0 +1,80 @@
+// pmake: the paper's multiprogrammed compute-server workload (parallel
+// compilation of 11 files of GnuChess 3.1, four at a time, table 7.1).
+//
+// Each compile job is an independent process that:
+//   - opens and reads its source file plus a set of headers homed on the
+//     /tmp file-server cell (cell 0), generating remote opens and metadata
+//     traffic for jobs on other cells;
+//   - faults in the shared compiler text and its private working set of
+//     mapped file pages (the page-cache faults of paper section 5.2);
+//   - computes (the actual compilation);
+//   - writes its intermediate output file to /tmp and exits.
+//
+// Jobs write-share almost nothing, which is why the firewall policy keeps
+// the remotely-writable page count tiny under pmake (section 4.2).
+
+#ifndef HIVE_SRC_WORKLOADS_PMAKE_H_
+#define HIVE_SRC_WORKLOADS_PMAKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace workloads {
+
+struct PmakeParams {
+  int jobs = 11;
+  int parallelism = 4;
+  hive::CellId file_server = 0;   // Data home of /tmp and the sources.
+  uint64_t source_bytes = 40 * 1024;
+  uint64_t output_bytes = 96 * 1024;
+  // Mapped working set per job: shared compiler text + private data files.
+  uint64_t shared_text_pages = 150;
+  uint64_t private_file_pages = 550;
+  uint64_t anon_pages = 160;
+  int metadata_ops = 100;         // Header opens/stats across cc/cpp/cc1/as.
+  // Small write-mapped scratch file per job on /tmp (drives the section 4.2
+  // remotely-writable page counts: ~15 average, ~42 peak on the file server).
+  uint64_t scratch_pages = 8;
+  Time compute_per_job = 2000 * hive::kMillisecond;
+  uint64_t name_seed = 0x706d616b;  // Distinguishes concurrent instances.
+};
+
+class PmakeWorkload {
+ public:
+  PmakeWorkload(hive::HiveSystem* system, const PmakeParams& params);
+
+  // Creates the source files, compiler image and /tmp directory contents on
+  // the file-server cell, and warms its file cache (the paper warms caches
+  // before every measurement, section 7.3).
+  void Setup();
+
+  // Forks the job processes, spread round-robin over live cells; returns
+  // their pids. `task_group` stays -1: jobs are independent processes.
+  std::vector<hive::ProcId> Start();
+
+  // After completion: validates every output file written by a finished job
+  // against its reference pattern. Returns the number of corrupt files.
+  int ValidateOutputs();
+
+  // Pids of jobs that finished successfully.
+  int CompletedJobs() const;
+
+  const std::vector<hive::ProcId>& pids() const { return pids_; }
+
+ private:
+  std::string SourcePath(int job) const;
+  std::string OutputPath(int job) const;
+  std::unique_ptr<hive::Behavior> MakeJob(int job, hive::CellId cell);
+
+  hive::HiveSystem* system_;
+  PmakeParams params_;
+  std::vector<hive::ProcId> pids_;
+  std::vector<hive::CellId> job_cells_;
+};
+
+}  // namespace workloads
+
+#endif  // HIVE_SRC_WORKLOADS_PMAKE_H_

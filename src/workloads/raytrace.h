@@ -1,0 +1,57 @@
+// raytrace: the paper's rendering workload (teapot, 6 antialias rays per
+// pixel, table 7.1). A parent process builds the scene in anonymous memory
+// and forks one worker per processor; workers read-share the scene through
+// the copy-on-write tree -- whose interior nodes may be on other cells, so
+// lookups exercise the careful reference protocol (section 5.3) and remote
+// COW binds. Workers render independent pixel blocks (pure user compute)
+// and write their result tiles to local files.
+
+#ifndef HIVE_SRC_WORKLOADS_RAYTRACE_H_
+#define HIVE_SRC_WORKLOADS_RAYTRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace workloads {
+
+struct RaytraceParams {
+  hive::CellId parent_cell = 0;
+  uint64_t scene_pages = 256;     // ~1 MB scene, built in anon memory.
+  int blocks_per_worker = 16;
+  Time compute_per_block = 260 * hive::kMillisecond;
+  uint64_t result_bytes = 64 * 1024;  // Tile output per worker.
+  uint64_t name_seed = 0x726179;
+};
+
+class RaytraceWorkload {
+ public:
+  RaytraceWorkload(hive::HiveSystem* system, const RaytraceParams& params);
+
+  // Forks the parent process; the parent builds the scene, forks workers on
+  // every cell (COW leaf splits across cells), waits for them, and exits.
+  std::vector<hive::ProcId> Start();
+
+  // The parent's pid (workers are tracked through worker_pids()).
+  hive::ProcId parent_pid() const { return parent_pid_; }
+  const std::vector<hive::ProcId>& worker_pids() const { return *worker_pids_; }
+
+  // Validates worker result tiles; returns the number of corrupt files.
+  int ValidateOutputs();
+
+ private:
+  std::unique_ptr<hive::Behavior> MakeWorker(int worker, hive::CellId cell);
+
+  hive::HiveSystem* system_;
+  RaytraceParams params_;
+  hive::ProcId parent_pid_ = hive::kInvalidProc;
+  std::shared_ptr<std::vector<hive::ProcId>> worker_pids_;
+  std::vector<hive::CellId> worker_cells_;
+  int64_t task_group_ = -1;
+};
+
+}  // namespace workloads
+
+#endif  // HIVE_SRC_WORKLOADS_RAYTRACE_H_

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/table.h"
+
+namespace base {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.name(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesRoundTrip) {
+  EXPECT_FALSE(Timeout().ok());
+  EXPECT_EQ(Timeout().code(), StatusCode::kTimeout);
+  EXPECT_EQ(BusErrorStatus().name(), "BUS_ERROR");
+  EXPECT_EQ(StaleGeneration().name(), "STALE_GENERATION");
+}
+
+TEST(StatusTest, EqualityComparesCodes) {
+  EXPECT_EQ(Timeout(), Timeout());
+  EXPECT_FALSE(Timeout() == NotFound());
+}
+
+TEST(ResultTest, CarriesValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(ResultTest, CarriesError) {
+  Result<int> result(NotFound());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 5);
+}
+
+Result<int> Doubler(Result<int> input) {
+  ASSIGN_OR_RETURN(const int v, std::move(input));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Timeout()).status().code(), StatusCode::kTimeout);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(9);
+  int buckets[10] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    buckets[rng.Below(10)]++;
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], kSamples / 10, kSamples / 100) << b;
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram hist;
+  for (int64_t v : {10, 20, 30, 40, 50}) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.min(), 10);
+  EXPECT_EQ(hist.max(), 50);
+  EXPECT_EQ(hist.sum(), 150);
+  EXPECT_DOUBLE_EQ(hist.mean(), 30.0);
+}
+
+TEST(HistogramTest, Percentiles) {
+  Histogram hist;
+  for (int64_t v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.Percentile(0), 1);
+  EXPECT_EQ(hist.Percentile(100), 100);
+  EXPECT_NEAR(static_cast<double>(hist.Percentile(50)), 50, 1);
+  EXPECT_NEAR(static_cast<double>(hist.Percentile(90)), 90, 1);
+}
+
+TEST(HistogramTest, EmptyMeanIsZero) {
+  Histogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram hist;
+  hist.Record(5);
+  hist.Clear();
+  EXPECT_TRUE(hist.empty());
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"Name", "Value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "2"});
+  const std::string out = table.Render("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table table({"A", "B", "C"});
+  table.AddRow({"x"});
+  const std::string out = table.Render("t");
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::F64(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::I64(-42), "-42");
+  EXPECT_EQ(Table::Us(6900, 1), "6.9 us");
+  EXPECT_EQ(Table::Ms(50700000, 1), "50.7 ms");
+  EXPECT_EQ(Table::Pct(0.063, 1), "6.3%");
+}
+
+TEST(TableTest, SeparatorRendered) {
+  Table table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.Render("t");
+  // Three horizontal separators beyond top/header/bottom.
+  size_t count = 0;
+  for (size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 3u);
+}
+
+}  // namespace
+}  // namespace base

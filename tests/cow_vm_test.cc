@@ -1,0 +1,234 @@
+// Copy-on-write trees, address spaces, and the page fault path (paper
+// sections 5.1 and 5.3).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/core/cow_tree.h"
+#include "src/core/filesystem.h"
+#include "src/core/vm_fault.h"
+#include "src/workloads/workload.h"
+#include "src/flash/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class CowVmTest : public ::testing::Test {
+ protected:
+  CowVmTest() : ts_(hivetest::BootHive(4)) {}
+
+  // Creates a bare process on `cell` with an idle behavior.
+  Process* Spawn(CellId cell, Process* parent = nullptr) {
+    Ctx ctx = ts_.cell(cell).MakeCtx();
+    auto behavior = std::make_unique<workloads::ScriptedBehavior>("idle");
+    auto pid = ts_.hive->Fork(ctx, cell, std::move(behavior), -1, parent);
+    EXPECT_TRUE(pid.ok());
+    return ts_.cell(cell).sched().FindProcess(*pid);
+  }
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(CowVmTest, AnonZeroFillFault) {
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(proc->address_space().MapAnon(ctx, 0x1000000, 64 * 4096, true).ok());
+  ASSERT_TRUE(PageFault(ctx, *proc, 0x1000000, /*write=*/true).ok());
+  Mapping* mapping = proc->address_space().FindMapping(0x1000000);
+  ASSERT_NE(mapping, nullptr);
+  EXPECT_TRUE(mapping->writable);
+  // The page is zero-filled.
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(0).FirstCpu(),
+                                                   mapping->pfdat->frame + 64),
+            0u);
+}
+
+TEST_F(CowVmTest, SecondFaultIsTlbRefill) {
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(proc->address_space().MapAnon(ctx, 0x1000000, 4096, true).ok());
+  ASSERT_TRUE(PageFault(ctx, *proc, 0x1000000, true).ok());
+  Ctx ctx2 = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(PageFault(ctx2, *proc, 0x1000000, true).ok());
+  EXPECT_LT(ctx2.elapsed, 2000);
+}
+
+TEST_F(CowVmTest, UnmappedAddressIsNotFound) {
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  EXPECT_EQ(PageFault(ctx, *proc, 0xDEAD0000, false).code(), base::StatusCode::kNotFound);
+}
+
+TEST_F(CowVmTest, WriteToReadOnlyRegionIsPermissionDenied) {
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(proc->address_space().MapAnon(ctx, 0x1000000, 4096, false).ok());
+  EXPECT_EQ(PageFault(ctx, *proc, 0x1000000, true).code(),
+            base::StatusCode::kPermissionDenied);
+}
+
+TEST_F(CowVmTest, ChildSeesParentPagesAfterLocalFork) {
+  Process* parent = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(parent->address_space().MapAnon(ctx, 0x1000000, 16 * 4096, true).ok());
+  ASSERT_TRUE(PageFault(ctx, *parent, 0x1000000, true).ok());
+  // Write a sentinel into the parent's page.
+  Mapping* pm = parent->address_space().FindMapping(0x1000000);
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(0).FirstCpu(), pm->pfdat->frame, 777);
+
+  Process* child = Spawn(0, parent);
+  Ctx cctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000, /*write=*/false).ok());
+  Mapping* cm = child->address_space().FindMapping(0x1000000);
+  ASSERT_NE(cm, nullptr);
+  // The child shares the parent's physical page (no copy on read).
+  EXPECT_EQ(cm->pfdat->frame, pm->pfdat->frame);
+  EXPECT_FALSE(cm->writable);
+}
+
+TEST_F(CowVmTest, ChildWriteBreaksCow) {
+  Process* parent = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(parent->address_space().MapAnon(ctx, 0x1000000, 4096, true).ok());
+  ASSERT_TRUE(PageFault(ctx, *parent, 0x1000000, true).ok());
+  Mapping* pm = parent->address_space().FindMapping(0x1000000);
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(0).FirstCpu(), pm->pfdat->frame, 777);
+
+  Process* child = Spawn(0, parent);
+  Ctx cctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000, /*write=*/true).ok());
+  Mapping* cm = child->address_space().FindMapping(0x1000000);
+  ASSERT_NE(cm, nullptr);
+  EXPECT_NE(cm->pfdat->frame, pm->pfdat->frame);  // Private copy.
+  EXPECT_TRUE(cm->writable);
+  // The copy carries the parent's data.
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(0).FirstCpu(),
+                                                   cm->pfdat->frame),
+            777u);
+  // And the parent's page is untouched by child writes.
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(0).FirstCpu(), cm->pfdat->frame, 888);
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(0).FirstCpu(),
+                                                   pm->pfdat->frame),
+            777u);
+}
+
+TEST_F(CowVmTest, RemoteForkWalksCowTreeAcrossCells) {
+  // Paper section 5.3: parent and child on different cells; the child's read
+  // fault searches up the tree with the careful reference protocol and binds
+  // with an RPC to the owning cell.
+  Process* parent = Spawn(1);
+  Ctx pctx = ts_.cell(1).MakeCtx();
+  ASSERT_TRUE(parent->address_space().MapAnon(pctx, 0x1000000, 8 * 4096, true).ok());
+  ASSERT_TRUE(PageFault(pctx, *parent, 0x1000000, true).ok());
+  Mapping* pm = parent->address_space().FindMapping(0x1000000);
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(1).FirstCpu(), pm->pfdat->frame, 4242);
+
+  Process* child = Spawn(2, parent);  // Forked onto another cell.
+  const uint64_t remote_reads_before = ts_.cell(2).cow().remote_node_reads();
+  Ctx cctx = ts_.cell(2).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000, /*write=*/false).ok());
+  EXPECT_GT(ts_.cell(2).cow().remote_node_reads(), remote_reads_before);
+
+  Mapping* cm = child->address_space().FindMapping(0x1000000);
+  ASSERT_NE(cm, nullptr);
+  EXPECT_TRUE(cm->pfdat->extended);  // Imported from the parent's cell.
+  EXPECT_EQ(cm->pfdat->imported_from, 1);
+  // The child really reads the parent's data through shared memory.
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(2).FirstCpu(),
+                                                   cm->pfdat->frame),
+            4242u);
+  // Anonymous imports are hard dependencies for the kill policy.
+  EXPECT_NE(child->dependency_mask() & (1ull << 1), 0u);
+}
+
+TEST_F(CowVmTest, RemoteChildWriteMakesPrivateCopy) {
+  Process* parent = Spawn(1);
+  Ctx pctx = ts_.cell(1).MakeCtx();
+  ASSERT_TRUE(parent->address_space().MapAnon(pctx, 0x1000000, 4096, true).ok());
+  ASSERT_TRUE(PageFault(pctx, *parent, 0x1000000, true).ok());
+  Mapping* pm = parent->address_space().FindMapping(0x1000000);
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(1).FirstCpu(), pm->pfdat->frame, 99);
+
+  Process* child = Spawn(3, parent);
+  Ctx cctx = ts_.cell(3).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000, /*write=*/true).ok());
+  Mapping* cm = child->address_space().FindMapping(0x1000000);
+  ASSERT_NE(cm, nullptr);
+  // The copy lives on the child's cell now.
+  EXPECT_EQ(ts_.hive->CellOfAddr(cm->pfdat->frame), 3);
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(3).FirstCpu(),
+                                                   cm->pfdat->frame),
+            99u);
+}
+
+TEST_F(CowVmTest, PagesWrittenAfterForkInvisibleToChild) {
+  Process* parent = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(parent->address_space().MapAnon(ctx, 0x1000000, 8 * 4096, true).ok());
+  Process* child = Spawn(0, parent);
+  // Parent creates a page AFTER the fork.
+  ASSERT_TRUE(PageFault(ctx, *parent, 0x1002000, true).ok());
+  // Child's read fault must NOT find it: zero-fills its own page instead.
+  Ctx cctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1002000, false).ok());
+  Mapping* pm = parent->address_space().FindMapping(0x1002000);
+  Mapping* cm = child->address_space().FindMapping(0x1002000);
+  EXPECT_NE(pm->pfdat->frame, cm->pfdat->frame);
+}
+
+TEST_F(CowVmTest, FileRegionGenerationSnapshotDetectsStaleness) {
+  Cell& home = ts_.cell(1);
+  Ctx hctx = home.MakeCtx();
+  auto id = home.fs().Create(hctx, "/m", workloads::PatternData(1, 8192));
+  ASSERT_TRUE(id.ok());
+
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  auto handle = ts_.cell(0).fs().Open(ctx, "/m");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(proc->address_space().MapFile(ctx, 0x2000000, 8192, *handle, false).ok());
+  ASSERT_TRUE(PageFault(ctx, *proc, 0x2000000, false).ok());
+
+  // The file loses a dirty page (generation bump at the data home) and the
+  // mapping is flushed (recovery would do both).
+  home.fs().NoteDirtyPageLost(id->vnode);
+  proc->address_space().FlushMappings(ctx, /*remote_only=*/false);
+  ts_.cell(0).fs().DropAllImports(ctx);
+
+  EXPECT_EQ(PageFault(ctx, *proc, 0x2000000, false).code(),
+            base::StatusCode::kStaleGeneration);
+}
+
+TEST_F(CowVmTest, AddressMapEntriesLiveInKernelHeap) {
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(proc->address_space().MapAnon(ctx, 0x1000000, 4096, true).ok());
+  auto regions = proc->address_space().ListRegions(ctx);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(ts_.cell(0).heap().Contains(regions[0].entry_addr));
+  EXPECT_EQ(ts_.cell(0).heap().ReadTypeTag(ts_.cell(0).FirstCpu(), regions[0].entry_addr),
+            static_cast<uint32_t>(kTagAddrMapEntry));
+}
+
+TEST_F(CowVmTest, CorruptAddressMapPanicsOwnCellOnly) {
+  Process* proc = Spawn(2);
+  Ctx ctx = ts_.cell(2).MakeCtx();
+  ASSERT_TRUE(proc->address_space().MapAnon(ctx, 0x1000000, 4096, true).ok());
+  auto regions = proc->address_space().ListRegions(ctx);
+  ASSERT_EQ(regions.size(), 1u);
+
+  // Corrupt the entry's type tag region by freeing it behind the kernel's
+  // back (simulates a kernel bug).
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.CorruptBytes(regions[0].entry_addr - KernelHeap::kHeaderSize, 16);
+
+  EXPECT_EQ(PageFault(ctx, *proc, 0x1000000, false).code(), base::StatusCode::kInternal);
+  EXPECT_FALSE(ts_.cell(2).alive());
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(1).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,110 @@
+#include "src/flash/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flash {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(300, [&] { order.push_back(3); });
+  queue.ScheduleAt(100, [&] { order.push_back(1); });
+  queue.ScheduleAt(200, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.Now(), 300);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  queue.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  Time seen = -1;
+  queue.ScheduleAt(100, [&] {
+    queue.ScheduleAfter(50, [&] { seen = queue.Now(); });
+  });
+  queue.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int count = 0;
+  queue.ScheduleAt(10, [&] { ++count; });
+  queue.ScheduleAt(20, [&] { ++count; });
+  queue.ScheduleAt(30, [&] { ++count; });
+  EXPECT_EQ(queue.RunUntil(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(queue.Now(), 20);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue queue;
+  queue.RunUntil(500);
+  EXPECT_EQ(queue.Now(), 500);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  EventId id = queue.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  queue.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunReturnsFalse) {
+  EventQueue queue;
+  EventId id = queue.ScheduleAt(10, [] {});
+  queue.Run();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue queue;
+  EventId id = queue.ScheduleAt(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, StepRunsOneEvent) {
+  EventQueue queue;
+  int count = 0;
+  queue.ScheduleAt(10, [&] { ++count; });
+  queue.ScheduleAt(20, [&] { ++count; });
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(queue.Step());
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue queue;
+  int depth = 0;
+  queue.ScheduleAt(10, [&] {
+    ++depth;
+    queue.ScheduleAfter(5, [&] { ++depth; });
+  });
+  queue.Run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(queue.Now(), 15);
+}
+
+}  // namespace
+}  // namespace flash

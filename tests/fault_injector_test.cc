@@ -1,0 +1,119 @@
+#include "src/flash/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : machine_(hivetest::SmallConfig(), 1), injector_(&machine_, 7) {}
+
+  uint64_t ReadWord(PhysAddr addr) {
+    uint64_t value = 0;
+    machine_.mem().RawRead(addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), 8));
+    return value;
+  }
+  void WriteWord(PhysAddr addr, uint64_t value) {
+    machine_.mem().RawWrite(addr,
+                            std::span<const uint8_t>(reinterpret_cast<uint8_t*>(&value), 8));
+  }
+
+  Machine machine_;
+  FaultInjector injector_;
+};
+
+TEST_F(FaultInjectorTest, ScheduledNodeFailureFiresAtTime) {
+  injector_.ScheduleNodeFailure(2, 1000);
+  EXPECT_FALSE(machine_.NodeDead(2));
+  machine_.events().RunUntil(999);
+  EXPECT_FALSE(machine_.NodeDead(2));
+  machine_.events().RunUntil(1000);
+  EXPECT_TRUE(machine_.NodeDead(2));
+  EXPECT_TRUE(machine_.cpu(machine_.FirstCpuOfNode(2)).halted);
+}
+
+TEST_F(FaultInjectorTest, OffByOneWordMode) {
+  WriteWord(0x1000, 0x2000);
+  const uint64_t corrupt = injector_.CorruptPointer(
+      0x1000, PointerCorruptionMode::kOffByOneWord, 0, 1 << 20, 1 << 20, 1 << 20);
+  EXPECT_EQ(corrupt, 0x2008u);
+  EXPECT_EQ(ReadWord(0x1000), 0x2008u);
+}
+
+TEST_F(FaultInjectorTest, SelfPointingMode) {
+  WriteWord(0x1000, 0xAAAA);
+  const uint64_t corrupt = injector_.CorruptPointer(
+      0x1000, PointerCorruptionMode::kSelfPointing, 0, 1 << 20, 1 << 20, 1 << 20);
+  EXPECT_EQ(corrupt, 0x1000u);
+}
+
+TEST_F(FaultInjectorTest, RandomSameCellStaysInVictimRange) {
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t corrupt = injector_.CorruptPointer(
+        0x1000, PointerCorruptionMode::kRandomSameCell, 0x100000, 0x10000, 0x800000,
+        0x10000);
+    EXPECT_GE(corrupt, 0x100000u);
+    EXPECT_LT(corrupt, 0x110000u);
+    EXPECT_EQ(corrupt % 8, 0u);
+  }
+}
+
+TEST_F(FaultInjectorTest, RandomOtherCellStaysInOtherRange) {
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t corrupt = injector_.CorruptPointer(
+        0x1000, PointerCorruptionMode::kRandomOtherCell, 0x100000, 0x10000, 0x800000,
+        0x10000);
+    EXPECT_GE(corrupt, 0x800000u);
+    EXPECT_LT(corrupt, 0x810000u);
+  }
+}
+
+TEST_F(FaultInjectorTest, CorruptBytesMutatesRange) {
+  std::vector<uint8_t> zeros(1024, 0);
+  machine_.mem().RawWrite(0x4000, std::span<const uint8_t>(zeros));
+  injector_.CorruptBytes(0x4000, 1024);
+  std::vector<uint8_t> after(1024);
+  machine_.mem().RawRead(0x4000, std::span<uint8_t>(after));
+  int changed = 0;
+  for (uint8_t byte : after) {
+    changed += byte != 0 ? 1 : 0;
+  }
+  EXPECT_GT(changed, 900);  // Random garbage, not zeros.
+}
+
+TEST_F(FaultInjectorTest, CorruptionBypassesFirewall) {
+  // The injector models the victim's own bug: it writes regardless of the
+  // firewall (a cell can always scribble its own memory).
+  machine_.firewall().SetVector(1, 0, 0);  // Nobody may write page 1.
+  injector_.CorruptBytes(4096, 64);        // Still succeeds.
+  std::vector<uint8_t> after(64);
+  machine_.mem().RawRead(4096, std::span<uint8_t>(after));
+  int nonzero = 0;
+  for (uint8_t byte : after) {
+    nonzero += byte != 0 ? 1 : 0;
+  }
+  EXPECT_GT(nonzero, 0);
+}
+
+TEST_F(FaultInjectorTest, HaltCpuLeavesMemoryAccessible) {
+  machine_.HaltCpu(1);
+  EXPECT_TRUE(machine_.cpu(1).halted);
+  // Memory of the node is still accessible (processor fault, not node fault).
+  machine_.mem().WriteValue<uint64_t>(0, hivetest::SmallConfig().memory_per_node, 5);
+}
+
+TEST_F(FaultInjectorTest, RestoreNodeRevivesCpus) {
+  machine_.FailNode(1);
+  EXPECT_TRUE(machine_.NodeDead(1));
+  machine_.RestoreNode(1);
+  EXPECT_FALSE(machine_.NodeDead(1));
+  EXPECT_FALSE(machine_.cpu(machine_.FirstCpuOfNode(1)).halted);
+  machine_.mem().WriteValue<uint64_t>(machine_.FirstCpuOfNode(1),
+                                      hivetest::SmallConfig().memory_per_node, 7);
+}
+
+}  // namespace
+}  // namespace flash

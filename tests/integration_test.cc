@@ -1,0 +1,216 @@
+// End-to-end workload integration: pmake / ocean / raytrace run to
+// completion on every configuration the paper evaluates, outputs validate
+// against reference patterns, and the multicellular overhead has the shape of
+// table 7.2 (small for parallel apps, larger for pmake).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/workloads/ocean.h"
+#include "src/workloads/pmake.h"
+#include "src/workloads/raytrace.h"
+#include "src/flash/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+// Scaled-down parameters so each test runs in well under a second of wall
+// time; benches use the paper-calibrated defaults.
+workloads::PmakeParams SmallPmake(uint64_t seed) {
+  workloads::PmakeParams params;
+  params.jobs = 8;  // Divisible by the CPU count: isolates kernel overhead
+                    // from placement imbalance in the shape test.
+  params.source_bytes = 8 * 1024;
+  params.output_bytes = 16 * 1024;
+  params.shared_text_pages = 30;
+  params.private_file_pages = 60;
+  params.anon_pages = 30;
+  params.metadata_ops = 10;
+  params.scratch_pages = 2;
+  params.compute_per_job = 400 * kMillisecond;
+  params.name_seed = seed;
+  return params;
+}
+
+workloads::OceanParams SmallOcean(uint64_t seed) {
+  workloads::OceanParams params;
+  params.grid_pages = 128;
+  params.timesteps = 10;
+  params.compute_per_step = 10 * kMillisecond;
+  params.touches_per_step = 16;
+  params.name_seed = seed;
+  return params;
+}
+
+workloads::RaytraceParams SmallRaytrace(uint64_t seed) {
+  workloads::RaytraceParams params;
+  params.scene_pages = 64;
+  params.blocks_per_worker = 3;
+  params.compute_per_block = 20 * kMillisecond;
+  params.result_bytes = 16 * 1024;
+  params.name_seed = seed;
+  return params;
+}
+
+Time RunPmake(hivetest::TestSystem& ts, uint64_t seed) {
+  workloads::PmakeWorkload pmake(ts.hive.get(), SmallPmake(seed));
+  pmake.Setup();
+  const Time start = ts.machine->Now();
+  auto pids = pmake.Start();
+  EXPECT_TRUE(ts.hive->RunUntilDone(pids, start + 120 * kSecond));
+  EXPECT_EQ(pmake.CompletedJobs(), SmallPmake(seed).jobs);
+  EXPECT_EQ(pmake.ValidateOutputs(), 0);
+  Time finish = 0;
+  for (ProcId pid : pids) {
+    CellId c = ts.hive->FindProcessCell(pid);
+    finish = std::max(finish, ts.hive->cell(c).sched().FindProcess(pid)->finished_at);
+  }
+  return finish - start;
+}
+
+TEST(IntegrationTest, PmakeCompletesOnSmpBaseline) {
+  auto ts = hivetest::BootSmp();
+  RunPmake(ts, 100);
+}
+
+TEST(IntegrationTest, PmakeCompletesOnOneCell) {
+  HiveOptions options;
+  options.start_wax = false;
+  auto ts = hivetest::BootHive(1, 4, options);
+  RunPmake(ts, 101);
+}
+
+TEST(IntegrationTest, PmakeCompletesOnTwoCells) {
+  auto ts = hivetest::BootHive(2);
+  RunPmake(ts, 102);
+}
+
+TEST(IntegrationTest, PmakeCompletesOnFourCells) {
+  auto ts = hivetest::BootHive(4);
+  RunPmake(ts, 103);
+}
+
+TEST(IntegrationTest, PmakeSlowdownShapeMatchesTable72) {
+  // pmake stresses OS services: 4 cells must be slower than the SMP baseline
+  // but within a modest factor (the paper reports 11%).
+  auto smp = hivetest::BootSmp();
+  const Time smp_time = RunPmake(smp, 104);
+  auto hive4 = hivetest::BootHive(4);
+  const Time hive_time = RunPmake(hive4, 104);
+  EXPECT_GT(hive_time, smp_time);
+  EXPECT_LT(static_cast<double>(hive_time), static_cast<double>(smp_time) * 1.4);
+}
+
+TEST(IntegrationTest, OceanCompletesOnFourCells) {
+  auto ts = hivetest::BootHive(4);
+  workloads::OceanWorkload ocean(ts.hive.get(), SmallOcean(200));
+  ocean.Setup();
+  auto pids = ocean.Start();
+  ASSERT_EQ(pids.size(), 4u);  // One thread per CPU.
+  // Mid-run, the write-shared segment keeps remotely-writable pages open at
+  // the segment home (section 4.2's ocean observation)...
+  ts.machine->events().RunUntil(60 * kMillisecond);
+  EXPECT_GT(ts.cell(0).firewall_manager().RemotelyWritablePages(), 20);
+  ASSERT_TRUE(ts.hive->RunUntilDone(pids, 120 * kSecond));
+  for (ProcId pid : pids) {
+    CellId c = ts.hive->FindProcessCell(pid);
+    EXPECT_EQ(ts.hive->cell(c).sched().FindProcess(pid)->state(), ProcState::kExited);
+  }
+  // ...and closes them when the application exits (grants live only as long
+  // as mappings do).
+  EXPECT_EQ(ts.cell(0).firewall_manager().RemotelyWritablePages(), 0);
+}
+
+TEST(IntegrationTest, OceanSlowdownIsNegligible) {
+  // Table 7.2: ocean shows ~0-1% slowdown on any cell count.
+  auto run = [](hivetest::TestSystem& ts, uint64_t seed) {
+    workloads::OceanWorkload ocean(ts.hive.get(), SmallOcean(seed));
+    ocean.Setup();
+    const Time start = ts.machine->Now();
+    auto pids = ocean.Start();
+    EXPECT_TRUE(ts.hive->RunUntilDone(pids, start + 120 * kSecond));
+    Time finish = 0;
+    for (ProcId pid : pids) {
+      CellId c = ts.hive->FindProcessCell(pid);
+      finish = std::max(finish, ts.hive->cell(c).sched().FindProcess(pid)->finished_at);
+    }
+    return finish - start;
+  };
+  auto smp = hivetest::BootSmp();
+  const Time smp_time = run(smp, 201);
+  auto hive4 = hivetest::BootHive(4);
+  const Time hive_time = run(hive4, 201);
+  EXPECT_LT(static_cast<double>(hive_time), static_cast<double>(smp_time) * 1.10);
+}
+
+TEST(IntegrationTest, RaytraceCompletesAcrossCells) {
+  auto ts = hivetest::BootHive(4);
+  workloads::RaytraceWorkload ray(ts.hive.get(), SmallRaytrace(300));
+  auto pids = ray.Start();
+  ASSERT_TRUE(ts.hive->RunUntilDone(pids, 120 * kSecond));
+  EXPECT_EQ(ray.ValidateOutputs(), 0);
+  // Workers on remote cells really bound the parent's scene pages.
+  EXPECT_EQ(ray.worker_pids().size(), 4u);
+  for (size_t w = 0; w < ray.worker_pids().size(); ++w) {
+    CellId c = ts.hive->FindProcessCell(ray.worker_pids()[w]);
+    Process* proc = ts.hive->cell(c).sched().FindProcess(ray.worker_pids()[w]);
+    EXPECT_EQ(proc->state(), ProcState::kExited) << "worker " << w;
+  }
+}
+
+TEST(IntegrationTest, PmakeSurvivesNodeFailureOnOtherCells) {
+  // The paper's correctness check: after a fault, pmake still runs on the
+  // surviving cells and its outputs are uncorrupted (section 7.4).
+  auto ts = hivetest::BootHive(4);
+  workloads::PmakeWorkload pmake(ts.hive.get(), SmallPmake(400));
+  pmake.Setup();
+  auto pids = pmake.Start();
+
+  // Kill cell 3 mid-run (cell 3 hosts some jobs; the file server is cell 0).
+  flash::FaultInjector injector(ts.machine.get(), 7);
+  injector.ScheduleNodeFailure(3, 100 * kMillisecond);
+
+  (void)ts.hive->RunUntilDone(pids, 120 * kSecond);
+  EXPECT_FALSE(ts.cell(3).alive());
+
+  // Jobs on surviving cells completed; outputs validate.
+  EXPECT_GE(pmake.CompletedJobs(), 4);
+  EXPECT_EQ(pmake.ValidateOutputs(), 0);
+
+  // Correctness check run: a fresh pmake forked onto the survivors.
+  workloads::PmakeWorkload check(ts.hive.get(), SmallPmake(401));
+  check.Setup();
+  auto check_pids = check.Start();
+  ASSERT_TRUE(ts.hive->RunUntilDone(check_pids, ts.machine->Now() + 120 * kSecond));
+  EXPECT_EQ(check.CompletedJobs(), SmallPmake(401).jobs);
+  EXPECT_EQ(check.ValidateOutputs(), 0);
+}
+
+TEST(IntegrationTest, OceanDiesWithAnyCellButSystemSurvives) {
+  auto ts = hivetest::BootHive(4);
+  workloads::OceanWorkload ocean(ts.hive.get(), SmallOcean(500));
+  ocean.Setup();
+  auto pids = ocean.Start();
+
+  flash::FaultInjector injector(ts.machine.get(), 7);
+  injector.ScheduleNodeFailure(2, 50 * kMillisecond);
+  ts.machine->events().RunUntil(500 * kMillisecond);
+
+  // The spanning application is gone everywhere (it ran on all processors
+  // and would have exited anyway, section 4.2).
+  for (ProcId pid : pids) {
+    CellId c = ts.hive->FindProcessCell(pid);
+    if (!ts.hive->cell(c).alive()) {
+      continue;
+    }
+    EXPECT_EQ(ts.hive->cell(c).sched().FindProcess(pid)->state(), ProcState::kKilled);
+  }
+  // But the surviving cells are fine.
+  EXPECT_TRUE(ts.cell(0).alive());
+  EXPECT_TRUE(ts.cell(1).alive());
+  EXPECT_TRUE(ts.cell(3).alive());
+}
+
+}  // namespace
+}  // namespace hive

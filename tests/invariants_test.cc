@@ -1,0 +1,217 @@
+// Deeper structural invariants: COW tree extension chains, post-recovery
+// system consistency, and multi-CPU-per-node configurations.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/core/cow_tree.h"
+#include "src/core/filesystem.h"
+#include "src/core/vm_fault.h"
+#include "src/flash/fault_injector.h"
+#include "src/workloads/pmake.h"
+#include "src/workloads/workload.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class CowExtensionTest : public ::testing::Test {
+ protected:
+  CowExtensionTest() : ts_(hivetest::BootHive(4)) {}
+
+  Process* Spawn(CellId cell, Process* parent = nullptr) {
+    Ctx ctx = ts_.cell(cell).MakeCtx();
+    auto behavior = std::make_unique<workloads::ScriptedBehavior>("idle");
+    auto pid = ts_.hive->Fork(ctx, cell, std::move(behavior), -1, parent);
+    EXPECT_TRUE(pid.ok());
+    return ts_.cell(cell).sched().FindProcess(*pid);
+  }
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(CowExtensionTest, RecordBeyondNodeCapacityChainsExtensions) {
+  // A node holds kEntriesPerNode offsets; recording 3x that many must chain
+  // extension nodes and keep every offset findable.
+  Process* proc = Spawn(0);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  const uint64_t count = 3 * CowNodeLayout::kEntriesPerNode + 7;
+  for (uint64_t offset = 0; offset < count; ++offset) {
+    ASSERT_TRUE(ts_.cell(0).cow().RecordPage(ctx, proc->cow_leaf(), 1000 + offset).ok());
+  }
+  for (uint64_t offset = 0; offset < count; ++offset) {
+    auto found = ts_.cell(0).cow().Lookup(ctx, proc->cow_leaf(), 1000 + offset);
+    ASSERT_TRUE(found.ok()) << offset;
+    EXPECT_TRUE(found->found) << offset;
+    EXPECT_EQ(found->owner_cell, 0) << offset;
+  }
+  auto missing = ts_.cell(0).cow().Lookup(ctx, proc->cow_leaf(), 99999);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->found);
+}
+
+TEST_F(CowExtensionTest, RemoteLookupTraversesExtensionChain) {
+  // Parent on cell 1 faults in more anon pages than one node holds; a child
+  // forked onto cell 2 must find pages recorded in the parent's EXTENSION
+  // nodes through the careful remote walk.
+  Process* parent = Spawn(1);
+  Ctx pctx = ts_.cell(1).MakeCtx();
+  const uint64_t pages = CowNodeLayout::kEntriesPerNode + 20;  // Spills over.
+  ASSERT_TRUE(
+      parent->address_space().MapAnon(pctx, 0x1000000, (pages + 1) * 4096, true).ok());
+  for (uint64_t p = 0; p < pages; ++p) {
+    ASSERT_TRUE(PageFault(pctx, *parent, 0x1000000 + p * 4096, true).ok()) << p;
+  }
+
+  Process* child = Spawn(2, parent);
+  Ctx cctx = ts_.cell(2).MakeCtx();
+  // The LAST page was recorded in an extension node of the parent's old leaf.
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000 + (pages - 1) * 4096, false).ok());
+  Mapping* mapping = child->address_space().FindMapping(0x1000000 + (pages - 1) * 4096);
+  ASSERT_NE(mapping, nullptr);
+  EXPECT_EQ(mapping->pfdat->imported_from, 1);
+  // The lookup resumed the upward walk correctly too: a page only the
+  // grandparent would own is simply absent (zero-fill), not an error.
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000 + pages * 4096, false).ok());
+}
+
+TEST_F(CowExtensionTest, GrandparentPagesFoundThroughTwoLevels) {
+  Process* grandparent = Spawn(0);
+  Ctx gctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(
+      grandparent->address_space().MapAnon(gctx, 0x1000000, 4 * 4096, true).ok());
+  ASSERT_TRUE(PageFault(gctx, *grandparent, 0x1000000, true).ok());
+  Mapping* gm = grandparent->address_space().FindMapping(0x1000000);
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(0).FirstCpu(), gm->pfdat->frame, 111);
+
+  Process* parent = Spawn(1, grandparent);  // Leaf split: cell 0 -> cell 1.
+  Process* child = Spawn(3, parent);        // And again: cell 1 -> cell 3.
+
+  Ctx cctx = ts_.cell(3).MakeCtx();
+  ASSERT_TRUE(PageFault(cctx, *child, 0x1000000, false).ok());
+  Mapping* cm = child->address_space().FindMapping(0x1000000);
+  ASSERT_NE(cm, nullptr);
+  // Bound to the grandparent's page on cell 0, two careful hops away.
+  EXPECT_EQ(cm->pfdat->imported_from, 0);
+  EXPECT_EQ(ts_.machine->mem().ReadValue<uint64_t>(ts_.cell(3).FirstCpu(),
+                                                   cm->pfdat->frame),
+            111u);
+}
+
+// Post-recovery invariant checker: nothing in any surviving cell references
+// the failed cell's memory or holds grants for it.
+void CheckNoDanglingState(hivetest::TestSystem& ts, CellId failed) {
+  const flash::PhysAddr failed_base = ts.cell(failed).mem_base();
+  const flash::PhysAddr failed_end = failed_base + ts.cell(failed).mem_size();
+  for (CellId c : ts.hive->LiveCells()) {
+    Cell& cell = ts.cell(c);
+    cell.pfdats().ForEach([&](Pfdat* pfdat) {
+      // No pfdat may reference a frame in failed memory.
+      EXPECT_FALSE(pfdat->frame >= failed_base && pfdat->frame < failed_end)
+          << "cell " << c << " references failed frame";
+      // No export/import/loan state may name the failed cell.
+      EXPECT_EQ(pfdat->exported_to & (1ull << failed), 0u);
+      EXPECT_EQ(pfdat->exported_writable & (1ull << failed), 0u);
+      EXPECT_NE(pfdat->imported_from, failed);
+      EXPECT_NE(pfdat->borrowed_from, failed);
+      EXPECT_NE(pfdat->loaned_to, failed);
+    });
+    // Hardware mappings rebuilt after resume can only point at pfdats in the
+    // cell's table, and the table was verified clean above: no mapping can
+    // reference failed memory.
+  }
+}
+
+TEST(RecoveryInvariantTest, NoDanglingReferencesAfterFailureUnderLoad) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    auto ts = hivetest::BootHive(4, 4, {}, seed);
+    workloads::PmakeParams params;
+    params.jobs = 8;
+    params.source_bytes = 8 * 1024;
+    params.output_bytes = 16 * 1024;
+    params.shared_text_pages = 30;
+    params.private_file_pages = 50;
+    params.anon_pages = 20;
+    params.scratch_pages = 4;
+    params.metadata_ops = 5;
+    params.compute_per_job = 200 * kMillisecond;
+    params.name_seed = seed;
+    workloads::PmakeWorkload pmake(ts.hive.get(), params);
+    pmake.Setup();
+    auto pids = pmake.Start();
+
+    const CellId victim = static_cast<CellId>(1 + seed % 3);
+    flash::FaultInjector injector(ts.machine.get(), seed);
+    injector.ScheduleNodeFailure(victim, 40 * kMillisecond);
+
+    // Stop right after recovery completes, BEFORE user work resumes and
+    // rebuilds mappings: this is the moment the invariant must hold.
+    ts.machine->events().RunUntil(40 * kMillisecond + 25 * kMillisecond);
+    ASSERT_EQ(ts.hive->recovery().recoveries_run(), 1) << seed;
+    CheckNoDanglingState(ts, victim);
+
+    // And the system still completes the surviving work afterwards.
+    (void)ts.hive->RunUntilDone(pids, 120 * kSecond);
+    EXPECT_EQ(pmake.ValidateOutputs(), 0) << seed;
+  }
+}
+
+class MultiCpuTest : public ::testing::Test {};
+
+TEST_F(MultiCpuTest, TwoCellsTwoCpusEachBootAndShare) {
+  flash::MachineConfig config = hivetest::SmallConfig(4, /*cpus_per_node=*/2);
+  auto machine = std::make_unique<flash::Machine>(config, 9);
+  HiveOptions options;
+  options.num_cells = 2;
+  HiveSystem hive(machine.get(), options);
+  hive.Boot();
+  EXPECT_EQ(hive.cell(0).cpus().size(), 4u);
+  EXPECT_EQ(hive.cell(0).CpuMask(), 0x0Full);
+  EXPECT_EQ(hive.cell(1).CpuMask(), 0xF0ull);
+
+  // Writable export grants every CPU of the client cell (section 4.2).
+  Ctx hctx = hive.cell(0).MakeCtx();
+  auto id = hive.cell(0).fs().Create(hctx, "/m", workloads::PatternData(1, 4096));
+  ASSERT_TRUE(id.ok());
+  Ctx cctx = hive.cell(1).MakeCtx();
+  auto handle = hive.cell(1).fs().Open(cctx, "/m");
+  auto pfdat = hive.cell(1).fs().GetPage(cctx, *handle, 0, true);
+  ASSERT_TRUE(pfdat.ok());
+  const flash::Pfn pfn = machine->mem().PfnOfAddr((*pfdat)->frame);
+  for (int cpu : hive.cell(1).cpus()) {
+    EXPECT_TRUE(machine->firewall().MayWrite(pfn, cpu)) << cpu;
+  }
+  // The vector is exactly home-cell CPUs plus the granted client cell.
+  EXPECT_EQ(machine->firewall().GetVector(pfn),
+            hive.cell(0).CpuMask() | hive.cell(1).CpuMask());
+}
+
+TEST_F(MultiCpuTest, PmakeCompletesOnMultiCpuCells) {
+  flash::MachineConfig config = hivetest::SmallConfig(4, /*cpus_per_node=*/2);
+  auto machine = std::make_unique<flash::Machine>(config, 10);
+  HiveOptions options;
+  options.num_cells = 4;
+  HiveSystem hive(machine.get(), options);
+  hive.Boot();
+
+  workloads::PmakeParams params;
+  params.jobs = 8;
+  params.source_bytes = 8 * 1024;
+  params.output_bytes = 16 * 1024;
+  params.shared_text_pages = 20;
+  params.private_file_pages = 30;
+  params.anon_pages = 10;
+  params.scratch_pages = 2;
+  params.metadata_ops = 5;
+  params.compute_per_job = 100 * kMillisecond;
+  params.name_seed = 600;
+  workloads::PmakeWorkload pmake(&hive, params);
+  pmake.Setup();
+  auto pids = pmake.Start();
+  ASSERT_TRUE(hive.RunUntilDone(pids, 120 * kSecond));
+  EXPECT_EQ(pmake.CompletedJobs(), params.jobs);
+  EXPECT_EQ(pmake.ValidateOutputs(), 0);
+}
+
+}  // namespace
+}  // namespace hive

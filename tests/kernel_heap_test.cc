@@ -1,0 +1,98 @@
+#include "src/core/kernel_heap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/flash/phys_mem.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class KernelHeapTest : public ::testing::Test {
+ protected:
+  KernelHeapTest()
+      : mem_(hivetest::SmallConfig()),
+        heap_(&mem_, /*owner_cpu=*/0, /*base=*/0, /*size=*/1 << 20) {}
+
+  flash::PhysMem mem_;
+  KernelHeap heap_;
+};
+
+TEST_F(KernelHeapTest, AllocWritesTypeTag) {
+  auto addr = heap_.Alloc(kTagCowNode, 64);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(heap_.ReadTypeTag(0, *addr), static_cast<uint32_t>(kTagCowNode));
+  EXPECT_EQ(heap_.ReadAllocSize(0, *addr), 64u);
+}
+
+TEST_F(KernelHeapTest, FreeDestroysTypeTag) {
+  auto addr = heap_.Alloc(kTagCowNode, 64);
+  ASSERT_TRUE(addr.ok());
+  heap_.Free(*addr);
+  // Paper 4.1 step 4: the tag is "removed by the memory deallocator", so a
+  // stale remote pointer fails the careful check.
+  EXPECT_EQ(heap_.ReadTypeTag(0, *addr), static_cast<uint32_t>(kTagFree));
+}
+
+TEST_F(KernelHeapTest, AllocationsAreZeroed) {
+  auto a = heap_.Alloc(kTagGeneric, 128);
+  ASSERT_TRUE(a.ok());
+  heap_.Write<uint64_t>(*a + 8, 0xFFFFFFFFFFFFFFFFull);
+  heap_.Free(*a);
+  auto b = heap_.Alloc(kTagGeneric, 128);  // Reuses the freed block.
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  EXPECT_EQ(heap_.Read<uint64_t>(*b + 8), 0u);
+}
+
+TEST_F(KernelHeapTest, FreeListReusesSameSize) {
+  auto a = heap_.Alloc(kTagGeneric, 96);
+  heap_.Free(*a);
+  auto b = heap_.Alloc(kTagGeneric, 96);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(KernelHeapTest, PayloadsAreAligned) {
+  for (uint64_t size : {1u, 7u, 8u, 13u, 64u, 100u}) {
+    auto addr = heap_.Alloc(kTagGeneric, size);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(*addr % 8, 0u) << size;
+  }
+}
+
+TEST_F(KernelHeapTest, ExhaustionReturnsOutOfMemory) {
+  flash::PhysMem mem(hivetest::SmallConfig());
+  KernelHeap tiny(&mem, 0, 0, 256);
+  auto a = tiny.Alloc(kTagGeneric, 64);
+  ASSERT_TRUE(a.ok());
+  auto b = tiny.Alloc(kTagGeneric, 200);
+  EXPECT_EQ(b.status().code(), base::StatusCode::kOutOfMemory);
+}
+
+TEST_F(KernelHeapTest, DoubleFreeIsFatal) {
+  auto addr = heap_.Alloc(kTagGeneric, 32);
+  heap_.Free(*addr);
+  EXPECT_DEATH(heap_.Free(*addr), "double free");
+}
+
+TEST_F(KernelHeapTest, BytesInUseTracksAllocations) {
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  auto a = heap_.Alloc(kTagGeneric, 64);
+  EXPECT_EQ(heap_.bytes_in_use(), 64u);
+  heap_.Free(*a);
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+}
+
+TEST_F(KernelHeapTest, HeapStoresGoThroughFirewall) {
+  // Protect the heap's pages so only CPU 1 may write, then watch the owner
+  // (CPU 0) trap: kernel heaps rely on the normal checked store path.
+  flash::PhysMem mem(hivetest::SmallConfig());
+  for (flash::Pfn pfn = 0; pfn < 4; ++pfn) {
+    mem.firewall().SetVector(pfn, 1ull << 1, 0);
+  }
+  KernelHeap heap(&mem, /*owner_cpu=*/0, 0, 16384);
+  EXPECT_THROW((void)heap.Alloc(kTagGeneric, 32), flash::BusError);
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,147 @@
+#include "src/flash/phys_mem.h"
+
+#include <gtest/gtest.h>
+
+#include "src/flash/bus_error.h"
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+MachineConfig Config() { return hivetest::SmallConfig(); }
+
+TEST(PhysMemTest, ReadWriteRoundTrip) {
+  PhysMem mem(Config());
+  mem.WriteValue<uint64_t>(0, 0x1000, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(mem.ReadValue<uint64_t>(0, 0x1000), 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(PhysMemTest, MisalignedTypedAccessTraps) {
+  PhysMem mem(Config());
+  EXPECT_THROW(mem.ReadValue<uint64_t>(0, 0x1001), BusError);
+  EXPECT_THROW(mem.WriteValue<uint32_t>(0, 0x1002, 7), BusError);
+}
+
+TEST(PhysMemTest, OutOfRangeAccessTraps) {
+  PhysMem mem(Config());
+  const PhysAddr end = Config().total_memory();
+  EXPECT_THROW(mem.ReadValue<uint64_t>(0, end), BusError);
+  try {
+    mem.ReadValue<uint64_t>(0, end);
+    FAIL();
+  } catch (const BusError& e) {
+    EXPECT_EQ(e.kind(), BusErrorKind::kInvalidAddress);
+  }
+}
+
+TEST(PhysMemTest, FailedNodeMemoryIsInaccessible) {
+  PhysMem mem(Config());
+  const PhysAddr node1 = Config().memory_per_node;
+  mem.WriteValue<uint64_t>(1, node1, 42);
+  mem.FailNode(1);
+  EXPECT_THROW(mem.ReadValue<uint64_t>(0, node1), BusError);
+  EXPECT_THROW(mem.WriteValue<uint64_t>(0, node1, 1), BusError);
+  // The memory fault model: unaffected ranges keep working.
+  mem.WriteValue<uint64_t>(0, 0x2000, 7);
+  EXPECT_EQ(mem.ReadValue<uint64_t>(0, 0x2000), 7u);
+}
+
+TEST(PhysMemTest, CutoffBlocksRemoteButNotLocalAccess) {
+  PhysMem mem(Config());
+  const PhysAddr node1 = Config().memory_per_node;
+  mem.CutOffNode(1);
+  // CPU 1 is local to node 1: still works (the panicking kernel itself).
+  mem.WriteValue<uint64_t>(1, node1, 42);
+  EXPECT_EQ(mem.ReadValue<uint64_t>(1, node1), 42u);
+  // CPU 0 is remote: cut off.
+  EXPECT_THROW(mem.ReadValue<uint64_t>(0, node1), BusError);
+}
+
+TEST(PhysMemTest, RestoreNodeZeroesMemory) {
+  PhysMem mem(Config());
+  const PhysAddr node1 = Config().memory_per_node;
+  mem.WriteValue<uint64_t>(1, node1, 42);
+  mem.FailNode(1);
+  mem.RestoreNode(1);
+  EXPECT_EQ(mem.ReadValue<uint64_t>(0, node1), 0u);
+}
+
+TEST(PhysMemTest, FirewallBlocksUnauthorizedWrite) {
+  PhysMem mem(Config());
+  // Page 0 of node 1, writable only by CPU 1.
+  const PhysAddr addr = Config().memory_per_node;
+  const Pfn pfn = mem.PfnOfAddr(addr);
+  mem.firewall().SetVector(pfn, 1ull << 1, /*requesting_cpu=*/1);
+
+  mem.WriteValue<uint64_t>(1, addr, 1);  // Local CPU: allowed.
+  EXPECT_THROW(mem.WriteValue<uint64_t>(0, addr, 2), BusError);
+  try {
+    mem.WriteValue<uint64_t>(0, addr, 2);
+    FAIL();
+  } catch (const BusError& e) {
+    EXPECT_EQ(e.kind(), BusErrorKind::kFirewall);
+  }
+  // The wild write was blocked: the original value survives.
+  EXPECT_EQ(mem.ReadValue<uint64_t>(1, addr), 1u);
+  EXPECT_GT(mem.firewall().writes_denied(), 0u);
+}
+
+TEST(PhysMemTest, FirewallDoesNotBlockReads) {
+  PhysMem mem(Config());
+  const PhysAddr addr = Config().memory_per_node;
+  mem.firewall().SetVector(mem.PfnOfAddr(addr), 1ull << 1, 1);
+  mem.WriteValue<uint64_t>(1, addr, 99);
+  EXPECT_EQ(mem.ReadValue<uint64_t>(0, addr), 99u);  // Remote read is fine.
+}
+
+TEST(PhysMemTest, FirewallCheckDisabledAllowsAll) {
+  PhysMem mem(Config());
+  const PhysAddr addr = Config().memory_per_node;
+  mem.firewall().SetVector(mem.PfnOfAddr(addr), 1ull << 1, 1);
+  mem.firewall().set_checking_enabled(false);
+  mem.WriteValue<uint64_t>(0, addr, 2);  // SMP baseline: no defense.
+  EXPECT_EQ(mem.ReadValue<uint64_t>(0, addr), 2u);
+}
+
+TEST(PhysMemTest, MultiPageWriteChecksEveryPage) {
+  PhysMem mem(Config());
+  const PhysAddr addr = Config().memory_per_node + Config().page_size - 8;
+  const Pfn second = mem.PfnOfAddr(addr) + 1;
+  mem.firewall().SetVector(second, 1ull << 1, 1);  // Deny CPU 0 on page 2.
+  std::vector<uint8_t> data(16, 0xAB);
+  EXPECT_THROW(mem.Write(0, addr, std::span<const uint8_t>(data)), BusError);
+}
+
+TEST(PhysMemTest, DmaWriteCheckedAsNodeProcessor) {
+  PhysMem mem(Config());
+  const PhysAddr addr = Config().memory_per_node;  // Node 1's memory.
+  mem.firewall().SetVector(mem.PfnOfAddr(addr), 1ull << 1, 1);
+  std::vector<uint8_t> data(8, 0x55);
+  // DMA from node 1's device: allowed (checked as CPU 1).
+  mem.DmaWrite(1, addr, std::span<const uint8_t>(data));
+  // DMA from node 0's device: firewall trap.
+  EXPECT_THROW(mem.DmaWrite(0, addr, std::span<const uint8_t>(data)), BusError);
+}
+
+TEST(FirewallTest, OnlyLocalCpuMayChangeBits) {
+  PhysMem mem(Config());
+  // Changing node 1's firewall from CPU 0 is a kernel bug -> CHECK death.
+  EXPECT_DEATH(mem.firewall().SetVector(mem.PfnOfAddr(Config().memory_per_node), 0, 0),
+               "only local processors");
+}
+
+TEST(FirewallTest, GrantRevokeCpus) {
+  PhysMem mem(Config());
+  Firewall& fw = mem.firewall();
+  const Pfn pfn = 3;
+  fw.SetVector(pfn, 1ull << 0, 0);
+  EXPECT_TRUE(fw.MayWrite(pfn, 0));
+  EXPECT_FALSE(fw.MayWrite(pfn, 2));
+  fw.GrantCpus(pfn, 1ull << 2, 0);
+  EXPECT_TRUE(fw.MayWrite(pfn, 2));
+  fw.RevokeCpus(pfn, 1ull << 2, 0);
+  EXPECT_FALSE(fw.MayWrite(pfn, 2));
+}
+
+}  // namespace
+}  // namespace flash

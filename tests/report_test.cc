@@ -1,0 +1,66 @@
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/core/filesystem.h"
+#include "src/flash/fault_injector.h"
+#include "src/workloads/workload.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : ts_(hivetest::BootHive(4)) {}
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(ReportTest, SystemReportListsEveryCell) {
+  const std::string report = RenderSystemReport(*ts_.hive);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(report.find("cell " + std::to_string(c)), std::string::npos) << c;
+  }
+  EXPECT_NE(report.find("RUNNING"), std::string::npos);
+}
+
+TEST_F(ReportTest, DeadCellRendersAsDead) {
+  ts_.machine->FailNode(2);
+  ts_.machine->events().RunUntil(100 * kMillisecond);
+  const std::string report = RenderSystemReport(*ts_.hive);
+  EXPECT_NE(report.find("DEAD"), std::string::npos);
+}
+
+TEST_F(ReportTest, SharingViewShowsExportsAndImports) {
+  Cell& home = ts_.cell(1);
+  Ctx hctx = home.MakeCtx();
+  auto id = home.fs().Create(hctx, "/r", workloads::PatternData(1, 4096));
+  ASSERT_TRUE(id.ok());
+  Cell& client = ts_.cell(0);
+  Ctx cctx = client.MakeCtx();
+  auto handle = client.fs().Open(cctx, "/r");
+  auto pfdat = client.fs().GetPage(cctx, *handle, 0, /*want_write=*/true);
+  ASSERT_TRUE(pfdat.ok());
+
+  const std::string home_view = RenderCellSharing(*ts_.hive, 1);
+  EXPECT_NE(home_view.find("exported-to"), std::string::npos);
+  EXPECT_NE(home_view.find("writable"), std::string::npos);
+  const std::string client_view = RenderCellSharing(*ts_.hive, 0);
+  EXPECT_NE(client_view.find("imported-from=1"), std::string::npos);
+}
+
+TEST_F(ReportTest, SharingViewEmptyWhenNoSharing) {
+  const std::string view = RenderCellSharing(*ts_.hive, 3);
+  EXPECT_NE(view.find("no intercell sharing"), std::string::npos);
+}
+
+TEST_F(ReportTest, SharingViewOfDeadCellSaysSo) {
+  ts_.machine->FailNode(3);
+  ts_.machine->events().RunUntil(100 * kMillisecond);
+  const std::string view = RenderCellSharing(*ts_.hive, 3);
+  EXPECT_NE(view.find("DEAD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hive

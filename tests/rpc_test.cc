@@ -1,0 +1,117 @@
+#include "src/core/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : ts_(hivetest::BootHive(4)) {}
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(RpcTest, NullRpcLatencyMatchesPaper) {
+  // Section 6: minimum end-to-end null RPC latency is 7.2 us.
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+  EXPECT_EQ(ctx.elapsed, 7200);
+}
+
+TEST_F(RpcTest, FatStubRpcIsAbout9_6Us) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  CallOptions options;
+  options.fat_stub = true;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply, options).ok());
+  EXPECT_EQ(ctx.elapsed, 9600);
+}
+
+TEST_F(RpcTest, QueuedNullRpcIs34Us) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNullQueued, args, &reply).ok());
+  // Initial interrupt-level RPC + queued service + completion: ~34 us.
+  EXPECT_GE(ctx.elapsed, 26000);
+  EXPECT_LE(ctx.elapsed, 36000);
+}
+
+TEST_F(RpcTest, CallToDeadCellTimesOutWithSpinCost) {
+  ts_.machine->FailNode(2);
+  // Run one tick so nothing else interferes; the RPC itself detects death.
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  base::Status status = client.rpc().Call(ctx, 2, MsgType::kNull, args, &reply);
+  EXPECT_EQ(status.code(), base::StatusCode::kTimeout);
+  // 50 us client spin + context switch.
+  EXPECT_GE(ctx.elapsed, 60000);
+  EXPECT_EQ(client.rpc().stats().timeouts, 1u);
+}
+
+TEST_F(RpcTest, TimeoutRaisesFailureHintAndTriggersRecovery) {
+  ts_.machine->FailNode(2);
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  (void)client.rpc().Call(ctx, 2, MsgType::kNull, args, &reply);
+  // The hint triggered agreement (oracle) and recovery.
+  EXPECT_EQ(ts_.hive->recovery().recoveries_run(), 1);
+  EXPECT_FALSE(ts_.cell(2).alive());
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(1).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+}
+
+TEST_F(RpcTest, IntracellCallSkipsSips) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 0, MsgType::kNull, args, &reply).ok());
+  EXPECT_LT(ctx.elapsed, 7200);
+}
+
+TEST_F(RpcTest, UnknownMessageTypeIsNotFound) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  EXPECT_EQ(client.rpc().Call(ctx, 1, MsgType::kForkRemote, args, &reply).code(),
+            base::StatusCode::kNotFound);
+}
+
+TEST_F(RpcTest, ServerOccupancyAdvances) {
+  Cell& client = ts_.cell(0);
+  const int server_cpu = ts_.cell(1).FirstCpu();
+  const Time before = ts_.machine->cpu(server_cpu).free_at;
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+  EXPECT_GT(ts_.machine->cpu(server_cpu).free_at, before);
+}
+
+TEST_F(RpcTest, PingHandlerRegistered) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  EXPECT_TRUE(client.rpc().Call(ctx, 3, MsgType::kPing, args, &reply).ok());
+}
+
+}  // namespace
+}  // namespace hive

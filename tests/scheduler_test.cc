@@ -1,0 +1,129 @@
+#include "src/core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/workloads/workload.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+using workloads::OpCompute;
+using workloads::ScriptedBehavior;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  // One cell with 4 CPUs: an SMP cell.
+  SchedulerTest() : ts_(hivetest::BootHive(1, 4, NoWaxOptions())) {}
+
+  static HiveOptions NoWaxOptions() {
+    HiveOptions options;
+    options.start_wax = false;
+    return options;
+  }
+
+  ProcId Spawn(Time compute) {
+    auto behavior = std::make_unique<ScriptedBehavior>("compute");
+    behavior->Add(OpCompute(compute));
+    Ctx ctx = ts_.cell(0).MakeCtx();
+    auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+    EXPECT_TRUE(pid.ok());
+    return *pid;
+  }
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(SchedulerTest, SingleProcessRunsToCompletion) {
+  const ProcId pid = Spawn(100 * kMillisecond);
+  ASSERT_TRUE(ts_.hive->RunUntilDone({pid}, 10 * kSecond));
+  Process* proc = ts_.cell(0).sched().FindProcess(pid);
+  EXPECT_EQ(proc->state(), ProcState::kExited);
+  // ~100ms of work plus fork/exit overheads.
+  EXPECT_GE(proc->finished_at, 100 * kMillisecond);
+  EXPECT_LE(proc->finished_at, 150 * kMillisecond);
+}
+
+TEST_F(SchedulerTest, FourProcessesRunInParallelOnFourCpus) {
+  std::vector<ProcId> pids;
+  for (int i = 0; i < 4; ++i) {
+    pids.push_back(Spawn(200 * kMillisecond));
+  }
+  ASSERT_TRUE(ts_.hive->RunUntilDone(pids, 10 * kSecond));
+  // All four finish in ~1x the single-process time: true parallelism.
+  for (ProcId pid : pids) {
+    EXPECT_LE(ts_.cell(0).sched().FindProcess(pid)->finished_at, 300 * kMillisecond);
+  }
+}
+
+TEST_F(SchedulerTest, EightProcessesTimeShareFairly) {
+  std::vector<ProcId> pids;
+  for (int i = 0; i < 8; ++i) {
+    pids.push_back(Spawn(100 * kMillisecond));
+  }
+  ASSERT_TRUE(ts_.hive->RunUntilDone(pids, 10 * kSecond));
+  // 8 x 100ms over 4 CPUs: makespan ~200ms, and no process starves.
+  Time max_finish = 0;
+  for (ProcId pid : pids) {
+    max_finish = std::max(max_finish, ts_.cell(0).sched().FindProcess(pid)->finished_at);
+  }
+  EXPECT_GE(max_finish, 190 * kMillisecond);
+  EXPECT_LE(max_finish, 320 * kMillisecond);
+}
+
+TEST_F(SchedulerTest, BarrierBlocksUntilAllArrive) {
+  auto barrier = std::make_shared<UserBarrier>(3);
+  std::vector<ProcId> pids;
+  std::vector<Time> computes = {10 * kMillisecond, 50 * kMillisecond, 90 * kMillisecond};
+  for (Time c : computes) {
+    auto behavior = std::make_unique<ScriptedBehavior>("barrier-proc");
+    behavior->Add(OpCompute(c));
+    behavior->Add(workloads::OpBarrier(barrier));
+    behavior->Add(OpCompute(10 * kMillisecond));
+    Ctx ctx = ts_.cell(0).MakeCtx();
+    auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+    ASSERT_TRUE(pid.ok());
+    pids.push_back(*pid);
+  }
+  ASSERT_TRUE(ts_.hive->RunUntilDone(pids, 10 * kSecond));
+  // Everyone finishes after the slowest arriver (90ms) plus the tail work.
+  for (ProcId pid : pids) {
+    EXPECT_GE(ts_.cell(0).sched().FindProcess(pid)->finished_at, 99 * kMillisecond);
+  }
+}
+
+TEST_F(SchedulerTest, WaitAllBlocksParentUntilChildrenExit) {
+  auto child_pids = std::make_shared<std::vector<ProcId>>();
+  auto parent = std::make_unique<ScriptedBehavior>("parent");
+  for (int i = 0; i < 3; ++i) {
+    parent->Add(workloads::OpFork(
+        0,
+        [] {
+          auto child = std::make_unique<ScriptedBehavior>("child");
+          child->Add(OpCompute(50 * kMillisecond));
+          return child;
+        },
+        child_pids));
+  }
+  parent->Add(workloads::OpWaitAll(child_pids));
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  auto parent_pid = ts_.hive->Fork(ctx, 0, std::move(parent));
+  ASSERT_TRUE(parent_pid.ok());
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*parent_pid}, 10 * kSecond));
+  Process* parent_proc = ts_.cell(0).sched().FindProcess(*parent_pid);
+  // The parent outlives its children.
+  for (ProcId child : *child_pids) {
+    EXPECT_LE(ts_.cell(0).sched().FindProcess(child)->finished_at,
+              parent_proc->finished_at);
+  }
+}
+
+TEST_F(SchedulerTest, CpuBusyTimeAccounted) {
+  const ProcId pid = Spawn(100 * kMillisecond);
+  ASSERT_TRUE(ts_.hive->RunUntilDone({pid}, 10 * kSecond));
+  EXPECT_GE(ts_.cell(0).sched().cpu_busy_ns(), 100 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/flash/disk.h"
+#include "src/flash/event_queue.h"
+#include "src/flash/sips.h"
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+class SipsTest : public ::testing::Test {
+ protected:
+  SipsTest()
+      : config_(hivetest::SmallConfig()),
+        interconnect_(config_),
+        sips_(&queue_, config_, &interconnect_) {}
+
+  std::array<uint8_t, kSipsPayloadBytes> Payload(uint8_t fill) {
+    std::array<uint8_t, kSipsPayloadBytes> p;
+    p.fill(fill);
+    return p;
+  }
+
+  MachineConfig config_;
+  Interconnect interconnect_;
+  EventQueue queue_;
+  Sips sips_;
+};
+
+TEST(InterconnectTest, FourNodesFormTwoByTwoMesh) {
+  Interconnect mesh(hivetest::SmallConfig(4));
+  EXPECT_EQ(mesh.width(), 2);
+  EXPECT_EQ(mesh.height(), 2);
+  EXPECT_EQ(mesh.HopDistance(0, 0), 0);
+  EXPECT_EQ(mesh.HopDistance(0, 1), 1);
+  EXPECT_EQ(mesh.HopDistance(0, 2), 1);
+  EXPECT_EQ(mesh.HopDistance(0, 3), 2);  // Diagonal corner.
+}
+
+TEST(InterconnectTest, DistanceIsSymmetric) {
+  MachineConfig config = hivetest::SmallConfig(4);
+  config.num_nodes = 9;
+  Interconnect mesh(config);
+  EXPECT_EQ(mesh.width(), 3);
+  for (int a = 0; a < 9; ++a) {
+    for (int b = 0; b < 9; ++b) {
+      EXPECT_EQ(mesh.HopDistance(a, b), mesh.HopDistance(b, a));
+    }
+  }
+  EXPECT_EQ(mesh.HopDistance(0, 8), 4);  // Opposite corners of 3x3.
+}
+
+TEST(InterconnectTest, PerHopLatencyAppliesToSips) {
+  MachineConfig config = hivetest::SmallConfig(4);
+  config.latency.mesh_hop_extra_ns = 100;
+  Interconnect mesh(config);
+  EventQueue queue;
+  Sips sips(&queue, config, &mesh);
+  Time near_delivery = 0;
+  Time far_delivery = 0;
+  sips.SetHandler(1, [&](const SipsMessage& msg) { near_delivery = msg.deliver_time; });
+  sips.SetHandler(3, [&](const SipsMessage& msg) { far_delivery = msg.deliver_time; });
+  std::array<uint8_t, kSipsPayloadBytes> payload{};
+  ASSERT_TRUE(sips.Send(0, 1, false, payload).ok());  // 1 hop.
+  ASSERT_TRUE(sips.Send(0, 3, false, payload).ok());  // 2 hops (diagonal).
+  queue.Run();
+  EXPECT_EQ(far_delivery - near_delivery, 100);
+}
+
+TEST_F(SipsTest, DeliversWithIpiPlusPayloadLatency) {
+  Time delivered_at = -1;
+  std::array<uint8_t, kSipsPayloadBytes> seen{};
+  sips_.SetHandler(1, [&](const SipsMessage& msg) {
+    delivered_at = msg.deliver_time;
+    seen = msg.payload;
+  });
+  ASSERT_TRUE(sips_.Send(0, 1, /*is_reply=*/false, Payload(0x7F)).ok());
+  queue_.Run();
+  EXPECT_EQ(delivered_at, config_.latency.ipi_ns + config_.latency.sips_payload_ns);
+  EXPECT_EQ(seen[0], 0x7F);
+  EXPECT_EQ(seen[kSipsPayloadBytes - 1], 0x7F);
+}
+
+TEST_F(SipsTest, QueueDepthProvidesFlowControl) {
+  sips_.SetHandler(1, [](const SipsMessage&) {});
+  for (int i = 0; i < config_.sips_queue_depth; ++i) {
+    ASSERT_TRUE(sips_.Send(0, 1, false, Payload(0)).ok());
+  }
+  // The receive queue is full: hardware flow control pushes back.
+  EXPECT_EQ(sips_.Send(0, 1, false, Payload(0)).code(),
+            base::StatusCode::kResourceExhausted);
+  queue_.Run();
+  // Drained: sending works again.
+  EXPECT_TRUE(sips_.Send(0, 1, false, Payload(0)).ok());
+}
+
+TEST_F(SipsTest, RequestAndReplyQueuesAreSeparate) {
+  sips_.SetHandler(1, [](const SipsMessage&) {});
+  for (int i = 0; i < config_.sips_queue_depth; ++i) {
+    ASSERT_TRUE(sips_.Send(0, 1, /*is_reply=*/false, Payload(0)).ok());
+  }
+  // Requests are full but replies still flow: deadlock avoidance (section 6).
+  EXPECT_TRUE(sips_.Send(0, 1, /*is_reply=*/true, Payload(0)).ok());
+}
+
+TEST_F(SipsTest, MessagesToDeadNodeVanish) {
+  int delivered = 0;
+  sips_.SetHandler(1, [&](const SipsMessage&) { ++delivered; });
+  sips_.SetNodeDead(1, true);
+  EXPECT_TRUE(sips_.Send(0, 1, false, Payload(0)).ok());  // Send "succeeds".
+  queue_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GT(sips_.messages_dropped(), 0u);
+}
+
+TEST_F(SipsTest, MessagesInFlightToNodeThatDiesAreDropped) {
+  int delivered = 0;
+  sips_.SetHandler(1, [&](const SipsMessage&) { ++delivered; });
+  ASSERT_TRUE(sips_.Send(0, 1, false, Payload(0)).ok());
+  sips_.SetNodeDead(1, true);  // Dies before delivery.
+  queue_.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(DiskTest, SequentialAccessIsCheaperThanRandom) {
+  Disk disk(1);
+  const Time first = disk.AccessTime(0, 4096);
+  const Time sequential = disk.AccessTime(4096, 4096);
+  Disk disk2(2);
+  (void)disk2.AccessTime(0, 4096);
+  const Time random = disk2.AccessTime(disk2.capacity_bytes() / 2, 4096);
+  EXPECT_LT(sequential, random);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(disk.sequential_accesses(), 1u);
+}
+
+TEST(DiskTest, TransferTimeScalesWithSize) {
+  Disk disk(1);
+  (void)disk.AccessTime(0, 4096);
+  const Time small = disk.AccessTime(4096, 4096);
+  const Time large = disk.AccessTime(8192, 64 * 4096);
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(DiskTest, SeekTimeMatchesHp97560Curve) {
+  // A full-stroke seek on the HP 97560 is ~8 + 0.008 * 1962 ~= 23.7 ms; with
+  // rotation it stays under ~39 ms; short seeks are a few ms.
+  Disk disk(1);
+  (void)disk.AccessTime(0, 512);
+  const Time full_stroke = disk.AccessTime(disk.capacity_bytes() - 512, 512);
+  EXPECT_GT(full_stroke, 20 * kMillisecond);
+  EXPECT_LT(full_stroke, 45 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,48 @@
+// Shared fixtures for Hive tests: a small simulated machine and a booted
+// system in each configuration the paper evaluates.
+
+#ifndef HIVE_TESTS_TEST_UTIL_H_
+#define HIVE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/core/hive_system.h"
+#include "src/flash/machine.h"
+
+namespace hivetest {
+
+inline flash::MachineConfig SmallConfig(int nodes = 4, int cpus_per_node = 1) {
+  flash::MachineConfig config;
+  config.num_nodes = nodes;
+  config.cpus_per_node = cpus_per_node;
+  config.memory_per_node = 16ull * 1024 * 1024;  // Smaller than FLASH for speed.
+  return config;
+}
+
+struct TestSystem {
+  std::unique_ptr<flash::Machine> machine;
+  std::unique_ptr<hive::HiveSystem> hive;
+
+  hive::Cell& cell(hive::CellId id) { return hive->cell(id); }
+};
+
+inline TestSystem BootHive(int num_cells = 4, int nodes = 4,
+                           hive::HiveOptions options = {}, uint64_t seed = 42) {
+  TestSystem ts;
+  ts.machine = std::make_unique<flash::Machine>(SmallConfig(nodes), seed);
+  options.num_cells = num_cells;
+  ts.hive = std::make_unique<hive::HiveSystem>(ts.machine.get(), options);
+  ts.hive->Boot();
+  return ts;
+}
+
+inline TestSystem BootSmp(int nodes = 4, uint64_t seed = 42) {
+  hive::HiveOptions options;
+  options.smp_mode = true;
+  options.start_wax = false;
+  return BootHive(1, nodes, options, seed);
+}
+
+}  // namespace hivetest
+
+#endif  // HIVE_TESTS_TEST_UTIL_H_

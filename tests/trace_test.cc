@@ -1,0 +1,73 @@
+#include "src/core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/flash/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+TEST(TraceBufferTest, RecordsInOrder) {
+  TraceBuffer trace;
+  trace.Record(100, TraceEvent::kBoot);
+  trace.Record(200, TraceEvent::kHintRaised, 2);
+  trace.Record(300, TraceEvent::kEnterRecovery, 2);
+  const auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].event, TraceEvent::kBoot);
+  EXPECT_EQ(records[2].event, TraceEvent::kEnterRecovery);
+  EXPECT_EQ(records[1].arg0, 2u);
+}
+
+TEST(TraceBufferTest, RingOverwritesOldest) {
+  TraceBuffer trace;
+  for (uint64_t i = 0; i < TraceBuffer::kCapacity + 10; ++i) {
+    trace.Record(static_cast<Time>(i), TraceEvent::kSwapOut, i);
+  }
+  const auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(records.front().arg0, 10u);  // The 10 oldest were overwritten.
+  EXPECT_EQ(records.back().arg0, TraceBuffer::kCapacity + 9);
+  EXPECT_EQ(trace.total_recorded(), TraceBuffer::kCapacity + 10);
+}
+
+TEST(TraceBufferTest, RenderNamesEvents) {
+  TraceBuffer trace;
+  trace.Record(1500, TraceEvent::kPanic);
+  const std::string dump = trace.Render();
+  EXPECT_NE(dump.find("panic"), std::string::npos);
+  EXPECT_NE(dump.find("t=1us"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, FailureLeavesAuditTrailOnSurvivors) {
+  auto ts = hivetest::BootHive(4);
+  flash::FaultInjector injector(ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 30 * kMillisecond);
+  ts.machine->events().RunUntil(300 * kMillisecond);
+
+  // Every survivor booted, entered and exited recovery exactly once.
+  for (CellId c : ts.hive->LiveCells()) {
+    TraceBuffer& trace = ts.cell(c).trace();
+    EXPECT_EQ(trace.Count(TraceEvent::kBoot), 1) << c;
+    EXPECT_EQ(trace.Count(TraceEvent::kEnterRecovery), 1) << c;
+    EXPECT_EQ(trace.Count(TraceEvent::kExitRecovery), 1) << c;
+  }
+  // Somebody raised the hint.
+  int hints = 0;
+  for (CellId c : ts.hive->LiveCells()) {
+    hints += ts.cell(c).trace().Count(TraceEvent::kHintRaised);
+  }
+  EXPECT_GE(hints, 1);
+}
+
+TEST(TraceIntegrationTest, PanickedCellKeepsPostMortem) {
+  auto ts = hivetest::BootHive(4);
+  ts.cell(1).Panic("test");
+  EXPECT_EQ(ts.cell(1).trace().Count(TraceEvent::kPanic), 1);
+  EXPECT_NE(ts.cell(1).trace().Render().find("panic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hive

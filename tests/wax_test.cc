@@ -1,0 +1,110 @@
+// Wax, the user-level resource policy process (paper section 3.2), and the
+// allocation paths it steers.
+
+#include "src/core/wax.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cell.h"
+#include "src/flash/fault_injector.h"
+#include "src/workloads/workload.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+class WaxTest : public ::testing::Test {
+ protected:
+  WaxTest() : ts_(hivetest::BootHive(4)) {}
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(WaxTest, PeriodicScanDeliversHintsToEveryCell) {
+  ts_.machine->events().RunUntil(350 * kMillisecond);
+  EXPECT_GE(ts_.hive->wax().scans(), 2u);
+  for (CellId c = 0; c < 4; ++c) {
+    EXPECT_TRUE(ts_.cell(c).wax_hints().valid) << c;
+    EXPECT_NE(ts_.cell(c).wax_hints().preferred_borrow_target, kInvalidCell);
+  }
+}
+
+TEST_F(WaxTest, BorrowTargetIsMemoryRichCell) {
+  // Drain most of cell 2's free list so it is NOT the richest.
+  Ctx ctx2 = ts_.cell(2).MakeCtx();
+  const size_t drain = ts_.cell(2).allocator().free_frames() - 64;
+  for (size_t i = 0; i < drain; ++i) {
+    AllocConstraints constraints;
+    constraints.kernel_internal = true;
+    auto pfdat = ts_.cell(2).allocator().AllocFrame(ctx2, constraints);
+    ASSERT_TRUE(pfdat.ok());
+  }
+  ts_.machine->events().RunUntil(ts_.machine->Now() + 250 * kMillisecond);
+  for (CellId c = 0; c < 4; ++c) {
+    EXPECT_NE(ts_.cell(c).wax_hints().preferred_borrow_target, 2) << c;
+  }
+}
+
+TEST_F(WaxTest, CellsSanityCheckHints) {
+  // A corrupt Wax pushes a bogus hint: the cell must reject it.
+  Cell& cell = ts_.cell(1);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  RpcArgs args;
+  args.w[0] = 999;       // Nonsense borrow target.
+  args.w[1] = ~0ull;     // Nonsense fork target.
+  RpcReply reply;
+  ASSERT_TRUE(ts_.cell(0).rpc().Call(ctx, 1, MsgType::kWaxHint, args, &reply).ok());
+  EXPECT_TRUE(cell.wax_hints().valid);
+  EXPECT_EQ(cell.wax_hints().preferred_borrow_target, kInvalidCell);
+  EXPECT_EQ(cell.wax_hints().preferred_fork_target, kInvalidCell);
+}
+
+TEST_F(WaxTest, HintsNeverNameDeadCells) {
+  ts_.machine->events().RunUntil(150 * kMillisecond);
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(1, ts_.machine->Now() + 10 * kMillisecond);
+  ts_.machine->events().RunUntil(ts_.machine->Now() + 800 * kMillisecond);
+  ASSERT_TRUE(ts_.hive->wax().running());  // Restarted incarnation.
+  for (CellId c : ts_.hive->LiveCells()) {
+    const WaxHints& hints = ts_.cell(c).wax_hints();
+    EXPECT_NE(hints.preferred_borrow_target, 1) << c;
+    EXPECT_NE(hints.preferred_fork_target, 1) << c;
+  }
+}
+
+TEST_F(WaxTest, AllocatorUsesBorrowHintUnderPressure) {
+  ts_.machine->events().RunUntil(150 * kMillisecond);  // Hints delivered.
+  Cell& cell = ts_.cell(3);
+  Ctx ctx = cell.MakeCtx();
+  // Exhaust local memory down to the reserve.
+  while (cell.allocator().free_frames() > PageAllocator::kLocalReserveFrames) {
+    AllocConstraints constraints;
+    constraints.kernel_internal = true;
+    ASSERT_TRUE(cell.allocator().AllocFrame(ctx, constraints).ok());
+  }
+  // The next unconstrained allocation borrows from the hinted cell.
+  const CellId hinted = cell.wax_hints().preferred_borrow_target;
+  ASSERT_NE(hinted, kInvalidCell);
+  auto pfdat = cell.allocator().AllocFrame(ctx, AllocConstraints{});
+  ASSERT_TRUE(pfdat.ok());
+  EXPECT_TRUE((*pfdat)->extended);
+  EXPECT_EQ((*pfdat)->borrowed_from, hinted);
+}
+
+TEST_F(WaxTest, NotStartedInSmpMode) {
+  auto smp = hivetest::BootSmp();
+  smp.machine->events().RunUntil(500 * kMillisecond);
+  EXPECT_FALSE(smp.hive->wax().running());
+  EXPECT_EQ(smp.hive->wax().scans(), 0u);
+}
+
+TEST_F(WaxTest, IncarnationCountsRestarts) {
+  ts_.machine->events().RunUntil(150 * kMillisecond);
+  EXPECT_EQ(ts_.hive->wax().incarnation(), 1);
+  flash::FaultInjector injector(ts_.machine.get(), 2);
+  injector.ScheduleNodeFailure(2, ts_.machine->Now() + 5 * kMillisecond);
+  ts_.machine->events().RunUntil(ts_.machine->Now() + 800 * kMillisecond);
+  EXPECT_EQ(ts_.hive->wax().incarnation(), 2);
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,192 @@
+#include "src/workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/ocean.h"
+#include "src/workloads/pmake.h"
+#include "src/workloads/raytrace.h"
+#include "tests/test_util.h"
+
+namespace workloads {
+namespace {
+
+TEST(PatternDataTest, Deterministic) {
+  EXPECT_EQ(PatternData(42, 1000), PatternData(42, 1000));
+}
+
+TEST(PatternDataTest, SeedsProduceDifferentStreams) {
+  EXPECT_NE(PatternData(1, 256), PatternData(2, 256));
+}
+
+TEST(PatternDataTest, PrefixStable) {
+  // Byte i depends only on (seed, i): a longer stream extends a shorter one,
+  // which the offset-write verification relies on.
+  const auto short_data = PatternData(7, 100);
+  const auto long_data = PatternData(7, 1000);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(short_data[i], long_data[i]) << i;
+  }
+}
+
+TEST(PatternDataTest, ChecksumDetectsCorruption) {
+  auto data = PatternData(3, 512);
+  const uint64_t clean = Checksum(data);
+  data[100] ^= 0x01;
+  EXPECT_NE(Checksum(data), clean);
+}
+
+TEST(PatternDataTest, PatternChecksumAgrees) {
+  EXPECT_EQ(PatternChecksum(9, 333), Checksum(PatternData(9, 333)));
+}
+
+class ScriptedBehaviorTest : public ::testing::Test {
+ protected:
+  ScriptedBehaviorTest() : ts_(hivetest::BootHive(1, 4, NoWax())) {}
+  static hive::HiveOptions NoWax() {
+    hive::HiveOptions options;
+    options.start_wax = false;
+    return options;
+  }
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(ScriptedBehaviorTest, OpsRunInOrder) {
+  std::vector<int> order;
+  auto behavior = std::make_unique<ScriptedBehavior>("ordered");
+  for (int i = 0; i < 5; ++i) {
+    behavior->Add([&order, i](Ctx& ctx, Process&) {
+      ctx.Charge(1000);
+      order.push_back(i);
+      return StepOutcome::kContinue;
+    });
+  }
+  hive::Ctx ctx = ts_.cell(0).MakeCtx();
+  auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*pid}, 10 * hive::kSecond));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ScriptedBehaviorTest, MultiStepOpRepeats) {
+  auto behavior = std::make_unique<ScriptedBehavior>("compute");
+  behavior->Add(OpCompute(42 * hive::kMillisecond, 5 * hive::kMillisecond));
+  hive::Ctx ctx = ts_.cell(0).MakeCtx();
+  auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*pid}, 10 * hive::kSecond));
+  hive::Process* proc = ts_.cell(0).sched().FindProcess(*pid);
+  EXPECT_GE(proc->finished_at, 42 * hive::kMillisecond);
+}
+
+TEST_F(ScriptedBehaviorTest, FailedOpAbortsProcess) {
+  auto behavior = std::make_unique<ScriptedBehavior>("fail");
+  auto fd = std::make_shared<int>(-1);
+  behavior->Add(OpOpen("/does/not/exist", fd));
+  behavior->Add([](Ctx&, Process&) {
+    ADD_FAILURE() << "op after a failed op must not run";
+    return StepOutcome::kContinue;
+  });
+  hive::Ctx ctx = ts_.cell(0).MakeCtx();
+  auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*pid}, 10 * hive::kSecond));
+  hive::Process* proc = ts_.cell(0).sched().FindProcess(*pid);
+  EXPECT_EQ(proc->state(), hive::ProcState::kKilled);
+  EXPECT_NE(proc->exit_reason.find("open failed"), std::string::npos);
+}
+
+TEST_F(ScriptedBehaviorTest, FileRoundTripThroughOps) {
+  hive::Ctx sctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(ts_.cell(0).fs().Create(sctx, "/wt", {}).ok());
+  auto behavior = std::make_unique<ScriptedBehavior>("rw");
+  auto fd = std::make_shared<int>(-1);
+  behavior->Add(OpOpen("/wt", fd));
+  behavior->Add(OpWrite(fd, 0, 8192, /*seed=*/55));
+  behavior->Add(OpRead(fd, 0, 8192, /*verify_seed=*/55));
+  behavior->Add(OpClose(fd));
+  hive::Ctx ctx = ts_.cell(0).MakeCtx();
+  auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*pid}, 10 * hive::kSecond));
+  EXPECT_EQ(ts_.cell(0).sched().FindProcess(*pid)->state(), hive::ProcState::kExited);
+}
+
+TEST_F(ScriptedBehaviorTest, ReadVerificationCatchesWrongSeed) {
+  hive::Ctx sctx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(ts_.cell(0).fs().Create(sctx, "/wv", PatternData(1, 4096)).ok());
+  auto behavior = std::make_unique<ScriptedBehavior>("verify");
+  auto fd = std::make_shared<int>(-1);
+  behavior->Add(OpOpen("/wv", fd));
+  behavior->Add(OpRead(fd, 0, 4096, /*verify_seed=*/2));  // Wrong seed.
+  hive::Ctx ctx = ts_.cell(0).MakeCtx();
+  auto pid = ts_.hive->Fork(ctx, 0, std::move(behavior));
+  ASSERT_TRUE(ts_.hive->RunUntilDone({*pid}, 10 * hive::kSecond));
+  hive::Process* proc = ts_.cell(0).sched().FindProcess(*pid);
+  EXPECT_EQ(proc->state(), hive::ProcState::kKilled);
+  EXPECT_EQ(proc->exit_reason, "read data corrupt");
+}
+
+// Property sweep: every workload completes and validates on every cell-count
+// configuration the paper evaluates.
+class WorkloadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSweepTest, PmakeCompletesAndValidates) {
+  const int cells = GetParam();
+  auto ts = hivetest::BootHive(cells);
+  PmakeParams params;
+  params.jobs = 6;
+  params.source_bytes = 8 * 1024;
+  params.output_bytes = 16 * 1024;
+  params.shared_text_pages = 20;
+  params.private_file_pages = 40;
+  params.anon_pages = 20;
+  params.scratch_pages = 2;
+  params.metadata_ops = 5;
+  params.compute_per_job = 80 * hive::kMillisecond;
+  params.name_seed = 7000 + static_cast<uint64_t>(cells);
+  PmakeWorkload pmake(ts.hive.get(), params);
+  pmake.Setup();
+  auto pids = pmake.Start();
+  ASSERT_TRUE(ts.hive->RunUntilDone(pids, 120 * hive::kSecond));
+  EXPECT_EQ(pmake.CompletedJobs(), params.jobs);
+  EXPECT_EQ(pmake.ValidateOutputs(), 0);
+}
+
+TEST_P(WorkloadSweepTest, OceanCompletes) {
+  const int cells = GetParam();
+  auto ts = hivetest::BootHive(cells);
+  OceanParams params;
+  params.grid_pages = 128;
+  params.timesteps = 6;
+  params.compute_per_step = 8 * hive::kMillisecond;
+  params.touches_per_step = 8;
+  params.name_seed = 7100 + static_cast<uint64_t>(cells);
+  OceanWorkload ocean(ts.hive.get(), params);
+  ocean.Setup();
+  auto pids = ocean.Start();
+  ASSERT_TRUE(ts.hive->RunUntilDone(pids, 120 * hive::kSecond));
+  for (hive::ProcId pid : pids) {
+    const hive::CellId c = ts.hive->FindProcessCell(pid);
+    EXPECT_EQ(ts.hive->cell(c).sched().FindProcess(pid)->state(),
+              hive::ProcState::kExited);
+  }
+}
+
+TEST_P(WorkloadSweepTest, RaytraceCompletesAndValidates) {
+  const int cells = GetParam();
+  auto ts = hivetest::BootHive(cells);
+  RaytraceParams params;
+  params.scene_pages = 32;
+  params.blocks_per_worker = 2;
+  params.compute_per_block = 15 * hive::kMillisecond;
+  params.result_bytes = 8 * 1024;
+  params.name_seed = 7200 + static_cast<uint64_t>(cells);
+  RaytraceWorkload ray(ts.hive.get(), params);
+  auto pids = ray.Start();
+  ASSERT_TRUE(ts.hive->RunUntilDone(pids, 120 * hive::kSecond));
+  EXPECT_EQ(ray.ValidateOutputs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CellCounts, WorkloadSweepTest, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "cells";
+                         });
+
+}  // namespace
+}  // namespace workloads
