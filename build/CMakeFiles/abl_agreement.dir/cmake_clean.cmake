@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_agreement.dir/bench/abl_agreement.cc.o"
+  "CMakeFiles/abl_agreement.dir/bench/abl_agreement.cc.o.d"
+  "bench/abl_agreement"
+  "bench/abl_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

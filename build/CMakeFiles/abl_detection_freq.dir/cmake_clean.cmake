@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_detection_freq.dir/bench/abl_detection_freq.cc.o"
+  "CMakeFiles/abl_detection_freq.dir/bench/abl_detection_freq.cc.o.d"
+  "bench/abl_detection_freq"
+  "bench/abl_detection_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_detection_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_firewall_policy.dir/bench/abl_firewall_policy.cc.o"
+  "CMakeFiles/abl_firewall_policy.dir/bench/abl_firewall_policy.cc.o.d"
+  "bench/abl_firewall_policy"
+  "bench/abl_firewall_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_firewall_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

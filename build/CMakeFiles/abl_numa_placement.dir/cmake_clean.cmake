@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa_placement.dir/bench/abl_numa_placement.cc.o"
+  "CMakeFiles/abl_numa_placement.dir/bench/abl_numa_placement.cc.o.d"
+  "bench/abl_numa_placement"
+  "bench/abl_numa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

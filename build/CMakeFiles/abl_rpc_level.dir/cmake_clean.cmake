@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rpc_level.dir/bench/abl_rpc_level.cc.o"
+  "CMakeFiles/abl_rpc_level.dir/bench/abl_rpc_level.cc.o.d"
+  "bench/abl_rpc_level"
+  "bench/abl_rpc_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rpc_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_microbench.dir/bench/gb_microbench.cc.o"
+  "CMakeFiles/gb_microbench.dir/bench/gb_microbench.cc.o.d"
+  "bench/gb_microbench"
+  "bench/gb_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

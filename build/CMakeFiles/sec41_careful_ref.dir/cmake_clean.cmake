@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_careful_ref.dir/bench/sec41_careful_ref.cc.o"
+  "CMakeFiles/sec41_careful_ref.dir/bench/sec41_careful_ref.cc.o.d"
+  "bench/sec41_careful_ref"
+  "bench/sec41_careful_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_careful_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_firewall_overhead.dir/bench/sec42_firewall_overhead.cc.o"
+  "CMakeFiles/sec42_firewall_overhead.dir/bench/sec42_firewall_overhead.cc.o.d"
+  "bench/sec42_firewall_overhead"
+  "bench/sec42_firewall_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_firewall_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_writable_pages.dir/bench/sec42_writable_pages.cc.o"
+  "CMakeFiles/sec42_writable_pages.dir/bench/sec42_writable_pages.cc.o.d"
+  "bench/sec42_writable_pages"
+  "bench/sec42_writable_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_writable_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

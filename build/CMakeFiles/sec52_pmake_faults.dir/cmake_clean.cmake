@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_pmake_faults.dir/bench/sec52_pmake_faults.cc.o"
+  "CMakeFiles/sec52_pmake_faults.dir/bench/sec52_pmake_faults.cc.o.d"
+  "bench/sec52_pmake_faults"
+  "bench/sec52_pmake_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_pmake_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

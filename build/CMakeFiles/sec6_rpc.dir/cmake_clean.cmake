@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_rpc.dir/bench/sec6_rpc.cc.o"
+  "CMakeFiles/sec6_rpc.dir/bench/sec6_rpc.cc.o.d"
+  "bench/sec6_rpc"
+  "bench/sec6_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab52_page_fault.dir/bench/tab52_page_fault.cc.o"
+  "CMakeFiles/tab52_page_fault.dir/bench/tab52_page_fault.cc.o.d"
+  "bench/tab52_page_fault"
+  "bench/tab52_page_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab52_page_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

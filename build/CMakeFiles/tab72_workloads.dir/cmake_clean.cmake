@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab72_workloads.dir/bench/tab72_workloads.cc.o"
+  "CMakeFiles/tab72_workloads.dir/bench/tab72_workloads.cc.o.d"
+  "bench/tab72_workloads"
+  "bench/tab72_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab72_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

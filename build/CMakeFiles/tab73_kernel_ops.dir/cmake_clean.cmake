@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab73_kernel_ops.dir/bench/tab73_kernel_ops.cc.o"
+  "CMakeFiles/tab73_kernel_ops.dir/bench/tab73_kernel_ops.cc.o.d"
+  "bench/tab73_kernel_ops"
+  "bench/tab73_kernel_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab73_kernel_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab73_kernel_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab74_fault_injection.dir/bench/tab74_fault_injection.cc.o"
+  "CMakeFiles/tab74_fault_injection.dir/bench/tab74_fault_injection.cc.o.d"
+  "bench/tab74_fault_injection"
+  "bench/tab74_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab74_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_server.dir/compute_server.cc.o"
+  "CMakeFiles/compute_server.dir/compute_server.cc.o.d"
+  "compute_server"
+  "compute_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_app.dir/parallel_app.cc.o"
+  "CMakeFiles/parallel_app.dir/parallel_app.cc.o.d"
+  "parallel_app"
+  "parallel_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_base.dir/histogram.cc.o"
+  "CMakeFiles/hive_base.dir/histogram.cc.o.d"
+  "CMakeFiles/hive_base.dir/log.cc.o"
+  "CMakeFiles/hive_base.dir/log.cc.o.d"
+  "CMakeFiles/hive_base.dir/status.cc.o"
+  "CMakeFiles/hive_base.dir/status.cc.o.d"
+  "CMakeFiles/hive_base.dir/table.cc.o"
+  "CMakeFiles/hive_base.dir/table.cc.o.d"
+  "libhive_base.a"
+  "libhive_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

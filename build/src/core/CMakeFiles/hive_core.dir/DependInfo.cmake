@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_space.cc" "src/core/CMakeFiles/hive_core.dir/address_space.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/address_space.cc.o.d"
+  "/root/repo/src/core/agreement.cc" "src/core/CMakeFiles/hive_core.dir/agreement.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/agreement.cc.o.d"
+  "/root/repo/src/core/careful_ref.cc" "src/core/CMakeFiles/hive_core.dir/careful_ref.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/careful_ref.cc.o.d"
+  "/root/repo/src/core/cell.cc" "src/core/CMakeFiles/hive_core.dir/cell.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/cell.cc.o.d"
+  "/root/repo/src/core/cow_tree.cc" "src/core/CMakeFiles/hive_core.dir/cow_tree.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/cow_tree.cc.o.d"
+  "/root/repo/src/core/failure_detection.cc" "src/core/CMakeFiles/hive_core.dir/failure_detection.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/failure_detection.cc.o.d"
+  "/root/repo/src/core/filesystem.cc" "src/core/CMakeFiles/hive_core.dir/filesystem.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/filesystem.cc.o.d"
+  "/root/repo/src/core/firewall_manager.cc" "src/core/CMakeFiles/hive_core.dir/firewall_manager.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/firewall_manager.cc.o.d"
+  "/root/repo/src/core/hive_system.cc" "src/core/CMakeFiles/hive_core.dir/hive_system.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/hive_system.cc.o.d"
+  "/root/repo/src/core/kernel_heap.cc" "src/core/CMakeFiles/hive_core.dir/kernel_heap.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/kernel_heap.cc.o.d"
+  "/root/repo/src/core/page_allocator.cc" "src/core/CMakeFiles/hive_core.dir/page_allocator.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/page_allocator.cc.o.d"
+  "/root/repo/src/core/pageout.cc" "src/core/CMakeFiles/hive_core.dir/pageout.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/pageout.cc.o.d"
+  "/root/repo/src/core/pfdat.cc" "src/core/CMakeFiles/hive_core.dir/pfdat.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/pfdat.cc.o.d"
+  "/root/repo/src/core/process.cc" "src/core/CMakeFiles/hive_core.dir/process.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/process.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/hive_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/hive_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rpc.cc" "src/core/CMakeFiles/hive_core.dir/rpc.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/rpc.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/hive_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/spanning_task.cc" "src/core/CMakeFiles/hive_core.dir/spanning_task.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/spanning_task.cc.o.d"
+  "/root/repo/src/core/swap.cc" "src/core/CMakeFiles/hive_core.dir/swap.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/swap.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/hive_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/vm_fault.cc" "src/core/CMakeFiles/hive_core.dir/vm_fault.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/vm_fault.cc.o.d"
+  "/root/repo/src/core/wax.cc" "src/core/CMakeFiles/hive_core.dir/wax.cc.o" "gcc" "src/core/CMakeFiles/hive_core.dir/wax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/hive_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

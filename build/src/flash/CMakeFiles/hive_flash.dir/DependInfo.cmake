@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/disk.cc" "src/flash/CMakeFiles/hive_flash.dir/disk.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/disk.cc.o.d"
+  "/root/repo/src/flash/event_queue.cc" "src/flash/CMakeFiles/hive_flash.dir/event_queue.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/event_queue.cc.o.d"
+  "/root/repo/src/flash/fault_injector.cc" "src/flash/CMakeFiles/hive_flash.dir/fault_injector.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/fault_injector.cc.o.d"
+  "/root/repo/src/flash/firewall.cc" "src/flash/CMakeFiles/hive_flash.dir/firewall.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/firewall.cc.o.d"
+  "/root/repo/src/flash/interconnect.cc" "src/flash/CMakeFiles/hive_flash.dir/interconnect.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/interconnect.cc.o.d"
+  "/root/repo/src/flash/machine.cc" "src/flash/CMakeFiles/hive_flash.dir/machine.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/machine.cc.o.d"
+  "/root/repo/src/flash/phys_mem.cc" "src/flash/CMakeFiles/hive_flash.dir/phys_mem.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/phys_mem.cc.o.d"
+  "/root/repo/src/flash/sips.cc" "src/flash/CMakeFiles/hive_flash.dir/sips.cc.o" "gcc" "src/flash/CMakeFiles/hive_flash.dir/sips.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hive_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_flash.dir/disk.cc.o"
+  "CMakeFiles/hive_flash.dir/disk.cc.o.d"
+  "CMakeFiles/hive_flash.dir/event_queue.cc.o"
+  "CMakeFiles/hive_flash.dir/event_queue.cc.o.d"
+  "CMakeFiles/hive_flash.dir/fault_injector.cc.o"
+  "CMakeFiles/hive_flash.dir/fault_injector.cc.o.d"
+  "CMakeFiles/hive_flash.dir/firewall.cc.o"
+  "CMakeFiles/hive_flash.dir/firewall.cc.o.d"
+  "CMakeFiles/hive_flash.dir/interconnect.cc.o"
+  "CMakeFiles/hive_flash.dir/interconnect.cc.o.d"
+  "CMakeFiles/hive_flash.dir/machine.cc.o"
+  "CMakeFiles/hive_flash.dir/machine.cc.o.d"
+  "CMakeFiles/hive_flash.dir/phys_mem.cc.o"
+  "CMakeFiles/hive_flash.dir/phys_mem.cc.o.d"
+  "CMakeFiles/hive_flash.dir/sips.cc.o"
+  "CMakeFiles/hive_flash.dir/sips.cc.o.d"
+  "libhive_flash.a"
+  "libhive_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_workloads.dir/ocean.cc.o"
+  "CMakeFiles/hive_workloads.dir/ocean.cc.o.d"
+  "CMakeFiles/hive_workloads.dir/pmake.cc.o"
+  "CMakeFiles/hive_workloads.dir/pmake.cc.o.d"
+  "CMakeFiles/hive_workloads.dir/raytrace.cc.o"
+  "CMakeFiles/hive_workloads.dir/raytrace.cc.o.d"
+  "CMakeFiles/hive_workloads.dir/workload.cc.o"
+  "CMakeFiles/hive_workloads.dir/workload.cc.o.d"
+  "libhive_workloads.a"
+  "libhive_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/careful_ref_test.dir/careful_ref_test.cc.o"
+  "CMakeFiles/careful_ref_test.dir/careful_ref_test.cc.o.d"
+  "careful_ref_test"
+  "careful_ref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/careful_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

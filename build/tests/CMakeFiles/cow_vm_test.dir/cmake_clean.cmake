@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_vm_test.dir/cow_vm_test.cc.o"
+  "CMakeFiles/cow_vm_test.dir/cow_vm_test.cc.o.d"
+  "cow_vm_test"
+  "cow_vm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

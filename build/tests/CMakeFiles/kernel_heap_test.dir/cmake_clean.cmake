@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_heap_test.dir/kernel_heap_test.cc.o"
+  "CMakeFiles/kernel_heap_test.dir/kernel_heap_test.cc.o.d"
+  "kernel_heap_test"
+  "kernel_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

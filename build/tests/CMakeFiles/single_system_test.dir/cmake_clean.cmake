@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_system_test.dir/single_system_test.cc.o"
+  "CMakeFiles/single_system_test.dir/single_system_test.cc.o.d"
+  "single_system_test"
+  "single_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sips_disk_test.dir/sips_disk_test.cc.o"
+  "CMakeFiles/sips_disk_test.dir/sips_disk_test.cc.o.d"
+  "sips_disk_test"
+  "sips_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sips_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

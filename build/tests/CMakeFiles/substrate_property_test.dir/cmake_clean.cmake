@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_property_test.dir/substrate_property_test.cc.o"
+  "CMakeFiles/substrate_property_test.dir/substrate_property_test.cc.o.d"
+  "substrate_property_test"
+  "substrate_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wax_test.dir/wax_test.cc.o"
+  "CMakeFiles/wax_test.dir/wax_test.cc.o.d"
+  "wax_test"
+  "wax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
