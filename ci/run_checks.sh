@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Repository check driver:
+#   1. hive_lint passes clean on the shipped tree;
+#   2. hive_lint flags every seeded violation in tests/lint_fixtures
+#      (including the R0 bad-suppression case) and honours the one properly
+#      suppressed site;
+#   3. the full test suite builds and passes under ASan+UBSan.
+#
+# Usage: ci/run_checks.sh [primary-build-dir]
+# Also registered as the `run_checks` ctest entry (see tests/CMakeLists.txt),
+# which passes the primary build dir and sets HIVE_SOURCE_DIR.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="${HIVE_SOURCE_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+LINT="$BUILD_DIR/tools/hive_lint/hive_lint"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+fail() {
+  echo "run_checks: FAIL: $*" >&2
+  exit 1
+}
+
+[[ -x "$LINT" ]] || fail "hive_lint not built at $LINT (build the primary tree first)"
+
+echo "== hive_lint: shipped tree must be clean =="
+"$LINT" --root "$SOURCE_DIR" || fail "hive_lint found violations in the shipped tree"
+
+echo "== hive_lint: seeded fixtures must be flagged =="
+fixture_out="$("$LINT" --root "$SOURCE_DIR/tests/lint_fixtures" 2>&1)" && \
+  fail "hive_lint exited 0 on the seeded fixture tree"
+echo "$fixture_out"
+for rule in R0 R1 R2 R3 R4 R5; do
+  grep -q ": $rule:" <<<"$fixture_out" || fail "fixture scan did not report $rule"
+done
+# The properly suppressed site (bad_direct_access.cc line 19) must be absent.
+grep -q "bad_direct_access.cc:19" <<<"$fixture_out" && \
+  fail "hive_lint reported the properly suppressed fixture line"
+
+echo "== sanitizer build: ASan+UBSan test suite =="
+ASAN_DIR="$BUILD_DIR/check-asan"
+cmake -B "$ASAN_DIR" -S "$SOURCE_DIR" \
+  -DHIVE_SANITIZE=address,undefined \
+  -DHIVE_ENABLE_CHECKS_TEST=OFF >/dev/null
+cmake --build "$ASAN_DIR" --target hive_tests -j "$JOBS" >/dev/null
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
+  -E '^(hive_lint_clean|hive_lint_fixture)$' || fail "sanitizer test suite failed"
+
+echo "run_checks: OK"

@@ -54,6 +54,7 @@ void Cell::ChargeSyscallTax(Ctx& ctx) {
 }
 
 uint64_t Cell::ReadOwnClock() const {
+  // hive-lint: allow(R1): the cell reads its own clock word in local memory; not an intercell access.
   return machine().mem().ReadValue<uint64_t>(cpus_.front(), clock_word_addr_);
 }
 
@@ -272,6 +273,7 @@ void Cell::ClockTick() {
   try {
     const uint64_t value = heap_->Read<uint64_t>(clock_word_addr_);
     heap_->Write<uint64_t>(clock_word_addr_, value + 1);
+    // hive-lint: allow(R3): bus error outside a careful section panics this kernel (paper 4.1) -- the required conversion IS the panic.
   } catch (const flash::BusError& e) {
     Panic(std::string("bus error updating own clock: ") + e.what());
     return;

@@ -17,6 +17,8 @@ const char* HintReasonName(HintReason reason) {
       return "clock-stale";
     case HintReason::kCarefulCheckFailed:
       return "careful-check-failed";
+    case HintReason::kInvariantMismatch:
+      return "invariant-mismatch";
   }
   return "unknown";
 }

@@ -33,6 +33,7 @@ enum class HintReason {
   kBusError,
   kClockStale,
   kCarefulCheckFailed,
+  kInvariantMismatch,  // Firewall/ownership audit found state only a wild write explains.
 };
 
 const char* HintReasonName(HintReason reason);

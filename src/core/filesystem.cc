@@ -569,6 +569,7 @@ base::Status FileSystem::Read(Ctx& ctx, const FileHandle& handle, uint64_t offse
     try {
       cell_->machine().mem().Read(ctx.cpu, frame + in_page,
                                   out.subspan(done, chunk));
+      // hive-lint: allow(R3): careful-read boundary for bulk page copies; raises a hint and converts to Status.
     } catch (const flash::BusError&) {
       // The data home's memory vanished mid-copy.
       cell_->detector().RaiseHint(ctx, handle.data_home, HintReason::kBusError);
@@ -714,6 +715,7 @@ base::Status FileSystem::Sync(Ctx& ctx, VnodeId local_vnode) {
       cell_->machine().mem().DmaRead(
           cell_->first_node(), pfdat->frame,
           std::span<uint8_t>(vnode->disk_image.data() + byte, n));
+      // hive-lint: allow(R3): write-behind DMA from a possibly borrowed frame; loss is contained per page.
     } catch (const flash::BusError&) {
       // The frame (borrowed) is gone; the page is lost.
       NoteDirtyPageLost(local_vnode);
@@ -949,6 +951,7 @@ void FileSystem::RegisterHandlers() {
                                                        /*want_write=*/true));
           try {
             cell_->machine().mem().Read(sctx.cpu, src, std::span<uint8_t>(buf));
+            // hive-lint: allow(R3): server-side careful read of the caller's buffer; converted to Status.
           } catch (const flash::BusError&) {
             pfdat->refcount--;
             return base::IoError();
@@ -1001,6 +1004,7 @@ void FileSystem::RegisterHandlers() {
         std::vector<uint8_t> buf(chunk);
         try {
           cell_->machine().mem().Read(sctx.cpu, src, std::span<uint8_t>(buf));
+          // hive-lint: allow(R3): server-side careful read of the caller's buffer; converted to Status.
         } catch (const flash::BusError&) {
           pfdat->refcount--;
           return base::IoError();

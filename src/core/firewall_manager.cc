@@ -124,6 +124,28 @@ int FirewallManager::RevokeAllRemote(Ctx& ctx) {
   return revoked;
 }
 
+bool FirewallManager::HasGrant(Pfn pfn, CellId client_cell) const {
+  auto page_it = grants_by_page_.find(pfn);
+  if (page_it == grants_by_page_.end()) {
+    return false;
+  }
+  auto cell_it = page_it->second.find(client_cell);
+  return cell_it != page_it->second.end() && cell_it->second > 0;
+}
+
+std::vector<CellId> FirewallManager::GrantedCells(Pfn pfn) const {
+  std::vector<CellId> cells;
+  auto page_it = grants_by_page_.find(pfn);
+  if (page_it != grants_by_page_.end()) {
+    for (const auto& [client, count] : page_it->second) {
+      if (count > 0) {
+        cells.push_back(client);
+      }
+    }
+  }
+  return cells;
+}
+
 int FirewallManager::RemotelyWritablePages() const {
   return static_cast<int>(grants_by_page_.size());
 }

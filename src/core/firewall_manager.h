@@ -16,6 +16,7 @@
 #define HIVE_SRC_CORE_FIREWALL_MANAGER_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/core/context.h"
@@ -52,6 +53,10 @@ class FirewallManager {
   // Measurement for the section 4.2 experiment: number of local pages
   // currently writable by at least one remote cell.
   int RemotelyWritablePages() const;
+
+  // Invariant auditing: grant bookkeeping snapshots (see invariant_checker.h).
+  bool HasGrant(Pfn pfn, CellId client_cell) const;
+  std::vector<CellId> GrantedCells(Pfn pfn) const;
 
   uint64_t grants() const { return grants_; }
   uint64_t revokes() const { return revokes_; }

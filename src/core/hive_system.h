@@ -39,6 +39,9 @@ struct HiveOptions {
   bool numa_placement = false;
   bool start_wax = true;
   bool auto_reintegrate = false;
+  // Debug-mode audit: after every recovery round, cross-check firewall
+  // vectors against kernel bookkeeping (see invariant_checker.h).
+  bool audit_invariants = true;
   KernelCosts costs;
 };
 

@@ -1,0 +1,77 @@
+// Debug-mode invariant auditor: cross-checks the hardware firewall
+// write-permission vectors against the kernel's own bookkeeping (page
+// ownership, firewall grant counts, pfdat export and loan state).
+//
+// The firewall (paper section 4.2) is only as good as the vectors the kernels
+// program into it: a page whose vector admits a processor the bookkeeping
+// never granted is one wild write away from undetected corruption. The
+// auditor recomputes the expected vector for every local page of every live
+// cell --
+//
+//   expected = (loaned_out ? borrower's CpuMask : owner's CpuMask)
+//              | union of CpuMask(client) over outstanding firewall grants
+//
+// -- and reports any page whose hardware vector disagrees, plus export/loan
+// bookkeeping that lost its matching grant. A mismatch that implicates a
+// specific remote cell (an unauthorized permission bit) is surfaced through
+// the normal failure-detection path as a HintReason::kInvariantMismatch, so
+// tests and the post-recovery audit exercise the same alert machinery real
+// detections use.
+//
+// The audit is a pure read of simulator state: it charges no simulated time
+// and is skipped entirely in SMP baseline mode, when firewall checking is
+// disabled, and under the kGlobalBit ablation (whose grants are deliberately
+// lossy: one bit per page means revocation cannot restore per-cell state).
+
+#ifndef HIVE_SRC_CORE_INVARIANT_CHECKER_H_
+#define HIVE_SRC_CORE_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace hive {
+
+class HiveSystem;
+
+struct InvariantMismatch {
+  CellId cell = kInvalidCell;  // The audited cell (owner of the page).
+  Pfn pfn = 0;
+  uint64_t expected = 0;       // Expected firewall vector (0 for bookkeeping-only checks).
+  uint64_t actual = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct InvariantReport {
+  std::vector<InvariantMismatch> mismatches;
+  uint64_t pages_audited = 0;
+  int cells_audited = 0;
+
+  bool clean() const { return mismatches.empty(); }
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(HiveSystem* system) : system_(system) {}
+
+  // Audits every live cell. With raise_hints, each mismatch that implicates
+  // a specific cell raises a failure-detection hint from the audited cell.
+  InvariantReport AuditAll(bool raise_hints = false);
+
+  // Audits one cell's local pages and sharing state.
+  InvariantReport AuditCell(CellId cell_id, bool raise_hints = false);
+
+ private:
+  void AuditFirewallVectors(CellId cell_id, bool raise_hints, InvariantReport* report);
+  void AuditExports(CellId cell_id, InvariantReport* report);
+
+  HiveSystem* system_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_INVARIANT_CHECKER_H_

@@ -66,6 +66,12 @@ class PageAllocator {
   // Recovery/eviction: puts an unbound local frame back on the free list.
   void ReleaseToFreeList(Pfdat* pfdat);
 
+  // Invariant auditing: whether this local frame is currently loaned out
+  // (must agree with the pfdat's loaned_out flag).
+  bool IsLoanedFrame(const Pfdat* pfdat) const {
+    return loaned_.count(const_cast<Pfdat*>(pfdat)) > 0;
+  }
+
   size_t free_frames() const { return free_list_.size(); }
   size_t loaned_frames() const { return loaned_.size(); }
   uint64_t borrow_rpcs() const { return borrow_rpcs_; }

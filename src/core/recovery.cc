@@ -6,6 +6,7 @@
 #include "src/core/cell.h"
 #include "src/core/filesystem.h"
 #include "src/core/hive_system.h"
+#include "src/core/invariant_checker.h"
 
 namespace hive {
 namespace {
@@ -219,6 +220,17 @@ RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_c
             reint_ctx.start = system_->machine().Now();
             (void)Reintegrate(reint_ctx, f);
           });
+    }
+  }
+
+  // Debug-mode audit: recovery just rewrote grant, export and loan state on
+  // every live cell; verify the firewall vectors agree with the new
+  // bookkeeping. Raised hints are absorbed by the in-progress alert episode.
+  if (system_->options().audit_invariants) {
+    InvariantChecker checker(system_);
+    const InvariantReport audit = checker.AuditAll(/*raise_hints=*/true);
+    for (const InvariantMismatch& mismatch : audit.mismatches) {
+      LOG(kWarn) << "post-recovery invariant audit: " << mismatch.ToString();
     }
   }
 

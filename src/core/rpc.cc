@@ -104,6 +104,7 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
   base::Status status = base::OkStatus();
   try {
     status = tcell.rpc().Serve(server_ctx, type, args, reply);
+    // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
   } catch (const flash::BusError& e) {
     // A bus error during kernel service outside a careful section means the
     // serving kernel is corrupt: it panics, and the client times out.
@@ -168,6 +169,7 @@ base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const Rp
   base::Status status = base::OkStatus();
   try {
     status = tcell.rpc().Serve(server_ctx, type, args, reply);
+    // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
   } catch (const flash::BusError& e) {
     tcell.Panic(std::string("bus error during RPC service: ") + e.what());
   }

@@ -109,6 +109,7 @@ void Scheduler::RunSlice(int cpu_index) {
     const Time before = ctx.elapsed;
     try {
       outcome = proc->behavior()->Step(ctx, *proc);
+      // hive-lint: allow(R3): this catch implements the section 4.1 discipline itself: uncontained bus error => panic.
     } catch (const flash::BusError& e) {
       // A bus error during kernel execution outside a careful section means
       // this kernel is corrupt (paper section 4.1): panic.

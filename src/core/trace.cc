@@ -32,6 +32,8 @@ const char* TraceEventName(TraceEvent event) {
       return "page-migrated";
     case TraceEvent::kProcessKilled:
       return "process-killed";
+    case TraceEvent::kInvariantMismatch:
+      return "invariant-mismatch";
   }
   return "?";
 }

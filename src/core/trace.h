@@ -31,6 +31,7 @@ enum class TraceEvent : uint8_t {
   kSwapIn,            // arg0 = frame.
   kPageMigrated,      // arg0 = old frame, arg1 = new frame.
   kProcessKilled,     // arg0 = pid.
+  kInvariantMismatch, // arg0 = pfn, arg1 = unauthorized permission bits.
 };
 
 const char* TraceEventName(TraceEvent event);

@@ -36,6 +36,7 @@ base::Result<Pfdat*> CreateAnonPage(Ctx& ctx, Process& proc, uint64_t offset) {
   static constexpr uint8_t kZeros[512] = {};
   const uint64_t page_size = cell.machine().mem().page_size();
   for (uint64_t off = 0; off < page_size; off += sizeof(kZeros)) {
+    // hive-lint: allow(R1): zero-fill of a freshly allocated frame through the checked store path.
     cell.machine().mem().Write(ctx.cpu, pfdat->frame + off,
                                std::span<const uint8_t>(kZeros, sizeof(kZeros)));
   }
@@ -54,11 +55,14 @@ base::Result<Pfdat*> CowCopy(Ctx& ctx, Process& proc, Pfdat* src, uint64_t offse
   const uint64_t page_size = cell.machine().mem().page_size();
   std::vector<uint8_t> buf(page_size);
   try {
+    // hive-lint: allow(R1): page-content copy (COW break) of data pages, not a kernel structure read.
     cell.machine().mem().Read(ctx.cpu, src->frame, std::span<uint8_t>(buf));
+    // hive-lint: allow(R3): fault boundary of the page copy; converted to Status right here.
   } catch (const flash::BusError&) {
     // Source page vanished (remote home died): undo and report.
     return base::IoError();
   }
+  // hive-lint: allow(R1): destination is the local frame just allocated above.
   cell.machine().mem().Write(ctx.cpu, dst->frame, std::span<const uint8_t>(buf));
   // Copying a page costs one pass of loads+stores; dominated by misses.
   ctx.Charge(static_cast<Time>(page_size / 128) * cell.costs().remote_miss_ns / 4);

@@ -92,7 +92,10 @@ class PhysMem {
 
  private:
   void CheckAlignment(PhysAddr addr, size_t size) const {
-    if (addr % size != 0) {
+    // The bus only performs naturally aligned power-of-two-sized accesses; a
+    // zero or non-power-of-two size can never be a valid transfer (and would
+    // make the modulus check below meaningless or divide by zero).
+    if (size == 0 || (size & (size - 1)) != 0 || (addr & (size - 1)) != 0) {
       throw BusError(BusErrorKind::kMisaligned, addr);
     }
   }

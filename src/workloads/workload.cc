@@ -238,6 +238,7 @@ OpFn OpTouchMapped(hive::VirtAddr va, uint64_t pages, bool write, int misses_per
         } else {
           (void)machine.mem().ReadValue<uint64_t>(ctx.cpu, mapping->pfdat->frame);
         }
+        // hive-lint: allow(R3): models the hardware protection trap delivered to user code; handled by re-fault or kill.
       } catch (const flash::BusError&) {
         // A user-level protection trap: under write-ownership firewall
         // policies our grant may have been evicted by another writer. The
@@ -255,6 +256,7 @@ OpFn OpTouchMapped(hive::VirtAddr va, uint64_t pages, bool write, int misses_per
                   machine.mem().ReadValue<uint64_t>(ctx.cpu, mapping->pfdat->frame);
               machine.mem().WriteValue<uint64_t>(ctx.cpu, mapping->pfdat->frame, value + 1);
               continue;
+              // hive-lint: allow(R3): second trap after the retry falls through to killing the process.
             } catch (const flash::BusError&) {
             }
           }

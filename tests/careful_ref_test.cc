@@ -59,6 +59,50 @@ TEST_F(CarefulRefTest, FreedAllocationFailsTagCheck) {
             base::StatusCode::kBadRemoteData);
 }
 
+TEST_F(CarefulRefTest, TagMismatchDoesNotSetBusErrorSeen) {
+  // A failed consistency check is bad remote data, not a bus error: the two
+  // produce different failure-detection hints.
+  auto addr = remote_heap_.Alloc(kTagCowNode, 8);
+  ASSERT_TRUE(addr.ok());
+  CarefulRef careful = MakeRef();
+  auto value = careful.ReadTagged<uint64_t>(*addr, kTagClockWord);
+  EXPECT_EQ(value.status().code(), base::StatusCode::kBadRemoteData);
+  EXPECT_FALSE(careful.bus_error_seen());
+}
+
+TEST_F(CarefulRefTest, FreedAllocationDoesNotSetBusErrorSeen) {
+  auto addr = remote_heap_.Alloc(kTagClockWord, 8);
+  remote_heap_.Free(*addr);
+  CarefulRef careful = MakeRef();
+  auto value = careful.ReadTagged<uint64_t>(*addr, kTagClockWord);
+  EXPECT_EQ(value.status().code(), base::StatusCode::kBadRemoteData);
+  EXPECT_FALSE(careful.bus_error_seen());
+}
+
+TEST_F(CarefulRefTest, BusErrorDuringTagCheckBecomesStatus) {
+  // The node dies before the header read of step 4: the bus error surfaces
+  // from the tag check itself.
+  auto addr = remote_heap_.Alloc(kTagClockWord, 8);
+  mem_.FailNode(1);
+  CarefulRef careful = MakeRef();
+  auto value = careful.ReadTagged<uint64_t>(*addr, kTagClockWord);
+  EXPECT_EQ(value.status().code(), base::StatusCode::kBusError);
+  EXPECT_TRUE(careful.bus_error_seen());
+}
+
+TEST_F(CarefulRefTest, BusErrorBetweenTagCheckAndPayloadRead) {
+  // The node dies after the tag validated but before the payload copy
+  // (step 4 passed, step 3 traps): still a contained Status, not a panic.
+  auto addr = remote_heap_.Alloc(kTagClockWord, 8);
+  CarefulRef careful = MakeRef();
+  ASSERT_TRUE(careful.CheckTag(*addr, kTagClockWord).ok());
+  EXPECT_FALSE(careful.bus_error_seen());
+  mem_.FailNode(1);
+  auto value = careful.Read<uint64_t>(*addr);
+  EXPECT_EQ(value.status().code(), base::StatusCode::kBusError);
+  EXPECT_TRUE(careful.bus_error_seen());
+}
+
 TEST_F(CarefulRefTest, AddressOutsideTargetCellRejected) {
   CarefulRef careful = MakeRef();
   // Address in cell 0's range, not the expected cell's.

@@ -1,0 +1,11 @@
+// Fixture: R2 violation. Never compiled.
+#include "src/flash/phys_mem.h"
+
+namespace hive {
+
+void ScribbleBehindTheFirewall(flash::PhysMem* mem, const uint8_t* data) {
+  // The raw backdoor from kernel code: must be flagged (R2).
+  mem->RawWrite(0x8000, std::span<const uint8_t>(data, 16));
+}
+
+}  // namespace hive

@@ -1,0 +1,29 @@
+// Fixture: R1 violations. Never compiled.
+#include "src/flash/phys_mem.h"
+
+namespace hive {
+
+uint64_t BadDirectRead(flash::PhysMem* mem, int cpu) {
+  // Direct typed access from core code: must be flagged (R1).
+  return mem->ReadValue<uint64_t>(cpu, 0x1000);
+}
+
+void BadDirectWrite(flash::PhysMem& mem, int cpu, uint8_t* buf) {
+  // Member call chain receiver: must be flagged (R1).
+  mem.Write(cpu, 0x2000, std::span<const uint8_t>(buf, 8));
+}
+
+uint64_t SuppressedRead(flash::PhysMem* mem, int cpu) {
+  // properly suppressed: must NOT be reported.
+  // hive-lint: allow(R1): fixture exercising the suppression path; reads a local-only scratch word.
+  return mem->ReadValue<uint64_t>(cpu, 0x3000);
+}
+
+uint64_t BadlySuppressedRead(flash::PhysMem* mem, int cpu) {
+  // Missing justification: the suppression itself is an R0 violation and the
+  // access below still counts as R1.
+  // hive-lint: allow(R1)
+  return mem->ReadValue<uint64_t>(cpu, 0x4000);
+}
+
+}  // namespace hive

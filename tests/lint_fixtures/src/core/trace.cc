@@ -1,0 +1,16 @@
+// Fixture: the name switch misses kForgottenEvent (R4). Never compiled.
+#include "src/core/trace.h"
+
+namespace hive {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kBoot:
+      return "boot";
+    case TraceEvent::kPanic:
+      return "panic";
+  }
+  return "?";
+}
+
+}  // namespace hive

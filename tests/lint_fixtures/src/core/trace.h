@@ -1,0 +1,20 @@
+// Fixture: TraceEvent enum with an enumerator the name switch forgets (R4).
+// Never compiled.
+#ifndef FIXTURE_TRACE_H_
+#define FIXTURE_TRACE_H_
+
+#include <cstdint>
+
+namespace hive {
+
+enum class TraceEvent : uint8_t {
+  kBoot,
+  kPanic,
+  kForgottenEvent,  // Not handled in trace.cc: must be flagged (R4).
+};
+
+const char* TraceEventName(TraceEvent event);
+
+}  // namespace hive
+
+#endif  // FIXTURE_TRACE_H_

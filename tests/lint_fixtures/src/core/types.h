@@ -1,0 +1,18 @@
+// Fixture: duplicate kernel type tags (R5). Never compiled.
+#ifndef FIXTURE_TYPES_H_
+#define FIXTURE_TYPES_H_
+
+#include <cstdint>
+
+namespace hive {
+
+enum KernelTypeTag : uint32_t {
+  kTagFree = 0xDEADBEEF,
+  kTagClockWord = 0x434C4B31,
+  kTagCowNode = 0x434F5731,
+  kTagStaleCopy = 0x434F5731,  // Collides with kTagCowNode: must be flagged (R5).
+};
+
+}  // namespace hive
+
+#endif  // FIXTURE_TYPES_H_

@@ -22,6 +22,29 @@ TEST(PhysMemTest, MisalignedTypedAccessTraps) {
   EXPECT_THROW(mem.WriteValue<uint32_t>(0, 0x1002, 7), BusError);
 }
 
+TEST(PhysMemTest, NonPowerOfTwoAccessSizeTraps) {
+  PhysMem mem(Config());
+  // The bus only performs naturally aligned power-of-two transfers: a
+  // 3- or 12-byte "value" must trap even at an address it happens to divide.
+  struct ThreeBytes {
+    uint8_t b[3];
+  };
+  struct TwelveBytes {
+    uint32_t w[3];
+  };
+  EXPECT_THROW(mem.ReadValue<ThreeBytes>(0, 0x3000), BusError);
+  EXPECT_THROW(mem.WriteValue<TwelveBytes>(0, 0x3000, TwelveBytes{}), BusError);
+  try {
+    mem.ReadValue<ThreeBytes>(0, 0x3000);
+    FAIL();
+  } catch (const BusError& e) {
+    EXPECT_EQ(e.kind(), BusErrorKind::kMisaligned);
+  }
+  // Power-of-two sizes at aligned addresses still work.
+  mem.WriteValue<uint32_t>(0, 0x3000, 7);
+  EXPECT_EQ(mem.ReadValue<uint32_t>(0, 0x3000), 7u);
+}
+
 TEST(PhysMemTest, OutOfRangeAccessTraps) {
   PhysMem mem(Config());
   const PhysAddr end = Config().total_memory();
