@@ -4,11 +4,20 @@
 #   2. hive_lint flags every seeded violation in tests/lint_fixtures
 #      (including the R0 bad-suppression case) and honours the one properly
 #      suppressed site;
-#   3. the full test suite builds and passes under ASan+UBSan.
+#   3. the full test suite builds and passes under ASan+UBSan;
+#   4. the campaign thread pool builds and runs clean under TSan;
+#   5. optionally, a nightly-scale campaign sweep (HIVE_CAMPAIGN_SCENARIOS).
 #
 # Usage: ci/run_checks.sh [primary-build-dir]
 # Also registered as the `run_checks` ctest entry (see tests/CMakeLists.txt),
 # which passes the primary build dir and sets HIVE_SOURCE_DIR.
+#
+# Environment:
+#   HIVE_CAMPAIGN_SCENARIOS  when set to a positive integer, additionally run
+#                            a nightly-scale fault campaign of that many
+#                            scenarios with the primary-build hive_campaign
+#                            (e.g. HIVE_CAMPAIGN_SCENARIOS=2000 for nightly CI).
+#   HIVE_CAMPAIGN_SEED       master seed for the nightly sweep (default 1).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -45,5 +54,28 @@ cmake -B "$ASAN_DIR" -S "$SOURCE_DIR" \
 cmake --build "$ASAN_DIR" --target hive_tests -j "$JOBS" >/dev/null
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
   -E '^(hive_lint_clean|hive_lint_fixture)$' || fail "sanitizer test suite failed"
+
+echo "== sanitizer build: TSan campaign thread pool =="
+# The campaign driver is the only multithreaded component (scenario worker
+# pool); build just it and its tests under ThreadSanitizer and run a
+# multi-worker sweep to shake out data races in the pool.
+TSAN_DIR="$BUILD_DIR/check-tsan"
+cmake -B "$TSAN_DIR" -S "$SOURCE_DIR" \
+  -DHIVE_SANITIZE=thread \
+  -DHIVE_ENABLE_CHECKS_TEST=OFF >/dev/null
+cmake --build "$TSAN_DIR" --target campaign_test hive_campaign -j "$JOBS" >/dev/null
+"$TSAN_DIR/tests/campaign_test" \
+  --gtest_filter='CampaignDriverTest.*' || fail "TSan campaign_test failed"
+"$TSAN_DIR/tools/hive_campaign/hive_campaign" \
+  --seed=1 --scenarios=40 --workers=8 || fail "TSan campaign sweep failed"
+
+if [[ "${HIVE_CAMPAIGN_SCENARIOS:-0}" -gt 0 ]]; then
+  echo "== nightly-scale campaign: ${HIVE_CAMPAIGN_SCENARIOS} scenarios =="
+  CAMPAIGN="$BUILD_DIR/tools/hive_campaign/hive_campaign"
+  [[ -x "$CAMPAIGN" ]] || fail "hive_campaign not built at $CAMPAIGN"
+  "$CAMPAIGN" --seed="${HIVE_CAMPAIGN_SEED:-1}" \
+    --scenarios="$HIVE_CAMPAIGN_SCENARIOS" --workers="$JOBS" || \
+    fail "nightly campaign sweep reported containment violations"
+fi
 
 echo "run_checks: OK"

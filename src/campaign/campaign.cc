@@ -1,0 +1,92 @@
+#include "src/campaign/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace campaign {
+
+std::string CampaignFailure::Report() const {
+  std::ostringstream out;
+  out << result.ViolationReport();
+  if (minimized && minimization.reduced) {
+    out << "  minimized (" << minimization.runs << " runs): "
+        << minimization.minimized.ToString() << "\n";
+  }
+  return out.str();
+}
+
+CampaignReport RunCampaign(const CampaignOptions& options) {
+  CampaignReport report;
+  GeneratorOptions gen_options;
+  gen_options.wild_write_fixture = options.wild_write_fixture;
+
+  std::atomic<uint64_t> next_index{0};
+  std::atomic<uint64_t> faults_injected{0};
+  std::mutex mutex;  // Guards report.failures and the progress hook.
+
+  auto worker = [&] {
+    for (;;) {
+      const uint64_t index = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (index >= options.num_scenarios) {
+        return;
+      }
+      ScenarioSpec spec = GenerateScenario(options.master_seed, index, gen_options);
+      ScenarioResult result = RunScenario(spec);
+      uint64_t landed = 0;
+      for (bool flag : result.injected) {
+        landed += flag ? 1 : 0;
+      }
+      faults_injected.fetch_add(landed, std::memory_order_relaxed);
+      if (result.violated() || options.on_result) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (options.on_result) {
+          options.on_result(result);
+        }
+        if (result.violated()) {
+          CampaignFailure failure;
+          failure.result = std::move(result);
+          report.failures.push_back(std::move(failure));
+        }
+      }
+    }
+  };
+
+  const int workers = std::max(1, options.workers);
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+
+  report.scenarios_run = options.num_scenarios;
+  report.faults_injected = faults_injected.load();
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const CampaignFailure& a, const CampaignFailure& b) {
+              return a.result.spec.index < b.result.spec.index;
+            });
+
+  if (options.minimize) {
+    for (CampaignFailure& failure : report.failures) {
+      failure.minimization =
+          MinimizeScenario(failure.result.spec, options.max_minimize_runs);
+      failure.minimized = true;
+    }
+  } else {
+    for (CampaignFailure& failure : report.failures) {
+      failure.minimization.minimized = failure.result.spec;
+    }
+  }
+  return report;
+}
+
+}  // namespace campaign

@@ -1,0 +1,60 @@
+// Campaign driver: fans scenarios out over a worker thread pool.
+//
+// Each scenario is an isolated single-threaded simulation, so the pool gets
+// near-linear speedup with zero shared mutable state: workers claim scenario
+// indices from one atomic counter and only take a lock to publish a finished
+// result. The report is independent of worker count and scheduling order --
+// scenario outcomes depend only on (master_seed, index).
+
+#ifndef HIVE_SRC_CAMPAIGN_CAMPAIGN_H_
+#define HIVE_SRC_CAMPAIGN_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/campaign/minimizer.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/scenario.h"
+
+namespace campaign {
+
+struct CampaignOptions {
+  uint64_t master_seed = 1;
+  uint64_t num_scenarios = 200;
+  int workers = 4;
+  // Generate wild-write fixture scenarios (firewall checking disabled):
+  // every scenario is expected to violate; used to prove the oracles fire.
+  bool wild_write_fixture = false;
+  // Minimize each violating scenario after the sweep.
+  bool minimize = true;
+  int max_minimize_runs = 64;
+  // Optional progress hook; invoked under the campaign lock, possibly from a
+  // worker thread.
+  std::function<void(const ScenarioResult&)> on_result;
+};
+
+struct CampaignFailure {
+  ScenarioResult result;
+  MinimizationResult minimization;  // minimized == result.spec when skipped.
+  bool minimized = false;
+
+  std::string Report() const;
+};
+
+struct CampaignReport {
+  uint64_t scenarios_run = 0;
+  uint64_t faults_injected = 0;
+  // Violating scenarios, sorted by index (deterministic across worker
+  // counts and interleavings).
+  std::vector<CampaignFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+CampaignReport RunCampaign(const CampaignOptions& options);
+
+}  // namespace campaign
+
+#endif  // HIVE_SRC_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,110 @@
+#include "src/campaign/minimizer.h"
+
+#include <algorithm>
+
+namespace campaign {
+namespace {
+
+// Test oracle for the search: does this candidate spec still violate?
+class Budget {
+ public:
+  explicit Budget(int max_runs) : remaining_(max_runs) {}
+
+  bool Violates(const ScenarioSpec& spec) {
+    if (remaining_ <= 0) {
+      return false;  // Out of budget: treat as "does not reproduce".
+    }
+    --remaining_;
+    ++runs_;
+    return RunScenario(spec).violated();
+  }
+
+  bool exhausted() const { return remaining_ <= 0; }
+  int runs() const { return runs_; }
+
+ private:
+  int remaining_;
+  int runs_ = 0;
+};
+
+ScenarioSpec WithFaults(const ScenarioSpec& base, const std::vector<FaultSpec>& faults) {
+  ScenarioSpec spec = base;
+  spec.faults = faults;
+  return spec;
+}
+
+// Classic ddmin over the fault sequence: try dropping chunks (and keeping
+// only chunks) at doubling granularity until no single fault can be removed.
+std::vector<FaultSpec> DdminFaults(const ScenarioSpec& base, Budget& budget) {
+  std::vector<FaultSpec> current = base.faults;
+  size_t granularity = 2;
+  while (current.size() >= 2 && !budget.exhausted()) {
+    const size_t chunk = std::max<size_t>(1, current.size() / granularity);
+    bool progressed = false;
+    for (size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<FaultSpec> without;
+      without.insert(without.end(), current.begin(),
+                     current.begin() + static_cast<ptrdiff_t>(start));
+      without.insert(without.end(),
+                     current.begin() + static_cast<ptrdiff_t>(
+                                           std::min(start + chunk, current.size())),
+                     current.end());
+      if (without.empty()) {
+        continue;  // The empty fault plan is tested separately by the caller.
+      }
+      if (budget.Violates(WithFaults(base, without))) {
+        current = without;
+        granularity = std::max<size_t>(2, granularity - 1);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      if (chunk == 1) {
+        break;  // Minimal: no single fault can be dropped.
+      }
+      granularity = std::min(granularity * 2, current.size());
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs) {
+  Budget budget(max_runs);
+  MinimizationResult result;
+  result.minimized = original;
+
+  // 1. Does the violation even need faults? (An oracle bug or a workload
+  // issue would reproduce with none.)
+  if (!original.faults.empty() &&
+      budget.Violates(WithFaults(original, {}))) {
+    result.minimized.faults.clear();
+  } else if (original.faults.size() >= 2) {
+    result.minimized.faults = DdminFaults(original, budget);
+  }
+
+  // 2. Workload reduction: no workload at all, else scale 1.
+  if (result.minimized.workload != WorkloadKind::kNone) {
+    ScenarioSpec candidate = result.minimized;
+    candidate.workload = WorkloadKind::kNone;
+    if (budget.Violates(candidate)) {
+      result.minimized = candidate;
+    } else if (result.minimized.workload_scale > 1) {
+      candidate = result.minimized;
+      candidate.workload_scale = 1;
+      if (budget.Violates(candidate)) {
+        result.minimized = candidate;
+      }
+    }
+  }
+
+  result.runs = budget.runs();
+  result.reduced = result.minimized.faults.size() < original.faults.size() ||
+                   result.minimized.workload != original.workload ||
+                   result.minimized.workload_scale != original.workload_scale;
+  return result;
+}
+
+}  // namespace campaign

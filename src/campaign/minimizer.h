@@ -1,0 +1,31 @@
+// Automatic scenario minimization.
+//
+// When a scenario trips an oracle, the raw spec may carry faults and workload
+// volume that have nothing to do with the violation. The minimizer shrinks
+// the spec while the violation persists: delta debugging (ddmin) over the
+// fault sequence, then workload reduction (drop the workload, then its
+// scale). The minimized spec keeps the original (master_seed, index) -- the
+// repro line always references the scenario as generated; the minimized form
+// is reported alongside it as the smallest spec that still violates.
+
+#ifndef HIVE_SRC_CAMPAIGN_MINIMIZER_H_
+#define HIVE_SRC_CAMPAIGN_MINIMIZER_H_
+
+#include "src/campaign/runner.h"
+#include "src/campaign/scenario.h"
+
+namespace campaign {
+
+struct MinimizationResult {
+  ScenarioSpec minimized;
+  int runs = 0;        // Scenario executions the search spent.
+  bool reduced = false;  // True if anything was dropped from the original.
+};
+
+// Shrinks `original` (which must currently violate an oracle) to a smaller
+// spec that still violates. Runs at most `max_runs` scenario executions.
+MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs = 64);
+
+}  // namespace campaign
+
+#endif  // HIVE_SRC_CAMPAIGN_MINIMIZER_H_

@@ -1,0 +1,373 @@
+#include "src/campaign/oracles.h"
+
+#include <sstream>
+
+#include "src/core/cell.h"
+#include "src/core/invariant_checker.h"
+#include "src/core/recovery.h"
+#include "src/core/trace.h"
+#include "src/flash/bus_error.h"
+#include "src/workloads/workload.h"
+
+namespace campaign {
+namespace {
+
+using hive::Cell;
+using hive::CellId;
+using hive::Ctx;
+using hive::HiveSystem;
+using hive::TraceEvent;
+using hive::TraceRecord;
+
+// A panicked or silently-halted cell is only *expected* to be confirmed
+// failed once clock monitoring had time to notice: the stall threshold plus a
+// few monitoring periods. Deaths inside this window at scenario end are not
+// detection failures.
+constexpr Time kDetectionGraceNs = 300 * hive::kMillisecond;
+
+void Add(std::vector<OracleViolation>* out, const std::string& oracle,
+         const std::string& detail) {
+  out->push_back(OracleViolation{oracle, detail});
+}
+
+// Time of the last death-related trace record of a cell (panic or hardware
+// death), or -1 if it never died.
+Time LastDeathTime(Cell& cell) {
+  Time when = -1;
+  for (const TraceRecord& record : cell.trace().Snapshot()) {
+    if (record.event == TraceEvent::kPanic || record.event == TraceEvent::kMarkedDead) {
+      when = std::max(when, record.when);
+    }
+  }
+  return when;
+}
+
+void CheckContainmentAndDetection(const OracleInput& input,
+                                  std::vector<OracleViolation>* out) {
+  const ScenarioSpec& spec = *input.spec;
+  HiveSystem& sys = *input.system;
+  const Time now = sys.machine().Now();
+
+  // Expected outcome per cell, from the faults that actually landed.
+  std::vector<bool> must_die(static_cast<size_t>(spec.num_cells), false);
+  std::vector<bool> may_die(static_cast<size_t>(spec.num_cells), false);
+  int expected_recoveries = 0;
+  for (size_t i = 0; i < spec.faults.size(); ++i) {
+    if (i < input.injected.size() && !input.injected[i]) {
+      continue;
+    }
+    const FaultSpec& fault = spec.faults[i];
+    const auto victim = static_cast<size_t>(fault.victim);
+    switch (fault.kind) {
+      case FaultKind::kNodeFailure:
+        must_die[victim] = true;
+        ++expected_recoveries;
+        break;
+      case FaultKind::kAddrMapCorruption:
+        // The corrupt pointer kills the victim only when a fault path walks
+        // past it before the workload drains.
+        may_die[victim] = true;
+        break;
+      case FaultKind::kWildWrite:
+        if (spec.disable_firewall) {
+          // The store lands silently; the writer has no reason to die.
+        } else {
+          // The firewall denies the store; the bus error panics the writer.
+          must_die[victim] = true;
+        }
+        break;
+      case FaultKind::kFalseAccusation:
+        // Nobody may die because of a vetoed accusation.
+        break;
+    }
+  }
+
+  // Detection and agreement need at least one surviving cell to run. A
+  // multi-fault plan can kill every cell of a 2-cell hive (each death
+  // individually contained); nobody is left to confirm the last death.
+  bool any_survivor = false;
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    any_survivor = any_survivor || (sys.cell(c).alive() && sys.CellReachable(c));
+  }
+
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    Cell& cell = sys.cell(c);
+    const auto idx = static_cast<size_t>(c);
+    if (cell.alive()) {
+      if (must_die[idx] && !spec.auto_reintegrate) {
+        std::ostringstream detail;
+        detail << "cell " << c << " took a fail-stop fault but is still alive";
+        Add(out, "detection-complete", detail.str());
+      }
+      continue;
+    }
+    // A dead cell must be an intended victim: anything else means the fault
+    // escaped its cell.
+    if (!must_die[idx] && !may_die[idx]) {
+      std::ostringstream detail;
+      detail << "non-faulted cell " << c << " died"
+             << (cell.panic_reason().empty() ? "" : " (panic: " + cell.panic_reason() + ")");
+      Add(out, "fault-containment", detail.str());
+      continue;
+    }
+    // ... and its death must have been detected and agreed on, unless it died
+    // too close to scenario end for clock monitoring to have noticed, or no
+    // cell survived to run the agreement.
+    if (!sys.CellConfirmedFailed(c) && any_survivor) {
+      const Time died_at = LastDeathTime(cell);
+      const bool hardware_dead = sys.machine().NodeDead(cell.first_node());
+      if ((died_at >= 0 && now - died_at > kDetectionGraceNs) ||
+          (died_at < 0 && hardware_dead)) {
+        std::ostringstream detail;
+        detail << "cell " << c << " died at t=" << died_at / hive::kMillisecond
+               << "ms but was never confirmed failed by t=" << now / hive::kMillisecond
+               << "ms";
+        Add(out, "detection-complete", detail.str());
+      }
+    }
+  }
+
+  // Reintegration scenarios: victims may be alive again, but every fail-stop
+  // fault must still have produced a recovery round.
+  if (spec.auto_reintegrate && any_survivor &&
+      sys.recovery().recoveries_run() < expected_recoveries) {
+    std::ostringstream detail;
+    detail << "expected >= " << expected_recoveries << " recoveries for "
+           << expected_recoveries << " fail-stop faults, ran "
+           << sys.recovery().recoveries_run();
+    Add(out, "detection-complete", detail.str());
+  }
+}
+
+void CheckRecoveryBarriers(const OracleInput& input, std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  if (sys.recovery().recoveries_run() == 0) {
+    return;
+  }
+  const hive::RecoveryStats& stats = sys.recovery().last_stats();
+  if (stats.barrier1_time < stats.detect_time) {
+    Add(out, "recovery-barriers", "barrier 1 completed before detection");
+  }
+  if (stats.barrier2_time < stats.barrier1_time) {
+    Add(out, "recovery-barriers", "barrier 2 completed before barrier 1");
+  }
+  if (stats.entered_recovery.empty()) {
+    Add(out, "recovery-barriers", "no cell entered the last recovery round");
+  }
+  if (stats.recovery_master == hive::kInvalidCell) {
+    Add(out, "recovery-barriers", "no recovery master elected");
+  }
+  for (CellId c : sys.LiveCells()) {
+    if (sys.cell(c).in_recovery()) {
+      std::ostringstream detail;
+      detail << "cell " << c << " still flagged in_recovery at scenario end";
+      Add(out, "recovery-barriers", detail.str());
+    }
+  }
+}
+
+void CheckFirewallInvariants(const OracleInput& input, std::vector<OracleViolation>* out) {
+  // AuditAll self-skips when firewall checking is disabled (the wild-write
+  // fixture); the canary oracle carries the detection burden there.
+  hive::InvariantChecker checker(input.system);
+  const hive::InvariantReport report = checker.AuditAll(/*raise_hints=*/false);
+  for (const hive::InvariantMismatch& mismatch : report.mismatches) {
+    Add(out, "firewall-invariants", mismatch.ToString());
+  }
+}
+
+void CheckNoStaleExports(const OracleInput& input, std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  uint64_t failed_mask = 0;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    if (!sys.cell(c).alive()) {
+      failed_mask |= 1ull << c;
+    }
+  }
+  if (failed_mask == 0) {
+    return;
+  }
+  for (CellId c : sys.LiveCells()) {
+    Cell& cell = sys.cell(c);
+    cell.pfdats().ForEach([&](hive::Pfdat* pfdat) {
+      if ((pfdat->exported_writable & failed_mask) != 0) {
+        std::ostringstream detail;
+        detail << "cell " << c << " frame 0x" << std::hex << pfdat->frame << std::dec
+               << " still exported writable to a failed cell after recovery";
+        Add(out, "no-stale-exports", detail.str());
+      } else if ((pfdat->exported_to & failed_mask) != 0) {
+        std::ostringstream detail;
+        detail << "cell " << c << " frame 0x" << std::hex << pfdat->frame << std::dec
+               << " still exported to a failed cell after recovery";
+        Add(out, "no-stale-exports", detail.str());
+      }
+      if (pfdat->imported_from != hive::kInvalidCell &&
+          (failed_mask & (1ull << pfdat->imported_from)) != 0) {
+        std::ostringstream detail;
+        detail << "cell " << c << " still imports a page from failed cell "
+               << pfdat->imported_from;
+        Add(out, "no-stale-exports", detail.str());
+      }
+    });
+  }
+}
+
+void CheckCanaries(const OracleInput& input, std::vector<OracleViolation>* out) {
+  const CanaryState* canaries = input.canaries;
+  if (canaries == nullptr) {
+    return;
+  }
+  HiveSystem& sys = *input.system;
+  for (const CanaryState::PerCell& canary : canaries->cells) {
+    if (!canary.valid || canary.cross_reader == hive::kInvalidCell) {
+      continue;
+    }
+    // Reachable, not merely alive(): a hardware-dead cell awaiting agreement
+    // cannot execute reads.
+    if (!sys.CellReachable(canary.cross_reader)) {
+      continue;
+    }
+    Cell& reader = sys.cell(canary.cross_reader);
+    // 1. The pre-fault handle: a read may fail (stale generation after a
+    // discard, unreachable data home) but whatever it *returns as data* must
+    // be the canary pattern -- stale or corrupt bytes served as fresh data is
+    // exactly the undetected-corruption failure mode the firewall exists to
+    // prevent.
+    std::vector<uint8_t> buf(canary.size);
+    Ctx ctx = reader.MakeCtx();
+    base::Status status = base::CellFailed();
+    try {
+      status = reader.fs().Read(ctx, canary.cross_handle, 0, std::span<uint8_t>(buf));
+      // hive-lint: allow(R3): campaign oracle probing a possibly-failed data home from the harness; unreadable is a legal outcome, recorded as Status.
+    } catch (const flash::BusError&) {
+      // Data home's memory failed mid-read: unreadable, a legal outcome.
+    }
+    if (status.ok() &&
+        workloads::Checksum(buf) != workloads::PatternChecksum(canary.pattern_seed,
+                                                               canary.size)) {
+      std::ostringstream detail;
+      detail << "pre-fault handle for " << canary.path
+             << " served corrupted data as current (generation not bumped)";
+      Add(out, "generation-consistency", detail.str());
+    }
+    // 2. A fresh open by a live reader: must also never yield corrupt bytes.
+    Ctx fresh_ctx = reader.MakeCtx();
+    std::fill(buf.begin(), buf.end(), 0);
+    status = base::CellFailed();
+    try {
+      auto handle = reader.fs().Open(fresh_ctx, canary.path);
+      if (!handle.ok()) {
+        continue;  // Data home failed: unreadable is a legal outcome.
+      }
+      status = reader.fs().Read(fresh_ctx, *handle, 0, std::span<uint8_t>(buf));
+      // hive-lint: allow(R3): campaign oracle probing a possibly-failed data home from the harness; unreadable is a legal outcome, recorded as Status.
+    } catch (const flash::BusError&) {
+    }
+    if (status.ok() &&
+        workloads::Checksum(buf) != workloads::PatternChecksum(canary.pattern_seed,
+                                                               canary.size)) {
+      std::ostringstream detail;
+      detail << "fresh open of " << canary.path << " read corrupted data";
+      Add(out, "generation-consistency", detail.str());
+    }
+  }
+}
+
+void CheckSurvivorsFunctional(const OracleInput& input,
+                              std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  // Survivors = cells whose kernel AND hardware are up. A hardware-dead cell
+  // still awaiting agreement is not expected to serve anything.
+  std::vector<CellId> live;
+  for (CellId c : sys.LiveCells()) {
+    if (sys.CellReachable(c)) {
+      live.push_back(c);
+    }
+  }
+  if (live.empty()) {
+    return;  // Every cell was independently faulted; nothing to promise.
+  }
+  const std::string path =
+      "/campaign/post-" + std::to_string(input.spec->index) + "-check";
+  const uint64_t size = 4096;
+  const uint64_t pattern = input.spec->seed ^ 0x706f7374;
+  try {
+    Cell& writer = sys.cell(live.front());
+    Ctx wctx = writer.MakeCtx();
+    auto created = writer.fs().Create(wctx, path, workloads::PatternData(pattern, size));
+    if (!created.ok()) {
+      std::ostringstream detail;
+      detail << "survivor cell " << live.front() << " cannot create files: "
+             << created.status().name();
+      Add(out, "survivors-functional", detail.str());
+      return;
+    }
+    // Cross-cell read from the farthest survivor (same-cell when only one).
+    Cell& reader = sys.cell(live.back());
+    Ctx rctx = reader.MakeCtx();
+    auto handle = reader.fs().Open(rctx, path);
+    if (!handle.ok()) {
+      std::ostringstream detail;
+      detail << "survivor cell " << live.back() << " cannot open " << path << ": "
+             << handle.status().name();
+      Add(out, "survivors-functional", detail.str());
+      return;
+    }
+    std::vector<uint8_t> buf(size);
+    base::Status status = reader.fs().Read(rctx, *handle, 0, std::span<uint8_t>(buf));
+    if (!status.ok() ||
+        workloads::Checksum(buf) != workloads::PatternChecksum(pattern, size)) {
+      std::ostringstream detail;
+      detail << "survivor cell " << live.back() << " read of " << path
+             << (status.ok() ? std::string(" returned corrupt data")
+                             : " failed: " + std::string(status.name()));
+      Add(out, "survivors-functional", detail.str());
+    }
+    // hive-lint: allow(R3): harness-level oracle; a bus error while exercising survivors is itself the containment violation being reported.
+  } catch (const flash::BusError& error) {
+    std::ostringstream detail;
+    detail << "survivor file check hit a bus error: " << error.what();
+    Add(out, "survivors-functional", detail.str());
+  }
+}
+
+void CheckOutputs(const OracleInput& input, std::vector<OracleViolation>* out) {
+  if (input.corrupt_outputs > 0) {
+    std::ostringstream detail;
+    detail << input.corrupt_outputs
+           << " workload output file(s) failed validation on the surviving file server";
+    Add(out, "output-integrity", detail.str());
+  }
+}
+
+void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  for (CellId c : sys.LiveCells()) {
+    hive::TraceBuffer& trace = sys.cell(c).trace();
+    const int enters = trace.Count(TraceEvent::kEnterRecovery);
+    const int exits = trace.Count(TraceEvent::kExitRecovery);
+    if (enters != exits) {
+      std::ostringstream detail;
+      detail << "cell " << c << " trace shows " << enters << " recovery entries but "
+             << exits << " exits";
+      Add(out, "trace-consistency", detail.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<OracleViolation> CheckAllOracles(const OracleInput& input) {
+  std::vector<OracleViolation> violations;
+  CheckContainmentAndDetection(input, &violations);
+  CheckRecoveryBarriers(input, &violations);
+  CheckFirewallInvariants(input, &violations);
+  CheckNoStaleExports(input, &violations);
+  CheckCanaries(input, &violations);
+  CheckSurvivorsFunctional(input, &violations);
+  CheckOutputs(input, &violations);
+  CheckTraceConsistency(input, &violations);
+  return violations;
+}
+
+}  // namespace campaign

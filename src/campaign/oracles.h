@@ -1,0 +1,73 @@
+// Containment oracle library for the fault-campaign engine.
+//
+// After a scenario runs, every oracle inspects the final simulator state and
+// decides whether the paper's containment claim (section 2: a fault damages
+// only the cell it occurred in, and only processes using that cell's
+// resources) held. Oracles are pure reads of simulator state; they charge no
+// simulated time, so running them never perturbs the scenario itself.
+
+#ifndef HIVE_SRC_CAMPAIGN_ORACLES_H_
+#define HIVE_SRC_CAMPAIGN_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/scenario.h"
+#include "src/core/filesystem.h"
+#include "src/core/hive_system.h"
+
+namespace campaign {
+
+struct OracleViolation {
+  std::string oracle;  // Which oracle fired.
+  std::string detail;  // Human-readable description of what it saw.
+
+  std::string ToString() const { return oracle + ": " + detail; }
+};
+
+// Pre-fault state the runner records so oracles can compare before/after:
+// one canary file per cell, plus a cross-cell handle opened before any fault
+// (its generation snapshot is the "before" picture).
+struct CanaryState {
+  struct PerCell {
+    std::string path;
+    uint64_t pattern_seed = 0;
+    uint64_t size = 0;
+    // Handle opened by the *next* cell before any fault was injected.
+    hive::FileHandle cross_handle;
+    hive::CellId cross_reader = hive::kInvalidCell;
+    bool valid = false;
+  };
+  std::vector<PerCell> cells;
+};
+
+// Everything the oracles need to judge a finished scenario.
+struct OracleInput {
+  const ScenarioSpec* spec = nullptr;
+  hive::HiveSystem* system = nullptr;
+  const CanaryState* canaries = nullptr;
+  // Faults that actually landed (an addr-map corruption may find no target
+  // process; a fault against an already-dead cell is skipped).
+  std::vector<bool> injected;
+  // Number of corrupt workload output files, -1 when not validated (no
+  // validator for the workload, or the file server did not survive).
+  int corrupt_outputs = -1;
+};
+
+// Runs the full oracle library; returns every violation found (empty = the
+// containment claim held). Oracle names are stable identifiers -- they appear
+// in CI logs and repro reports:
+//   fault-containment     only intended victims died; every death was confirmed
+//   detection-complete    fail-stop victims were detected and recovered
+//   recovery-barriers     barrier ordering and recovery completion flags
+//   firewall-invariants   hardware vectors match kernel bookkeeping
+//   no-stale-exports      no live page still exported to a failed cell
+//   generation-consistency pre-fault handles never serve corrupt data as fresh
+//   survivors-functional  live cells still create/share/read files
+//   output-integrity      workload outputs validate clean
+//   trace-consistency     every survivor's trace shows balanced recovery events
+std::vector<OracleViolation> CheckAllOracles(const OracleInput& input);
+
+}  // namespace campaign
+
+#endif  // HIVE_SRC_CAMPAIGN_ORACLES_H_

@@ -1,0 +1,402 @@
+#include "src/campaign/runner.h"
+
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "src/base/rng.h"
+#include "src/core/address_space.h"
+#include "src/core/cell.h"
+#include "src/core/process.h"
+#include "src/core/scheduler.h"
+#include "src/flash/fault_injector.h"
+#include "src/flash/machine.h"
+#include "src/workloads/ocean.h"
+#include "src/workloads/pmake.h"
+#include "src/workloads/raytrace.h"
+#include "src/workloads/workload.h"
+
+namespace campaign {
+namespace {
+
+using hive::Cell;
+using hive::CellId;
+using hive::Ctx;
+using hive::HiveOptions;
+using hive::HiveSystem;
+using hive::kMillisecond;
+using hive::kSecond;
+using hive::ProcId;
+
+// Scenario machines are deliberately small: detection and containment do not
+// depend on memory size, and a campaign runs hundreds of these.
+flash::MachineConfig CampaignConfig(int num_cells) {
+  flash::MachineConfig config;
+  config.num_nodes = num_cells;
+  config.cpus_per_node = 1;
+  config.memory_per_node = 16ull * 1024 * 1024;
+  return config;
+}
+
+// Tiny workload parameterizations: enough traffic to populate page sharing,
+// address maps and the COW tree, small enough that a scenario simulates in
+// tens of milliseconds of wall time.
+workloads::PmakeParams CampaignPmake(const ScenarioSpec& spec) {
+  workloads::PmakeParams params;
+  params.jobs = 4 * spec.workload_scale;
+  params.parallelism = 4;
+  params.source_bytes = 8 * 1024;
+  params.output_bytes = 16 * 1024;
+  params.shared_text_pages = 20;
+  params.private_file_pages = 40;
+  params.anon_pages = 20;
+  params.scratch_pages = 2;
+  params.metadata_ops = 5;
+  params.compute_per_job = 150 * kMillisecond;
+  params.name_seed = spec.seed;
+  return params;
+}
+
+workloads::RaytraceParams CampaignRaytrace(const ScenarioSpec& spec) {
+  workloads::RaytraceParams params;
+  params.scene_pages = 48;
+  params.blocks_per_worker = 2 * spec.workload_scale;
+  params.compute_per_block = 60 * kMillisecond;
+  params.result_bytes = 16 * 1024;
+  params.name_seed = spec.seed + 1;
+  return params;
+}
+
+workloads::OceanParams CampaignOcean(const ScenarioSpec& spec) {
+  workloads::OceanParams params;
+  params.grid_pages = 96;
+  params.timesteps = 4 * spec.workload_scale;
+  params.compute_per_step = 40 * kMillisecond;
+  params.touches_per_step = 8;
+  params.halo_pages = 2;
+  params.name_seed = spec.seed + 2;
+  return params;
+}
+
+std::string CanaryPath(CellId cell) {
+  return "/campaign/canary-" + std::to_string(cell);
+}
+
+// Creates one canary file per cell (homed on that cell) and opens a
+// cross-cell handle to each from the next cell over, before any fault fires.
+// The cross reads also export the canary pages, so preemptive discard and
+// generation bumps have real sharing state to operate on.
+CanaryState SetUpCanaries(const ScenarioSpec& spec, HiveSystem& sys) {
+  CanaryState canaries;
+  canaries.cells.resize(static_cast<size_t>(spec.num_cells));
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    CanaryState::PerCell& canary = canaries.cells[static_cast<size_t>(c)];
+    canary.path = CanaryPath(c);
+    canary.pattern_seed = spec.seed ^ (0xC0FFEEull + static_cast<uint64_t>(c));
+    canary.size = 8192;
+    Cell& owner = sys.cell(c);
+    Ctx octx = owner.MakeCtx();
+    auto created = owner.fs().Create(
+        octx, canary.path,
+        workloads::PatternData(canary.pattern_seed, canary.size));
+    if (!created.ok()) {
+      continue;
+    }
+    if (spec.num_cells > 1) {
+      canary.cross_reader = (c + 1) % spec.num_cells;
+      Cell& reader = sys.cell(canary.cross_reader);
+      Ctx rctx = reader.MakeCtx();
+      auto handle = reader.fs().Open(rctx, canary.path);
+      if (!handle.ok()) {
+        continue;
+      }
+      canary.cross_handle = *handle;
+      std::vector<uint8_t> warm(canary.size);
+      (void)reader.fs().Read(rctx, canary.cross_handle, 0, std::span<uint8_t>(warm));
+    } else {
+      canary.cross_reader = c;
+      canary.cross_handle = *owner.fs().Open(octx, canary.path);
+    }
+    canary.valid = true;
+  }
+  return canaries;
+}
+
+// State shared between the runner and the scheduled injection callbacks.
+struct InjectionState {
+  HiveSystem* sys = nullptr;
+  const ScenarioSpec* spec = nullptr;
+  std::vector<bool> injected;
+};
+
+void InjectNodeFailure(InjectionState& state, size_t fault_index) {
+  const FaultSpec& fault = state.spec->faults[fault_index];
+  state.sys->machine().FailNode(state.sys->cell(fault.victim).first_node());
+  state.injected[fault_index] = true;
+}
+
+// Corrupts an address-map next pointer of some process on the victim cell.
+// Retries every 10 ms until a process has built a map; gives up 400 ms after
+// the nominal injection time (the fault is then recorded as not landed).
+void TryAddrMapCorruption(const std::shared_ptr<InjectionState>& state,
+                          size_t fault_index, Time give_up) {
+  const FaultSpec& fault = state->spec->faults[fault_index];
+  HiveSystem& sys = *state->sys;
+  Cell& victim = sys.cell(fault.victim);
+  // Reachable = kernel up AND hardware alive; a node-failure victim stays
+  // alive() until agreement confirms, but its memory is already gone.
+  if (!sys.CellReachable(fault.victim)) {
+    return;  // Already dead (earlier fault); corrupting it adds nothing.
+  }
+  for (hive::Process* proc : victim.sched().AllProcesses()) {
+    if (proc->finished()) {
+      continue;
+    }
+    Ctx ctx = victim.MakeCtx();
+    auto regions = proc->address_space().ListRegions(ctx);
+    if (regions.size() < 2) {
+      continue;
+    }
+    flash::FaultInjector injector(&sys.machine(), state->spec->seed ^ fault_index);
+    Cell& other = sys.cell((fault.victim + 1) % sys.num_cells());
+    injector.CorruptPointer(
+        regions[0].entry_addr + hive::AddrMapEntryLayout::kNext, fault.mode,
+        victim.mem_base(), victim.mem_size(), other.mem_base(), other.mem_size());
+    state->injected[fault_index] = true;
+    return;
+  }
+  if (sys.machine().Now() < give_up) {
+    sys.machine().events().ScheduleAfter(10 * kMillisecond, [state, fault_index, give_up] {
+      TryAddrMapCorruption(state, fault_index, give_up);
+    });
+  }
+}
+
+// The victim kernel computes a bogus address inside the target cell's memory
+// (here: the frame caching the target's canary page) and stores through the
+// checked hardware path. Firewall on: the store is denied, the bus error
+// panics the victim -- damage contained. Firewall checking off (the
+// wild-write fixture): the store lands in the target's page cache and the
+// canary oracle must flag the corruption.
+void InjectWildWrite(InjectionState& state, size_t fault_index) {
+  const FaultSpec& fault = state.spec->faults[fault_index];
+  HiveSystem& sys = *state.sys;
+  Cell& writer = sys.cell(fault.victim);
+  Cell& target = sys.cell(fault.target);
+  if (!sys.CellReachable(fault.victim) || !sys.CellReachable(fault.target)) {
+    return;
+  }
+  // Materialize the target's canary page in its page cache so the scribble
+  // has a live frame to hit (a read-only lookup by the target itself).
+  Ctx tctx = target.MakeCtx();
+  auto handle = target.fs().Open(tctx, CanaryPath(fault.target));
+  if (!handle.ok()) {
+    return;
+  }
+  auto page = target.fs().GetPage(tctx, *handle, 0, /*want_write=*/false,
+                                  hive::FileSystem::AccessPath::kSyscall);
+  if (!page.ok()) {
+    return;
+  }
+  base::Rng garbage_rng(state.spec->seed ^ (0xBADull << 32) ^ fault_index);
+  std::vector<uint8_t> garbage(64);
+  for (uint8_t& byte : garbage) {
+    byte = static_cast<uint8_t>(garbage_rng.Next());
+  }
+  const int writer_cpu = sys.machine().FirstCpuOfNode(writer.first_node());
+  state.injected[fault_index] = true;
+  try {
+    sys.machine().mem().Write(writer_cpu, (*page)->frame + 128, garbage);
+    // hive-lint: allow(R3): injected wild write from the fault harness; the firewall trap is converted into the victim kernel's panic, as section 4.1 prescribes.
+  } catch (const flash::BusError&) {
+    std::ostringstream reason;
+    reason << "wild write into cell " << fault.target << " denied by firewall";
+    writer.Panic(reason.str());
+  }
+}
+
+// A buggy detector on the accuser cell raises a hint against a healthy cell.
+// Agreement (voting or the oracle) must refuse to kill the accused.
+void InjectFalseAccusation(InjectionState& state, size_t fault_index) {
+  const FaultSpec& fault = state.spec->faults[fault_index];
+  HiveSystem& sys = *state.sys;
+  Cell& accuser = sys.cell(fault.victim);
+  if (!sys.CellReachable(fault.victim) || !sys.CellReachable(fault.target)) {
+    return;
+  }
+  state.injected[fault_index] = true;
+  Ctx ctx = accuser.MakeCtx();
+  sys.HandleAlert(ctx, fault.victim, fault.target, hive::HintReason::kRpcTimeout);
+}
+
+uint64_t Fnv1a(uint64_t hash, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xFF;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+uint64_t Fnv1a(uint64_t hash, const std::string& text) {
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+uint64_t ComputeFingerprint(const ScenarioResult& result, HiveSystem& sys) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  hash = Fnv1a(hash, result.spec.seed);
+  hash = Fnv1a(hash, static_cast<uint64_t>(result.end_time));
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    Cell& cell = sys.cell(c);
+    uint64_t state = cell.alive() ? 1u : 0u;
+    state |= cell.in_recovery() ? 2u : 0u;
+    state |= sys.CellConfirmedFailed(c) ? 4u : 0u;
+    hash = Fnv1a(hash, state);
+    hash = Fnv1a(hash, cell.panic_reason());
+  }
+  for (bool landed : result.injected) {
+    hash = Fnv1a(hash, landed ? 1u : 0u);
+  }
+  hash = Fnv1a(hash, static_cast<uint64_t>(sys.recovery().recoveries_run()));
+  hash = Fnv1a(hash, static_cast<uint64_t>(result.corrupt_outputs + 1));
+  for (const OracleViolation& violation : result.violations) {
+    hash = Fnv1a(hash, violation.ToString());
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string ScenarioResult::Summary() const {
+  std::ostringstream out;
+  out << (violated() ? "VIOLATION" : "ok") << " " << spec.ToString()
+      << " fingerprint=0x" << std::hex << fingerprint << std::dec;
+  return out.str();
+}
+
+std::string ScenarioResult::ViolationReport() const {
+  std::ostringstream out;
+  out << "containment violation in scenario " << spec.index << ":\n";
+  out << "  " << spec.ToString() << "\n";
+  for (const OracleViolation& violation : violations) {
+    out << "  - " << violation.ToString() << "\n";
+  }
+  out << "  repro: " << spec.ReproLine() << "\n";
+  return out.str();
+}
+
+ScenarioResult RunScenario(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.spec = spec;
+
+  flash::Machine machine(CampaignConfig(spec.num_cells), spec.seed);
+  HiveOptions options;
+  options.num_cells = spec.num_cells;
+  options.agreement_mode = spec.agreement_mode;
+  options.auto_reintegrate = spec.auto_reintegrate;
+  HiveSystem sys(&machine, options);
+  sys.Boot();
+  if (spec.disable_firewall) {
+    machine.firewall().set_checking_enabled(false);
+  }
+
+  CanaryState canaries = SetUpCanaries(spec, sys);
+
+  // Workloads. Setup happens before any fault can fire (earliest inject_at is
+  // 5 ms of simulated time; setup charges no event-queue delay).
+  std::unique_ptr<workloads::PmakeWorkload> pmake;
+  std::unique_ptr<workloads::RaytraceWorkload> raytrace;
+  std::unique_ptr<workloads::OceanWorkload> ocean;
+  std::vector<ProcId> pids;
+  const bool want_pmake =
+      spec.workload == WorkloadKind::kPmake || spec.workload == WorkloadKind::kMixed;
+  const bool want_raytrace =
+      spec.workload == WorkloadKind::kRaytrace || spec.workload == WorkloadKind::kMixed;
+  if (want_pmake) {
+    pmake = std::make_unique<workloads::PmakeWorkload>(&sys, CampaignPmake(spec));
+    pmake->Setup();
+    auto started = pmake->Start();
+    pids.insert(pids.end(), started.begin(), started.end());
+  }
+  if (want_raytrace) {
+    raytrace = std::make_unique<workloads::RaytraceWorkload>(&sys, CampaignRaytrace(spec));
+    auto started = raytrace->Start();
+    pids.insert(pids.end(), started.begin(), started.end());
+  }
+  if (spec.workload == WorkloadKind::kOcean) {
+    ocean = std::make_unique<workloads::OceanWorkload>(&sys, CampaignOcean(spec));
+    ocean->Setup();
+    auto started = ocean->Start();
+    pids.insert(pids.end(), started.begin(), started.end());
+  }
+
+  // Schedule the fault plan.
+  auto state = std::make_shared<InjectionState>();
+  state->sys = &sys;
+  state->spec = &spec;
+  state->injected.assign(spec.faults.size(), false);
+  Time last_inject = 0;
+  for (size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& fault = spec.faults[i];
+    last_inject = std::max(last_inject, fault.inject_at);
+    switch (fault.kind) {
+      case FaultKind::kNodeFailure:
+        machine.events().ScheduleAt(fault.inject_at,
+                                    [state, i] { InjectNodeFailure(*state, i); });
+        break;
+      case FaultKind::kAddrMapCorruption: {
+        const Time give_up = fault.inject_at + 400 * kMillisecond;
+        machine.events().ScheduleAt(fault.inject_at, [state, i, give_up] {
+          TryAddrMapCorruption(state, i, give_up);
+        });
+        break;
+      }
+      case FaultKind::kWildWrite:
+        machine.events().ScheduleAt(fault.inject_at,
+                                    [state, i] { InjectWildWrite(*state, i); });
+        break;
+      case FaultKind::kFalseAccusation:
+        machine.events().ScheduleAt(fault.inject_at,
+                                    [state, i] { InjectFalseAccusation(*state, i); });
+        break;
+    }
+  }
+
+  // Run the workload (bounded), then settle long enough after the last
+  // injection for clock monitoring, agreement and recovery to finish.
+  if (!pids.empty()) {
+    (void)sys.RunUntilDone(pids, 60 * kSecond);
+  }
+  machine.events().RunUntil(std::max(machine.Now(), last_inject) + spec.settle_ns);
+  result.end_time = machine.Now();
+  result.injected = state->injected;
+
+  // Output validation: each validator already skips dead cells and
+  // unfinished jobs, but a dead pmake file server would count every output
+  // as missing -- skip validation entirely in that case.
+  int corrupt = -1;
+  if (pmake != nullptr && sys.cell(CampaignPmake(spec).file_server).alive()) {
+    corrupt = pmake->ValidateOutputs();
+  }
+  if (raytrace != nullptr) {
+    const int tiles = raytrace->ValidateOutputs();
+    corrupt = corrupt < 0 ? tiles : corrupt + tiles;
+  }
+  result.corrupt_outputs = corrupt;
+
+  OracleInput input;
+  input.spec = &spec;
+  input.system = &sys;
+  input.canaries = &canaries;
+  input.injected = state->injected;
+  input.corrupt_outputs = corrupt;
+  result.violations = CheckAllOracles(input);
+
+  result.fingerprint = ComputeFingerprint(result, sys);
+  return result;
+}
+
+}  // namespace campaign

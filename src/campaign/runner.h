@@ -1,0 +1,44 @@
+// Isolated execution of one campaign scenario.
+//
+// Each run builds its own Machine + HiveSystem from the scenario seed, so any
+// number of scenarios can execute concurrently on different threads: the
+// discrete-event simulation is single-threaded and keeps all mutable state
+// inside the instance.
+
+#ifndef HIVE_SRC_CAMPAIGN_RUNNER_H_
+#define HIVE_SRC_CAMPAIGN_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/oracles.h"
+#include "src/campaign/scenario.h"
+
+namespace campaign {
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  // Which faults actually landed (parallel to spec.faults).
+  std::vector<bool> injected;
+  std::vector<OracleViolation> violations;
+  int corrupt_outputs = -1;  // -1 = outputs not validated this run.
+  Time end_time = 0;         // Simulated time when the scenario finished.
+  // FNV-1a digest of the run's observable outcome (cell states, panic
+  // reasons, injections, recovery count, violations). Two runs of the same
+  // scenario -- on any thread, in any batch -- must produce equal
+  // fingerprints; campaign_test and the repro flow rely on this.
+  uint64_t fingerprint = 0;
+
+  bool violated() const { return !violations.empty(); }
+  // One-line outcome summary (used by the CLI's verbose mode).
+  std::string Summary() const;
+  // Multi-line violation report including the repro line.
+  std::string ViolationReport() const;
+};
+
+// Runs the scenario to completion and judges it with the oracle library.
+ScenarioResult RunScenario(const ScenarioSpec& spec);
+
+}  // namespace campaign
+
+#endif  // HIVE_SRC_CAMPAIGN_RUNNER_H_

@@ -1,0 +1,231 @@
+#include "src/campaign/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/rng.h"
+
+namespace campaign {
+namespace {
+
+const char* CorruptionModeName(flash::PointerCorruptionMode mode) {
+  switch (mode) {
+    case flash::PointerCorruptionMode::kRandomSameCell:
+      return "random-same-cell";
+    case flash::PointerCorruptionMode::kRandomOtherCell:
+      return "random-other-cell";
+    case flash::PointerCorruptionMode::kOffByOneWord:
+      return "off-by-one-word";
+    case flash::PointerCorruptionMode::kSelfPointing:
+      return "self-pointing";
+  }
+  return "unknown";
+}
+
+flash::PointerCorruptionMode PickCorruptionMode(base::Rng& rng) {
+  switch (rng.Below(4)) {
+    case 0:
+      return flash::PointerCorruptionMode::kRandomSameCell;
+    case 1:
+      return flash::PointerCorruptionMode::kRandomOtherCell;
+    case 2:
+      return flash::PointerCorruptionMode::kOffByOneWord;
+    default:
+      return flash::PointerCorruptionMode::kSelfPointing;
+  }
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kNone:
+      return "none";
+    case WorkloadKind::kPmake:
+      return "pmake";
+    case WorkloadKind::kRaytrace:
+      return "raytrace";
+    case WorkloadKind::kOcean:
+      return "ocean";
+    case WorkloadKind::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeFailure:
+      return "node-failure";
+    case FaultKind::kAddrMapCorruption:
+      return "addr-map-corruption";
+    case FaultKind::kWildWrite:
+      return "wild-write";
+    case FaultKind::kFalseAccusation:
+      return "false-accusation";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream out;
+  out << FaultKindName(kind) << " victim=" << victim;
+  if (kind == FaultKind::kWildWrite || kind == FaultKind::kFalseAccusation) {
+    out << " target=" << target;
+  }
+  if (kind == FaultKind::kAddrMapCorruption) {
+    out << " mode=" << CorruptionModeName(mode);
+  }
+  out << " t=" << inject_at / hive::kMillisecond << "ms";
+  return out.str();
+}
+
+int ScenarioSpec::NodeFailureCount() const {
+  int count = 0;
+  for (const FaultSpec& fault : faults) {
+    count += fault.kind == FaultKind::kNodeFailure ? 1 : 0;
+  }
+  return count;
+}
+
+bool ScenarioSpec::IsNodeFailureVictim(CellId cell) const {
+  for (const FaultSpec& fault : faults) {
+    if (fault.kind == FaultKind::kNodeFailure && fault.victim == cell) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ScenarioSpec::ToString() const {
+  std::ostringstream out;
+  out << "scenario " << index << " seed=0x" << std::hex << seed << std::dec
+      << " cells=" << num_cells << " workload=" << WorkloadKindName(workload) << "x"
+      << workload_scale << " agreement="
+      << (agreement_mode == hive::AgreementMode::kOracle ? "oracle" : "voting");
+  if (auto_reintegrate) {
+    out << " reintegrate";
+  }
+  if (disable_firewall) {
+    out << " FIREWALL-OFF";
+  }
+  out << " faults=[";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    out << (i > 0 ? "; " : "") << faults[i].ToString();
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string ScenarioSpec::ReproLine() const {
+  std::ostringstream out;
+  out << "hive_campaign --seed=" << master_seed << " --scenario=" << index;
+  if (disable_firewall) {
+    out << " --fixture=wild_write";
+  }
+  return out.str();
+}
+
+uint64_t DeriveScenarioSeed(uint64_t master_seed, uint64_t index) {
+  // Two SplitMix64 rounds over master and index. One round is enough to
+  // decorrelate neighbouring indices; the second decorrelates neighbouring
+  // master seeds as well.
+  uint64_t z = master_seed ^ (index * 0x9E3779B97F4A7C15ull + 0x9E3779B97F4A7C15ull);
+  for (int round = 0; round < 2; ++round) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z = z ^ (z >> 31);
+  }
+  return z != 0 ? z : 1;  // Rng(0) is fine, but a zero seed reads badly in repro lines.
+}
+
+ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
+                              const GeneratorOptions& options) {
+  ScenarioSpec spec;
+  spec.master_seed = master_seed;
+  spec.index = index;
+  spec.seed = DeriveScenarioSeed(master_seed, index);
+  base::Rng rng(spec.seed);
+
+  spec.num_cells = rng.OneIn(4) ? 2 : 4;
+  spec.agreement_mode =
+      rng.OneIn(3) ? hive::AgreementMode::kVoting : hive::AgreementMode::kOracle;
+  spec.auto_reintegrate = rng.OneIn(5);
+
+  const uint64_t workload_roll = rng.Below(100);
+  if (workload_roll < 40) {
+    spec.workload = WorkloadKind::kPmake;
+  } else if (workload_roll < 65) {
+    spec.workload = WorkloadKind::kRaytrace;
+  } else if (workload_roll < 85) {
+    spec.workload = WorkloadKind::kOcean;
+  } else {
+    spec.workload = WorkloadKind::kMixed;
+  }
+  spec.workload_scale = 1 + static_cast<int>(rng.Below(2));
+
+  if (options.wild_write_fixture) {
+    // Fixture: exactly one wild write that actually lands (firewall checking
+    // off). Everything else stays deterministic from the seed.
+    spec.disable_firewall = true;
+    FaultSpec fault;
+    fault.kind = FaultKind::kWildWrite;
+    fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+    fault.target = static_cast<CellId>(
+        (fault.victim + 1 + rng.Below(static_cast<uint64_t>(spec.num_cells - 1))) %
+        spec.num_cells);
+    fault.inject_at = (40 + static_cast<Time>(rng.Below(60))) * hive::kMillisecond;
+    spec.faults.push_back(fault);
+    return spec;
+  }
+
+  // Fault plan: one to three faults. At most half the cells take fail-stop
+  // node failures so the survivor oracles always have cells to check, and at
+  // most one false accusation per scenario (a second identical accusation
+  // would, by design, get the accuser declared corrupt -- covered by the
+  // recovery edge-case tests, not the campaign's healthy-path oracles).
+  const int max_node_failures = spec.num_cells / 2;
+  const int num_faults = 1 + static_cast<int>(rng.Below(3));
+  std::vector<CellId> node_fail_victims;
+  bool have_accusation = false;
+  for (int i = 0; i < num_faults; ++i) {
+    FaultSpec fault;
+    fault.inject_at = (5 + static_cast<Time>(rng.Below(595))) * hive::kMillisecond;
+    const uint64_t roll = rng.Below(100);
+    if (roll < 45 && static_cast<int>(node_fail_victims.size()) < max_node_failures) {
+      fault.kind = FaultKind::kNodeFailure;
+      // Distinct victims: failing a dead node is a no-op, not a new scenario.
+      CellId victim;
+      do {
+        victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+      } while (std::find(node_fail_victims.begin(), node_fail_victims.end(), victim) !=
+               node_fail_victims.end());
+      fault.victim = victim;
+      node_fail_victims.push_back(victim);
+    } else if (roll < 70) {
+      fault.kind = FaultKind::kAddrMapCorruption;
+      fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+      fault.mode = PickCorruptionMode(rng);
+    } else if (roll < 85 || have_accusation) {
+      fault.kind = FaultKind::kWildWrite;
+      fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+      fault.target = static_cast<CellId>(
+          (fault.victim + 1 + rng.Below(static_cast<uint64_t>(spec.num_cells - 1))) %
+          spec.num_cells);
+    } else {
+      fault.kind = FaultKind::kFalseAccusation;
+      fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+      fault.target = static_cast<CellId>(
+          (fault.victim + 1 + rng.Below(static_cast<uint64_t>(spec.num_cells - 1))) %
+          spec.num_cells);
+      have_accusation = true;
+    }
+    spec.faults.push_back(fault);
+  }
+  std::sort(spec.faults.begin(), spec.faults.end(),
+            [](const FaultSpec& a, const FaultSpec& b) { return a.inject_at < b.inject_at; });
+  return spec;
+}
+
+}  // namespace campaign

@@ -1,0 +1,110 @@
+// Scenario model for the fault-campaign engine.
+//
+// A campaign is driven by one master seed. Scenario k's seed is derived
+// deterministically (SplitMix64 over the master seed and the index), and
+// everything in the scenario -- cell geometry, workload mix, fault plan,
+// injection times -- is generated from that seed alone. Any scenario is
+// therefore reproducible from the pair (master_seed, index), which is what
+// the repro line `hive_campaign --seed=N --scenario=K` encodes.
+
+#ifndef HIVE_SRC_CAMPAIGN_SCENARIO_H_
+#define HIVE_SRC_CAMPAIGN_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/agreement.h"
+#include "src/core/types.h"
+#include "src/flash/fault_injector.h"
+
+namespace campaign {
+
+using hive::CellId;
+using hive::Time;
+
+enum class WorkloadKind {
+  kNone,      // Boot + faults only (produced by the minimizer, never generated).
+  kPmake,     // Multiprogrammed compile jobs (metadata + file traffic).
+  kRaytrace,  // COW-tree sharing across cells.
+  kOcean,     // Write-shared spanning task group.
+  kMixed,     // Pmake and raytrace concurrently.
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+enum class FaultKind {
+  // Fail-stop hardware failure of the victim's node at inject_at.
+  kNodeFailure,
+  // Corrupt the `next` pointer of an address-map entry of some process on the
+  // victim cell (retried until a process with a populated map exists).
+  kAddrMapCorruption,
+  // The victim cell attempts a store into another cell's memory through the
+  // checked path. With the firewall on, the store is denied and the victim
+  // panics (containment holds); with checking disabled (the wild-write
+  // fixture) the store lands and the oracles must catch the damage.
+  kWildWrite,
+  // The victim (here: accuser) raises a hint against a healthy cell; voting
+  // or the oracle must refuse to kill the accused.
+  kFalseAccusation,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNodeFailure;
+  CellId victim = 0;  // For kFalseAccusation: the accuser.
+  CellId target = 0;  // kWildWrite: scribble target; kFalseAccusation: accused.
+  Time inject_at = 0;
+  flash::PointerCorruptionMode mode = flash::PointerCorruptionMode::kOffByOneWord;
+
+  std::string ToString() const;
+};
+
+struct ScenarioSpec {
+  uint64_t master_seed = 0;
+  uint64_t index = 0;
+  uint64_t seed = 0;  // DeriveScenarioSeed(master_seed, index).
+
+  int num_cells = 4;  // One node per cell.
+  WorkloadKind workload = WorkloadKind::kPmake;
+  int workload_scale = 1;  // Multiplies job counts / compute.
+  hive::AgreementMode agreement_mode = hive::AgreementMode::kOracle;
+  bool auto_reintegrate = false;
+  // Wild-write fixture mode: firewall checking is disabled so an injected
+  // wild write actually lands. Used to prove the oracles catch violations.
+  bool disable_firewall = false;
+
+  std::vector<FaultSpec> faults;  // Sorted by inject_at.
+
+  // Simulated settle time after the last injection (detection + recovery +
+  // post-checks all complete well within this window).
+  Time settle_ns = 800 * hive::kMillisecond;
+
+  // Number of victims of fail-stop node failures (distinct cells).
+  int NodeFailureCount() const;
+  bool IsNodeFailureVictim(CellId cell) const;
+
+  std::string ToString() const;
+  // Self-contained repro line for this scenario.
+  std::string ReproLine() const;
+};
+
+// Deterministic per-scenario seed derivation (SplitMix64 avalanche of the
+// master seed and index). Stable across platforms and releases: repro lines
+// in old CI logs must keep meaning the same scenario.
+uint64_t DeriveScenarioSeed(uint64_t master_seed, uint64_t index);
+
+struct GeneratorOptions {
+  // Generate exactly one wild write with firewall checking disabled, so the
+  // write lands and the containment oracles must flag the scenario.
+  bool wild_write_fixture = false;
+};
+
+// Generates scenario `index` of the campaign rooted at `master_seed`.
+ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
+                              const GeneratorOptions& options = {});
+
+}  // namespace campaign
+
+#endif  // HIVE_SRC_CAMPAIGN_SCENARIO_H_

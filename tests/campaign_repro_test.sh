@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end check of the campaign repro pipeline:
+#   1. a wild-write fixture sweep (firewall checking off) must flag every
+#      scenario and print a self-contained repro line;
+#   2. rerunning the printed repro line must reproduce the violation
+#      byte-identically (same spec, same fingerprint, same report).
+#
+# Usage: campaign_repro_test.sh <path-to-hive_campaign>
+set -u
+
+BIN="${1:?usage: campaign_repro_test.sh <hive_campaign>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "campaign_repro_test: FAIL: $*" >&2
+  exit 1
+}
+
+# Fixture sweep: every scenario deliberately lands a wild write, so the
+# sweep must exit nonzero and report the violations.
+if "$BIN" --seed=7 --scenarios=3 --workers=2 --fixture=wild_write \
+    --no-minimize >"$TMP/sweep.out" 2>&1; then
+  cat "$TMP/sweep.out" >&2
+  fail "fixture sweep exited 0 despite landed wild writes"
+fi
+grep -q "3 violation(s)" "$TMP/sweep.out" || \
+  { cat "$TMP/sweep.out" >&2; fail "sweep did not flag all 3 scenarios"; }
+grep -q "repro: hive_campaign --seed=7" "$TMP/sweep.out" || \
+  { cat "$TMP/sweep.out" >&2; fail "sweep printed no repro line"; }
+
+# Take the first printed repro line and run it twice through the binary.
+repro="$(grep -m1 -o 'hive_campaign --seed=[0-9]* --scenario=[0-9]*.*' \
+  "$TMP/sweep.out")" || fail "could not extract a repro line"
+read -r -a repro_args <<<"${repro#hive_campaign }"
+
+"$BIN" "${repro_args[@]}" >"$TMP/run1.out" 2>&1
+status1=$?
+"$BIN" "${repro_args[@]}" >"$TMP/run2.out" 2>&1
+status2=$?
+
+[[ "$status1" -eq 1 ]] || fail "repro run exited $status1, expected 1 (violation)"
+[[ "$status2" -eq 1 ]] || fail "second repro run exited $status2, expected 1"
+cmp -s "$TMP/run1.out" "$TMP/run2.out" || {
+  diff "$TMP/run1.out" "$TMP/run2.out" >&2 || true
+  fail "repro runs were not byte-identical"
+}
+grep -q "containment violation" "$TMP/run1.out" || \
+  { cat "$TMP/run1.out" >&2; fail "repro run did not report the violation"; }
+grep -q "fingerprint=0x" "$TMP/run1.out" || \
+  fail "repro run printed no fingerprint"
+
+echo "campaign_repro_test: OK (repro: $repro)"

@@ -1,0 +1,232 @@
+// Tests for the fault-campaign engine: seed derivation, scenario generation,
+// run determinism, oracle sensitivity (the wild-write fixture), minimization,
+// and worker-count independence of the parallel driver.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/minimizer.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/scenario.h"
+#include "tests/test_util.h"
+
+namespace campaign {
+namespace {
+
+// --- Seed derivation. ---
+
+// Repro lines in old CI logs must keep meaning the same scenario: the
+// derivation is pinned to golden values, not just to properties.
+TEST(SeedDerivationTest, GoldenValuesAreStable) {
+  EXPECT_EQ(DeriveScenarioSeed(1, 0), 0x7f46a57c92dbee5full);
+  EXPECT_EQ(DeriveScenarioSeed(1, 1), 0xa6c7188e0551111eull);
+  EXPECT_EQ(DeriveScenarioSeed(0xDEADBEEF, 42), 0xdd1fb5a40a828d4full);
+}
+
+TEST(SeedDerivationTest, NeighbouringInputsDecorrelate) {
+  std::set<uint64_t> seeds;
+  for (uint64_t master = 1; master <= 4; ++master) {
+    for (uint64_t index = 0; index < 256; ++index) {
+      seeds.insert(DeriveScenarioSeed(master, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 256u);  // No collisions across the grid.
+  EXPECT_NE(DeriveScenarioSeed(1, 0), 0u);
+}
+
+// --- Scenario generation. ---
+
+TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
+  const uint64_t master = hivetest::TestSeed(17);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 300; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index);
+    SCOPED_TRACE(spec.ToString());
+    EXPECT_EQ(spec.seed, DeriveScenarioSeed(master, index));
+    EXPECT_TRUE(spec.num_cells == 2 || spec.num_cells == 4);
+    EXPECT_FALSE(spec.disable_firewall);
+    ASSERT_GE(spec.faults.size(), 1u);
+    ASSERT_LE(spec.faults.size(), 3u);
+    EXPECT_LE(spec.NodeFailureCount(), spec.num_cells / 2);
+
+    int accusations = 0;
+    std::set<hive::CellId> node_fail_victims;
+    Time previous = 0;
+    for (const FaultSpec& fault : spec.faults) {
+      EXPECT_GE(fault.inject_at, previous);  // Sorted by injection time.
+      previous = fault.inject_at;
+      EXPECT_GE(fault.inject_at, 5 * hive::kMillisecond);
+      EXPECT_LE(fault.inject_at, 600 * hive::kMillisecond);
+      EXPECT_GE(fault.victim, 0);
+      EXPECT_LT(fault.victim, spec.num_cells);
+      switch (fault.kind) {
+        case FaultKind::kNodeFailure:
+          // Distinct victims: failing a dead node is a no-op.
+          EXPECT_TRUE(node_fail_victims.insert(fault.victim).second);
+          break;
+        case FaultKind::kWildWrite:
+        case FaultKind::kFalseAccusation:
+          EXPECT_NE(fault.target, fault.victim);
+          EXPECT_GE(fault.target, 0);
+          EXPECT_LT(fault.target, spec.num_cells);
+          accusations += fault.kind == FaultKind::kFalseAccusation ? 1 : 0;
+          break;
+        case FaultKind::kAddrMapCorruption:
+          break;
+      }
+    }
+    EXPECT_LE(accusations, 1);
+  }
+}
+
+TEST(ScenarioGeneratorTest, FixtureModeGeneratesOneLandingWildWrite) {
+  GeneratorOptions options;
+  options.wild_write_fixture = true;
+  for (uint64_t index = 0; index < 50; ++index) {
+    const ScenarioSpec spec = GenerateScenario(7, index, options);
+    EXPECT_TRUE(spec.disable_firewall);
+    ASSERT_EQ(spec.faults.size(), 1u);
+    EXPECT_EQ(spec.faults[0].kind, FaultKind::kWildWrite);
+    EXPECT_NE(spec.faults[0].victim, spec.faults[0].target);
+    EXPECT_NE(spec.ReproLine().find("--fixture=wild_write"), std::string::npos);
+  }
+}
+
+// --- Run determinism. ---
+
+TEST(ScenarioRunnerTest, SameSpecSameFingerprint) {
+  const uint64_t master = hivetest::TestSeed(5);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 3; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult first = RunScenario(spec);
+    const ScenarioResult second = RunScenario(spec);
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.end_time, second.end_time);
+    EXPECT_EQ(first.injected, second.injected);
+    ASSERT_EQ(first.violations.size(), second.violations.size());
+    for (size_t v = 0; v < first.violations.size(); ++v) {
+      EXPECT_EQ(first.violations[v].ToString(), second.violations[v].ToString());
+    }
+  }
+}
+
+TEST(ScenarioRunnerTest, HealthyScenariosPassAllOracles) {
+  const uint64_t master = hivetest::TestSeed(11);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 12; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index);
+    const ScenarioResult result = RunScenario(spec);
+    EXPECT_FALSE(result.violated()) << result.ViolationReport();
+  }
+}
+
+// --- Oracle sensitivity: the wild-write fixture must be caught. ---
+
+TEST(ScenarioRunnerTest, WildWriteFixtureIsFlaggedAndReproducible) {
+  GeneratorOptions options;
+  options.wild_write_fixture = true;
+  const uint64_t master = hivetest::TestSeed(7);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  const ScenarioSpec spec = GenerateScenario(master, 0, options);
+  const ScenarioResult result = RunScenario(spec);
+  ASSERT_TRUE(result.violated()) << "landed wild write went undetected";
+  ASSERT_TRUE(result.injected[0]);
+  bool canary_flagged = false;
+  for (const OracleViolation& violation : result.violations) {
+    canary_flagged = canary_flagged || violation.oracle == "generation-consistency";
+  }
+  EXPECT_TRUE(canary_flagged) << result.ViolationReport();
+
+  // Reproduction: regenerating from (master_seed, index) -- what the printed
+  // repro line encodes -- yields the identical spec and outcome.
+  const ScenarioSpec again = GenerateScenario(spec.master_seed, spec.index, options);
+  EXPECT_EQ(again.ToString(), spec.ToString());
+  const ScenarioResult rerun = RunScenario(again);
+  EXPECT_EQ(rerun.fingerprint, result.fingerprint);
+}
+
+TEST(ScenarioRunnerTest, FirewallOnStopsTheSameWildWrite) {
+  GeneratorOptions options;
+  options.wild_write_fixture = true;
+  ScenarioSpec spec = GenerateScenario(7, 0, options);
+  // Same fault plan, firewall checking back on: the writer must panic and
+  // every oracle must pass (containment held).
+  spec.disable_firewall = false;
+  const ScenarioResult result = RunScenario(spec);
+  EXPECT_FALSE(result.violated()) << result.ViolationReport();
+}
+
+// --- Minimization. ---
+
+TEST(MinimizerTest, DropsFaultsIrrelevantToTheViolation) {
+  GeneratorOptions options;
+  options.wild_write_fixture = true;
+  ScenarioSpec spec = GenerateScenario(7, 0, options);
+  // Pad the landing wild write with two faults that cannot cause the canary
+  // corruption: a false accusation and a second, never-landing wild write
+  // against the accuser.
+  FaultSpec accusation;
+  accusation.kind = FaultKind::kFalseAccusation;
+  accusation.victim = spec.faults[0].target;
+  accusation.target = spec.faults[0].victim;
+  accusation.inject_at = 20 * hive::kMillisecond;
+  spec.faults.insert(spec.faults.begin(), accusation);
+  ASSERT_TRUE(RunScenario(spec).violated());
+
+  const MinimizationResult minimized = MinimizeScenario(spec);
+  EXPECT_TRUE(minimized.reduced);
+  ASSERT_EQ(minimized.minimized.faults.size(), 1u);
+  EXPECT_EQ(minimized.minimized.faults[0].kind, FaultKind::kWildWrite);
+  EXPECT_EQ(minimized.minimized.workload, WorkloadKind::kNone);
+  // The minimized spec still reproduces the violation.
+  EXPECT_TRUE(RunScenario(minimized.minimized).violated());
+}
+
+// --- Parallel driver. ---
+
+TEST(CampaignDriverTest, WorkerCountDoesNotChangeOutcomes) {
+  const uint64_t master = hivetest::TestSeed(3);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  auto sweep = [master](int workers) {
+    CampaignOptions options;
+    options.master_seed = master;
+    options.num_scenarios = 24;
+    options.workers = workers;
+    options.minimize = false;
+    std::map<uint64_t, uint64_t> fingerprints;
+    options.on_result = [&fingerprints](const ScenarioResult& result) {
+      fingerprints[result.spec.index] = result.fingerprint;
+    };
+    const CampaignReport report = RunCampaign(options);
+    EXPECT_EQ(report.scenarios_run, 24u);
+    return fingerprints;
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), 24u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(CampaignDriverTest, FixtureSweepReportsEveryViolationInOrder) {
+  CampaignOptions options;
+  options.master_seed = 7;
+  options.num_scenarios = 4;
+  options.workers = 4;
+  options.wild_write_fixture = true;
+  options.minimize = false;
+  const CampaignReport report = RunCampaign(options);
+  ASSERT_EQ(report.failures.size(), 4u);
+  for (size_t i = 0; i < report.failures.size(); ++i) {
+    EXPECT_EQ(report.failures[i].result.spec.index, i);
+    EXPECT_NE(report.failures[i].Report().find("repro: hive_campaign --seed=7"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace campaign

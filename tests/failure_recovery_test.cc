@@ -262,6 +262,83 @@ TEST_F(FailureRecoveryTest, AccuserVotedDownTwiceIsDeclaredCorrupt) {
   EXPECT_EQ(ts_.hive->recovery().recoveries_run(), 1);
 }
 
+// --- Edge cases the fault campaign hits first: overlapping failures. ---
+
+TEST_F(FailureRecoveryTest, SecondFailureDuringRecoveryRound) {
+  // Cell 1's node fails at 25 ms; cell 2's node fails ~17 ms later, while
+  // detection/recovery of the first failure is typically still in flight.
+  // Both failures must end up detected and recovered, every survivor must
+  // exit recovery, and containment must hold for cells 0 and 3.
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(1, 25 * kMillisecond);
+  injector.ScheduleNodeFailure(2, 42 * kMillisecond);
+  ts_.machine->events().RunUntil(600 * kMillisecond);
+
+  EXPECT_FALSE(ts_.cell(1).alive());
+  EXPECT_FALSE(ts_.cell(2).alive());
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(1));
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_GE(ts_.hive->recovery().recoveries_run(), 2);
+  for (CellId c : {0, 3}) {
+    EXPECT_FALSE(ts_.cell(c).in_recovery()) << c;
+    EXPECT_TRUE(ts_.cell(c).panic_reason().empty()) << ts_.cell(c).panic_reason();
+  }
+  // The last recovery round's barriers are ordered.
+  const RecoveryStats& stats = ts_.hive->recovery().last_stats();
+  EXPECT_LE(stats.detect_time, stats.barrier1_time);
+  EXPECT_LE(stats.barrier1_time, stats.barrier2_time);
+  // Survivors still share files.
+  Ctx actx = ts_.cell(0).MakeCtx();
+  ASSERT_TRUE(
+      ts_.cell(0).fs().Create(actx, "/two-down", workloads::PatternData(9, 4096)).ok());
+  Ctx bctx = ts_.cell(3).MakeCtx();
+  auto handle = ts_.cell(3).fs().Open(bctx, "/two-down");
+  ASSERT_TRUE(handle.ok());
+  std::vector<uint8_t> buf(4096);
+  EXPECT_TRUE(ts_.cell(3).fs().Read(bctx, *handle, 0, std::span<uint8_t>(buf)).ok());
+}
+
+TEST_F(FailureRecoveryTest, TwoFailuresInSameAgreementWindow) {
+  // Under voting, two nodes fail in the same clock-monitoring window. The
+  // probes must confirm both real failures -- neither alert may be mistaken
+  // for a false accusation just because agreement was already busy.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  injector.ScheduleNodeFailure(3, 25 * kMillisecond + 1);
+  ts_.machine->events().RunUntil(600 * kMillisecond);
+
+  EXPECT_FALSE(ts_.cell(2).alive());
+  EXPECT_FALSE(ts_.cell(3).alive());
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(3));
+  EXPECT_GE(ts_.hive->recovery().recoveries_run(), 2);
+  EXPECT_EQ(ts_.hive->agreement().false_alerts(), 0u);
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(1).alive());
+}
+
+TEST_F(FailureRecoveryTest, VotedDownStrikesArePerSuspect) {
+  // The two-strike rule (section 4.3) is keyed by (accuser, suspect): being
+  // voted down once each for two DIFFERENT suspects must not condemn the
+  // accuser, but a second strike for the SAME suspect must.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  Ctx ctx = ts_.cell(0).MakeCtx();
+  ts_.hive->HandleAlert(ctx, 0, 2, HintReason::kClockStale);
+  ts_.hive->HandleAlert(ctx, 0, 3, HintReason::kClockStale);
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_EQ(ts_.hive->agreement().false_alerts(), 2u);
+  EXPECT_EQ(ts_.hive->recovery().recoveries_run(), 0);
+
+  ts_.hive->HandleAlert(ctx, 0, 2, HintReason::kClockStale);
+  EXPECT_FALSE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(2).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+  EXPECT_EQ(ts_.hive->recovery().recoveries_run(), 1);
+}
+
 TEST_F(FailureRecoveryTest, PanickedCellMemoryIsCutOff) {
   ts_.cell(1).Panic("test panic");
   // Remote access to the panicked cell's memory traps (table 8.1 cutoff).

@@ -80,9 +80,11 @@ struct ContainmentParam {
 class ContainmentSweep : public ::testing::TestWithParam<ContainmentParam> {};
 
 TEST_P(ContainmentSweep, NodeFailureIsContained) {
-  RunContainmentCase(GetParam().victim, GetParam().inject_ms,
-                     4000 + static_cast<uint64_t>(GetParam().victim) * 100 +
+  const uint64_t seed =
+      hivetest::TestSeed(4000 + static_cast<uint64_t>(GetParam().victim) * 100 +
                          static_cast<uint64_t>(GetParam().inject_ms));
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  RunContainmentCase(GetParam().victim, GetParam().inject_ms, seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -207,9 +209,11 @@ INSTANTIATE_TEST_SUITE_P(Periods, DetectionPeriodSweep, ::testing::Values(1, 2, 
 class HeapPropertySweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(HeapPropertySweep, AllocationsDisjointAlignedTagged) {
+  const uint64_t seed = hivetest::TestSeed(GetParam());
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
   flash::PhysMem mem(hivetest::SmallConfig());
   KernelHeap heap(&mem, 0, 0, 2 << 20);
-  base::Rng rng(GetParam());
+  base::Rng rng(seed);
 
   struct Alloc {
     PhysAddr addr;
@@ -309,7 +313,9 @@ TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns) {
     }
     return finish;
   };
-  EXPECT_EQ(run(GetParam()), run(GetParam()));
+  const uint64_t seed = hivetest::TestSeed(GetParam());
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  EXPECT_EQ(run(seed), run(seed));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(10u, 20u, 30u));

@@ -19,9 +19,11 @@ namespace {
 class DiskPropertySweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DiskPropertySweep, SequentialBeatsRandom) {
-  flash::Disk seq_disk(GetParam());
-  flash::Disk rand_disk(GetParam());
-  base::Rng rng(GetParam() * 7 + 1);
+  const uint64_t seed = hivetest::TestSeed(GetParam());
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  flash::Disk seq_disk(seed);
+  flash::Disk rand_disk(seed);
+  base::Rng rng(seed * 7 + 1);
 
   Time seq_total = 0;
   for (uint64_t i = 0; i < 64; ++i) {
@@ -41,8 +43,10 @@ TEST_P(DiskPropertySweep, SequentialBeatsRandom) {
 }
 
 TEST_P(DiskPropertySweep, LatencyMonotonicInTransferSize) {
-  flash::Disk a(GetParam());
-  flash::Disk b(GetParam());
+  const uint64_t seed = hivetest::TestSeed(GetParam());
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  flash::Disk a(seed);
+  flash::Disk b(seed);
   (void)a.AccessTime(0, 512);
   (void)b.AccessTime(0, 512);
   const Time small = a.AccessTime(512, 4096);
@@ -58,10 +62,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DiskPropertySweep, ::testing::Values(1u, 5u, 9u,
 class CarefulRangeSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CarefulRangeSweep, ValidationBeforeAccess) {
-  auto ts = hivetest::BootHive(4, 4, {}, GetParam());
+  const uint64_t seed = hivetest::TestSeed(GetParam());
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  auto ts = hivetest::BootHive(4, 4, {}, seed);
   Cell& reader = ts.cell(0);
   Cell& target = ts.cell(1);
-  base::Rng rng(GetParam() * 13 + 3);
+  base::Rng rng(seed * 13 + 3);
 
   for (int trial = 0; trial < 200; ++trial) {
     Ctx ctx = reader.MakeCtx();
@@ -114,8 +120,10 @@ TEST(RpcCoverageTest, AllUsedMessageTypesHaveHandlers) {
 // Event queue stress: thousands of interleaved schedules/cancels from within
 // callbacks preserve time ordering.
 TEST(EventQueueStressTest, InterleavedScheduleCancelKeepsOrder) {
+  const uint64_t seed = hivetest::TestSeed(99);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
   flash::EventQueue queue;
-  base::Rng rng(99);
+  base::Rng rng(seed);
   Time last_seen = 0;
   int executed = 0;
   std::vector<flash::EventId> cancellable;

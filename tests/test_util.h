@@ -4,12 +4,36 @@
 #ifndef HIVE_TESTS_TEST_UTIL_H_
 #define HIVE_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "src/core/hive_system.h"
 #include "src/flash/machine.h"
 
 namespace hivetest {
+
+// Seed for randomized tests: the HIVE_TEST_SEED environment variable when
+// set (so a failure seen elsewhere can be replayed exactly), else `fallback`.
+// Pair with SeedTrace so every failure message names the seed it ran with:
+//
+//   const uint64_t seed = hivetest::TestSeed(GetParam());
+//   SCOPED_TRACE(hivetest::SeedTrace(seed));
+inline uint64_t TestSeed(uint64_t fallback) {
+  if (const char* env = std::getenv("HIVE_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+inline std::string SeedTrace(uint64_t seed) {
+  return "seed=" + std::to_string(seed) + " (replay with HIVE_TEST_SEED=" +
+         std::to_string(seed) + ")";
+}
 
 inline flash::MachineConfig SmallConfig(int nodes = 4, int cpus_per_node = 1) {
   flash::MachineConfig config;

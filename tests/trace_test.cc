@@ -62,6 +62,97 @@ TEST(TraceIntegrationTest, FailureLeavesAuditTrailOnSurvivors) {
   EXPECT_GE(hints, 1);
 }
 
+TEST(TraceBufferTest, CountSurvivesWraparound) {
+  // Mixed event kinds across several full ring wraps: Count must reflect
+  // only the records still in the ring, and Snapshot must stay time-ordered.
+  TraceBuffer trace;
+  const uint64_t total = 3 * TraceBuffer::kCapacity + 7;
+  for (uint64_t i = 0; i < total; ++i) {
+    const TraceEvent event = i % 3 == 0   ? TraceEvent::kSwapOut
+                             : i % 3 == 1 ? TraceEvent::kSwapIn
+                                          : TraceEvent::kPageDiscarded;
+    trace.Record(static_cast<Time>(i), event, i);
+  }
+  EXPECT_EQ(trace.total_recorded(), total);
+  const auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), TraceBuffer::kCapacity);
+  // The ring holds exactly the newest kCapacity records, still in order.
+  EXPECT_EQ(records.front().arg0, total - TraceBuffer::kCapacity);
+  EXPECT_EQ(records.back().arg0, total - 1);
+  int counted = 0;
+  for (TraceEvent event :
+       {TraceEvent::kSwapOut, TraceEvent::kSwapIn, TraceEvent::kPageDiscarded}) {
+    counted += trace.Count(event);
+  }
+  EXPECT_EQ(counted, static_cast<int>(TraceBuffer::kCapacity));
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].when, records[i - 1].when);
+  }
+  // A kind that was never recorded counts zero even after wrapping.
+  EXPECT_EQ(trace.Count(TraceEvent::kPanic), 0);
+}
+
+// Golden event order across a full fail -> agree -> recover sequence: on
+// every survivor the recovery-related records appear in exactly the order
+// the protocol prescribes, with consistent timestamps and arguments.
+TEST(TraceIntegrationTest, GoldenEventOrderThroughRecovery) {
+  auto ts = hivetest::BootHive(4);
+  const CellId victim = 2;
+  flash::FaultInjector injector(ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(victim, 30 * kMillisecond);
+  ts.machine->events().RunUntil(400 * kMillisecond);
+  ASSERT_FALSE(ts.cell(victim).alive());
+
+  int accusers = 0;
+  for (CellId c : ts.hive->LiveCells()) {
+    TraceBuffer& trace = ts.cell(c).trace();
+    // Filter to the recovery-protocol events.
+    std::vector<TraceRecord> protocol;
+    for (const TraceRecord& record : trace.Snapshot()) {
+      switch (record.event) {
+        case TraceEvent::kBoot:
+        case TraceEvent::kHintRaised:
+        case TraceEvent::kEnterRecovery:
+        case TraceEvent::kExitRecovery:
+          protocol.push_back(record);
+          break;
+        default:
+          break;
+      }
+    }
+    // Golden order: boot, optional hint, enter, exit -- nothing else.
+    ASSERT_GE(protocol.size(), 3u) << "cell " << c;
+    ASSERT_LE(protocol.size(), 4u) << "cell " << c;
+    const bool raised_hint = protocol.size() == 4;
+    size_t at = 0;
+    EXPECT_EQ(protocol[at++].event, TraceEvent::kBoot) << c;
+    if (raised_hint) {
+      ++accusers;
+      EXPECT_EQ(protocol[at].event, TraceEvent::kHintRaised) << c;
+      // The hint names the failed cell.
+      EXPECT_EQ(protocol[at].arg0, static_cast<uint64_t>(victim)) << c;
+      EXPECT_GE(protocol[at].when, 30 * kMillisecond) << c;
+      ++at;
+    }
+    EXPECT_EQ(protocol[at].event, TraceEvent::kEnterRecovery) << c;
+    EXPECT_EQ(protocol[at].arg0, static_cast<uint64_t>(victim)) << c;
+    ++at;
+    EXPECT_EQ(protocol[at].event, TraceEvent::kExitRecovery) << c;
+    // Timestamps are nondecreasing through the sequence.
+    for (size_t i = 1; i < protocol.size(); ++i) {
+      EXPECT_GE(protocol[i].when, protocol[i - 1].when) << c;
+    }
+    // The recovery entry cannot precede the injected failure. (Trace records
+    // carry event-queue time; RecoveryStats carries virtual time -- the two
+    // clocks are not comparable to each other.)
+    EXPECT_GE(protocol[protocol.size() - 2].when, 30 * kMillisecond) << c;
+    EXPECT_GE(ts.hive->recovery().last_stats().detect_time,
+              30 * kMillisecond);
+  }
+  // Clock monitoring is a ring: exactly one survivor watches the victim.
+  EXPECT_EQ(accusers, 1);
+}
+
 TEST(TraceIntegrationTest, PanickedCellKeepsPostMortem) {
   auto ts = hivetest::BootHive(4);
   ts.cell(1).Panic("test");

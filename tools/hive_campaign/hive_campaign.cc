@@ -1,0 +1,158 @@
+// hive_campaign: seed-driven fault-campaign runner.
+//
+// Sweep mode (default): generate and run `--scenarios` randomized fault
+// scenarios from `--seed`, in parallel on `--workers` threads, judging each
+// with the containment oracle library. Any violation is minimized and
+// reported with a self-contained repro line.
+//
+// Repro mode (`--scenario=K`): run exactly scenario K of the campaign rooted
+// at `--seed` and print its full outcome. All output is a pure function of
+// (seed, scenario, fixture): rerunning a printed repro line produces
+// byte-identical output.
+//
+// Exit codes: 0 = all oracles passed, 1 = violation(s), 2 = usage error.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/campaign/campaign.h"
+
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  uint64_t scenarios = 200;
+  int workers = 4;
+  bool have_scenario = false;
+  uint64_t scenario = 0;
+  bool wild_write_fixture = false;
+  bool minimize = true;
+  bool verbose = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hive_campaign [--seed=N] [--scenarios=N] [--workers=N]\n"
+               "                     [--scenario=K] [--fixture=wild_write]\n"
+               "                     [--no-minimize] [--verbose]\n"
+               "\n"
+               "  --seed=N             campaign master seed (default: $HIVE_TEST_SEED or 1)\n"
+               "  --scenarios=N        number of scenarios to sweep (default 200)\n"
+               "  --workers=N          worker threads (default 4)\n"
+               "  --scenario=K         run only scenario K and print its outcome\n"
+               "  --fixture=wild_write generate landing wild writes (firewall checking\n"
+               "                       off); every scenario is expected to violate\n"
+               "  --no-minimize        skip minimization of violating scenarios\n"
+               "  --verbose            print a line per scenario\n");
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (const char* env_seed = std::getenv("HIVE_TEST_SEED")) {
+    if (!ParseU64(env_seed, &args->seed)) {
+      std::fprintf(stderr, "hive_campaign: bad HIVE_TEST_SEED '%s'\n", env_seed);
+      return false;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strncmp(arg, "--seed=", 7) == 0 && ParseU64(arg + 7, &value)) {
+      args->seed = value;
+    } else if (std::strncmp(arg, "--scenarios=", 12) == 0 && ParseU64(arg + 12, &value)) {
+      args->scenarios = value;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0 && ParseU64(arg + 10, &value) &&
+               value >= 1 && value <= 256) {
+      args->workers = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0 && ParseU64(arg + 11, &value)) {
+      args->have_scenario = true;
+      args->scenario = value;
+    } else if (std::strcmp(arg, "--fixture=wild_write") == 0) {
+      args->wild_write_fixture = true;
+    } else if (std::strcmp(arg, "--no-minimize") == 0) {
+      args->minimize = false;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "hive_campaign: bad argument '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSingle(const Args& args) {
+  campaign::GeneratorOptions gen_options;
+  gen_options.wild_write_fixture = args.wild_write_fixture;
+  const campaign::ScenarioSpec spec =
+      campaign::GenerateScenario(args.seed, args.scenario, gen_options);
+  std::printf("%s\n", spec.ToString().c_str());
+  const campaign::ScenarioResult result = campaign::RunScenario(spec);
+  std::printf("end_time=%" PRId64 "ms fingerprint=0x%016" PRIx64 "\n",
+              result.end_time / hive::kMillisecond, result.fingerprint);
+  if (!result.violated()) {
+    std::printf("all oracles passed\n");
+    return 0;
+  }
+  std::printf("%s", result.ViolationReport().c_str());
+  if (args.minimize) {
+    const campaign::MinimizationResult minimized =
+        campaign::MinimizeScenario(spec);
+    if (minimized.reduced) {
+      std::printf("minimized (%d runs): %s\n", minimized.runs,
+                  minimized.minimized.ToString().c_str());
+    }
+  }
+  return 1;
+}
+
+int RunSweep(const Args& args) {
+  campaign::CampaignOptions options;
+  options.master_seed = args.seed;
+  options.num_scenarios = args.scenarios;
+  options.workers = args.workers;
+  options.wild_write_fixture = args.wild_write_fixture;
+  options.minimize = args.minimize;
+  if (args.verbose) {
+    options.on_result = [](const campaign::ScenarioResult& result) {
+      std::printf("%s\n", result.Summary().c_str());
+    };
+  }
+  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s\n",
+              args.seed, args.scenarios, args.workers,
+              args.wild_write_fixture ? " fixture=wild_write" : "");
+  const campaign::CampaignReport report = campaign::RunCampaign(options);
+  std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %zu violation(s)\n",
+              report.scenarios_run, report.faults_injected, report.failures.size());
+  for (const campaign::CampaignFailure& failure : report.failures) {
+    std::printf("%s", failure.Report().c_str());
+  }
+  if (report.ok()) {
+    std::printf("all containment oracles passed\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  return args.have_scenario ? RunSingle(args) : RunSweep(args);
+}
