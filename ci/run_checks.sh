@@ -4,9 +4,13 @@
 #   2. hive_lint flags every seeded violation in tests/lint_fixtures
 #      (including the R0 bad-suppression case) and honours the one properly
 #      suppressed site;
-#   3. the full test suite builds and passes under ASan+UBSan;
-#   4. the campaign thread pool builds and runs clean under TSan;
-#   5. optionally, a nightly-scale campaign sweep (HIVE_CAMPAIGN_SCENARIOS).
+#   3. a message-fault campaign sweep (loss+duplication+reordering) passes
+#      every transport oracle, and the no_dedup fixture demonstrably trips
+#      the rpc-at-most-once oracle (the oracle can fail, not just pass);
+#   4. the full test suite builds and passes under ASan+UBSan;
+#   5. the campaign thread pool -- including the RPC retry/quarantine state
+#      it exercises -- builds and runs clean under TSan;
+#   6. optionally, a nightly-scale campaign sweep (HIVE_CAMPAIGN_SCENARIOS).
 #
 # Usage: ci/run_checks.sh [primary-build-dir]
 # Also registered as the `run_checks` ctest entry (see tests/CMakeLists.txt),
@@ -18,6 +22,8 @@
 #                            scenarios with the primary-build hive_campaign
 #                            (e.g. HIVE_CAMPAIGN_SCENARIOS=2000 for nightly CI).
 #   HIVE_CAMPAIGN_SEED       master seed for the nightly sweep (default 1).
+#   HIVE_TEST_SEED           master seed for the message-fault sweep and the
+#                            no_dedup fixture check (default 1).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -39,12 +45,34 @@ echo "== hive_lint: seeded fixtures must be flagged =="
 fixture_out="$("$LINT" --root "$SOURCE_DIR/tests/lint_fixtures" 2>&1)" && \
   fail "hive_lint exited 0 on the seeded fixture tree"
 echo "$fixture_out"
-for rule in R0 R1 R2 R3 R4 R5; do
+for rule in R0 R1 R2 R3 R4 R5 R6; do
   grep -q ": $rule:" <<<"$fixture_out" || fail "fixture scan did not report $rule"
 done
 # The properly suppressed site (bad_direct_access.cc line 19) must be absent.
 grep -q "bad_direct_access.cc:19" <<<"$fixture_out" && \
   fail "hive_lint reported the properly suppressed fixture line"
+
+echo "== message-fault campaign: loss+duplication+reordering sweep =="
+CAMPAIGN="$BUILD_DIR/tools/hive_campaign/hive_campaign"
+[[ -x "$CAMPAIGN" ]] || fail "hive_campaign not built at $CAMPAIGN"
+MSG_SEED="${HIVE_TEST_SEED:-1}"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=40 --workers="$JOBS" --faults=message || \
+  fail "message-fault sweep reported transport-oracle violations"
+
+echo "== no_dedup fixture: at-most-once oracle must trip =="
+# With duplicate suppression disabled, duplicated mutating RPCs re-execute;
+# the sweep must fail AND name the rpc-at-most-once oracle. This proves the
+# oracle detects real violations rather than passing vacuously.
+nodedup_log="$BUILD_DIR/no_dedup_fixture.log"
+if "$CAMPAIGN" --seed="$MSG_SEED" --scenarios=10 --workers="$JOBS" \
+     --fixture=no_dedup >"$nodedup_log" 2>&1; then
+  cat "$nodedup_log"
+  fail "no_dedup fixture sweep passed; the at-most-once oracle never tripped"
+fi
+grep -q "rpc-at-most-once" "$nodedup_log" || {
+  cat "$nodedup_log"
+  fail "no_dedup fixture failed without an rpc-at-most-once diagnostic"
+}
 
 echo "== sanitizer build: ASan+UBSan test suite =="
 ASAN_DIR="$BUILD_DIR/check-asan"
@@ -58,7 +86,9 @@ ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
 echo "== sanitizer build: TSan campaign thread pool =="
 # The campaign driver is the only multithreaded component (scenario worker
 # pool); build just it and its tests under ThreadSanitizer and run a
-# multi-worker sweep to shake out data races in the pool.
+# multi-worker sweep to shake out data races in the pool. The message-fault
+# sweep additionally exercises the RPC retry/backoff/quarantine state machine
+# on every worker thread.
 TSAN_DIR="$BUILD_DIR/check-tsan"
 cmake -B "$TSAN_DIR" -S "$SOURCE_DIR" \
   -DHIVE_SANITIZE=thread \
@@ -68,6 +98,9 @@ cmake --build "$TSAN_DIR" --target campaign_test hive_campaign -j "$JOBS" >/dev/
   --gtest_filter='CampaignDriverTest.*' || fail "TSan campaign_test failed"
 "$TSAN_DIR/tools/hive_campaign/hive_campaign" \
   --seed=1 --scenarios=40 --workers=8 || fail "TSan campaign sweep failed"
+"$TSAN_DIR/tools/hive_campaign/hive_campaign" \
+  --seed="$MSG_SEED" --scenarios=24 --workers=8 --faults=message || \
+  fail "TSan message-fault sweep failed"
 
 if [[ "${HIVE_CAMPAIGN_SCENARIOS:-0}" -gt 0 ]]; then
   echo "== nightly-scale campaign: ${HIVE_CAMPAIGN_SCENARIOS} scenarios =="

@@ -22,6 +22,8 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
   CampaignReport report;
   GeneratorOptions gen_options;
   gen_options.wild_write_fixture = options.wild_write_fixture;
+  gen_options.no_dedup_fixture = options.no_dedup_fixture;
+  gen_options.message_faults_only = options.message_faults_only;
 
   std::atomic<uint64_t> next_index{0};
   std::atomic<uint64_t> faults_injected{0};

@@ -27,6 +27,13 @@ struct CampaignOptions {
   // Generate wild-write fixture scenarios (firewall checking disabled):
   // every scenario is expected to violate; used to prove the oracles fire.
   bool wild_write_fixture = false;
+  // Generate no-dedup fixture scenarios (RPC duplicate suppression off under
+  // a duplication-heavy message-fault plan): every scenario is expected to
+  // trip the at-most-once oracle.
+  bool no_dedup_fixture = false;
+  // Restrict generated fault plans to message faults (the CI message-fault
+  // sweep: loss + duplication + reordering + corruption).
+  bool message_faults_only = false;
   // Minimize each violating scenario after the sweep.
   bool minimize = true;
   int max_minimize_runs = 64;

@@ -3,8 +3,10 @@
 #include <sstream>
 
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
 #include "src/core/invariant_checker.h"
 #include "src/core/recovery.h"
+#include "src/core/rpc.h"
 #include "src/core/trace.h"
 #include "src/flash/bus_error.h"
 #include "src/workloads/workload.h"
@@ -78,6 +80,9 @@ void CheckContainmentAndDetection(const OracleInput& input,
         break;
       case FaultKind::kFalseAccusation:
         // Nobody may die because of a vetoed accusation.
+        break;
+      case FaultKind::kMessageFaults:
+        // The reliable transport must ride out message faults; nobody dies.
         break;
     }
   }
@@ -340,6 +345,97 @@ void CheckOutputs(const OracleInput& input, std::vector<OracleViolation>* out) {
   }
 }
 
+// Non-idempotent handlers must never re-execute a request, no matter how the
+// substrate duplicated or the transport retransmitted it. The counter only
+// moves when the replay cache sees an already-served sequence number and
+// suppression is off (the no-dedup fixture), or if the cache logic regresses.
+void CheckRpcAtMostOnce(const OracleInput& input, std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    const hive::RpcCallStats& stats = sys.cell(c).rpc().stats();
+    if (stats.at_most_once_violations > 0) {
+      std::ostringstream detail;
+      detail << "cell " << c << " re-executed " << stats.at_most_once_violations
+             << " non-idempotent request(s)";
+      Add(out, "rpc-at-most-once", detail.str());
+    }
+  }
+}
+
+// Every acknowledged mutation was executed: a client may only see OK for an
+// at-most-once call if the server ran the handler (executions without an ack
+// -- a lost reply -- are fine; acks without an execution are lost writes).
+// Only airtight while no cell died or rebooted: a reboot resets the
+// server-side execution counters.
+void CheckRpcNoLostAck(const OracleInput& input, std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  if (sys.recovery().recoveries_run() > 0) {
+    return;
+  }
+  uint64_t acked = 0;
+  uint64_t executed = 0;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    if (!sys.cell(c).alive()) {
+      return;
+    }
+    const hive::RpcCallStats& stats = sys.cell(c).rpc().stats();
+    acked += stats.acked_mutations;
+    executed += stats.executed_mutations;
+  }
+  if (acked > executed) {
+    std::ostringstream detail;
+    detail << "clients saw " << acked << " acknowledged mutation(s) but servers "
+           << "executed only " << executed;
+    Add(out, "rpc-no-lost-ack", detail.str());
+  }
+}
+
+// Graceful degradation: message faults alone must never cost a cell its
+// life or leave the hive wedged in recovery -- the transport retries, and
+// quarantine resolves once agreement clears the suspect.
+void CheckRpcLiveness(const OracleInput& input, std::vector<OracleViolation>* out) {
+  const ScenarioSpec& spec = *input.spec;
+  bool any_message = false;
+  for (const FaultSpec& fault : spec.faults) {
+    if (fault.kind != FaultKind::kMessageFaults) {
+      return;  // Another fault kind may legitimately kill cells.
+    }
+    any_message = true;
+  }
+  if (!any_message) {
+    return;
+  }
+  HiveSystem& sys = *input.system;
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    Cell& cell = sys.cell(c);
+    if (!cell.alive() || !sys.CellReachable(c)) {
+      std::ostringstream detail;
+      detail << "cell " << c << " died under message faults alone"
+             << (cell.panic_reason().empty() ? ""
+                                             : " (panic: " + cell.panic_reason() + ")");
+      Add(out, "rpc-liveness", detail.str());
+    }
+  }
+}
+
+// A quarantine is an escalated failure-detector judgement; it must never
+// happen silently. Any cell that quarantined a peer must have raised at
+// least one detector hint (the hint precedes the escalation by design).
+void CheckQuarantineImpliesHint(const OracleInput& input,
+                                std::vector<OracleViolation>* out) {
+  HiveSystem& sys = *input.system;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    Cell& cell = sys.cell(c);
+    const hive::RpcCallStats& stats = cell.rpc().stats();
+    if (stats.quarantines_entered > 0 && cell.detector().hints_raised() == 0) {
+      std::ostringstream detail;
+      detail << "cell " << c << " entered " << stats.quarantines_entered
+             << " quarantine(s) without ever raising a detector hint";
+      Add(out, "quarantine-implies-hint", detail.str());
+    }
+  }
+}
+
 void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation>* out) {
   HiveSystem& sys = *input.system;
   for (CellId c : sys.LiveCells()) {
@@ -366,6 +462,10 @@ std::vector<OracleViolation> CheckAllOracles(const OracleInput& input) {
   CheckCanaries(input, &violations);
   CheckSurvivorsFunctional(input, &violations);
   CheckOutputs(input, &violations);
+  CheckRpcAtMostOnce(input, &violations);
+  CheckRpcNoLostAck(input, &violations);
+  CheckRpcLiveness(input, &violations);
+  CheckQuarantineImpliesHint(input, &violations);
   CheckTraceConsistency(input, &violations);
   return violations;
 }

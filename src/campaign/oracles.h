@@ -65,6 +65,10 @@ struct OracleInput {
 //   generation-consistency pre-fault handles never serve corrupt data as fresh
 //   survivors-functional  live cells still create/share/read files
 //   output-integrity      workload outputs validate clean
+//   rpc-at-most-once      no non-idempotent RPC handler ever re-executed
+//   rpc-no-lost-ack       every acknowledged mutation was executed on a server
+//   rpc-liveness          message faults alone never cost a cell its life
+//   quarantine-implies-hint a quarantining cell also raised a detector hint
 //   trace-consistency     every survivor's trace shows balanced recovery events
 std::vector<OracleViolation> CheckAllOracles(const OracleInput& input);
 

@@ -8,9 +8,11 @@
 #include "src/core/address_space.h"
 #include "src/core/cell.h"
 #include "src/core/process.h"
+#include "src/core/rpc.h"
 #include "src/core/scheduler.h"
 #include "src/flash/fault_injector.h"
 #include "src/flash/machine.h"
+#include "src/flash/sips.h"
 #include "src/workloads/ocean.h"
 #include "src/workloads/pmake.h"
 #include "src/workloads/raytrace.h"
@@ -215,6 +217,70 @@ void InjectWildWrite(InjectionState& state, size_t fault_index) {
   }
 }
 
+// Installs one time-windowed message-fault plan on the SIPS substrate. Plans
+// are evaluated by send time, so installation happens at scenario setup; the
+// fault is recorded as landed immediately (the window is guaranteed active).
+void InstallMessageFaultPlan(InjectionState& state, size_t fault_index) {
+  const FaultSpec& fault = state.spec->faults[fault_index];
+  HiveSystem& sys = *state.sys;
+  flash::Sips& sips = sys.machine().sips();
+  if (sips.fault_model() == nullptr) {
+    sips.EnableFaultModel(state.spec->seed ^ 0x6D7367666Cull);
+  }
+  flash::MessageFaultPlan plan;
+  plan.start = fault.inject_at;
+  plan.end = fault.inject_at + fault.duration;
+  plan.drop_pm = fault.drop_pm;
+  plan.dup_pm = fault.dup_pm;
+  plan.delay_pm = fault.delay_pm;
+  plan.corrupt_pm = fault.corrupt_pm;
+  // Delayed lines stay well under the RPC spin window (50 us): delay models
+  // a non-minimal route, not a partition.
+  plan.delay_max_ns = 30 * hive::kMicrosecond;
+  plan.src_node = fault.victim >= 0 ? sys.cell(fault.victim).first_node() : -1;
+  plan.dst_node = fault.target >= 0 ? sys.cell(fault.target).first_node() : -1;
+  sips.fault_model()->AddPlan(plan);
+  state.injected[fault_index] = true;
+}
+
+// Drives a steady stream of non-idempotent intercell RPCs (borrow one frame
+// from the neighbor cell, then return it) for message-fault scenarios. The
+// workloads' own RPC mix is bursty and can quiesce before a fault window
+// opens; without this traffic the at-most-once and liveness oracles would
+// pass vacuously.
+void ProbeIntercellRpc(const std::shared_ptr<InjectionState>& state, Time until) {
+  HiveSystem& sys = *state->sys;
+  const int n = sys.num_cells();
+  for (CellId c = 0; c < n; ++c) {
+    const CellId peer = (c + 1) % n;
+    if (peer == c || !sys.CellReachable(c) || !sys.CellReachable(peer)) {
+      continue;
+    }
+    Cell& cell = sys.cell(c);
+    if (cell.in_recovery() || sys.cell(peer).in_recovery()) {
+      continue;
+    }
+    Ctx ctx = cell.MakeCtx();
+    hive::RpcArgs borrow;
+    borrow.w[0] = static_cast<uint64_t>(c);
+    borrow.w[1] = 1;
+    hive::RpcReply frames;
+    const base::Status status =
+        cell.rpc().Call(ctx, peer, hive::MsgType::kBorrowFrames, borrow, &frames);
+    if (status.ok() && frames.w[0] >= 1) {
+      hive::RpcArgs give_back;
+      give_back.w[0] = static_cast<uint64_t>(c);
+      give_back.w[1] = frames.w[1];
+      hive::RpcReply ignored;
+      (void)cell.rpc().Call(ctx, peer, hive::MsgType::kReturnFrame, give_back, &ignored);
+    }
+  }
+  if (sys.machine().Now() + 5 * kMillisecond <= until) {
+    sys.machine().events().ScheduleAfter(
+        5 * kMillisecond, [state, until] { ProbeIntercellRpc(state, until); });
+  }
+}
+
 // A buggy detector on the accuser cell raises a hint against a healthy cell.
 // Agreement (voting or the oracle) must refuse to kill the accused.
 void InjectFalseAccusation(InjectionState& state, size_t fault_index) {
@@ -302,6 +368,11 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   if (spec.disable_firewall) {
     machine.firewall().set_checking_enabled(false);
   }
+  if (spec.disable_rpc_dedup) {
+    for (CellId c = 0; c < spec.num_cells; ++c) {
+      sys.cell(c).rpc().set_duplicate_suppression(false);
+    }
+  }
 
   CanaryState canaries = SetUpCanaries(spec, sys);
 
@@ -339,6 +410,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   state->spec = &spec;
   state->injected.assign(spec.faults.size(), false);
   Time last_inject = 0;
+  Time probe_until = 0;
   for (size_t i = 0; i < spec.faults.size(); ++i) {
     const FaultSpec& fault = spec.faults[i];
     last_inject = std::max(last_inject, fault.inject_at);
@@ -362,7 +434,19 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
         machine.events().ScheduleAt(fault.inject_at,
                                     [state, i] { InjectFalseAccusation(*state, i); });
         break;
+      case FaultKind::kMessageFaults:
+        InstallMessageFaultPlan(*state, i);
+        last_inject = std::max(last_inject, fault.inject_at + fault.duration);
+        probe_until = std::max(probe_until, fault.inject_at + fault.duration);
+        break;
     }
+  }
+  if (probe_until > 0) {
+    // Keep probing a few quiet rounds past the last fault window so retry
+    // exhaustion tails and quarantine probation can resolve.
+    probe_until += 50 * kMillisecond;
+    machine.events().ScheduleAt(
+        5 * kMillisecond, [state, probe_until] { ProbeIntercellRpc(state, probe_until); });
   }
 
   // Run the workload (bounded), then settle long enough after the last

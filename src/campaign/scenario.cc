@@ -35,6 +35,29 @@ flash::PointerCorruptionMode PickCorruptionMode(base::Rng& rng) {
   }
 }
 
+// A message-fault plan with rates low enough that the reliable transport must
+// ride it out: per-hop loss (drop + corrupt) stays well under the level where
+// kMaxRpcAttempts consecutive losses become likely, so no cell may die.
+FaultSpec MakeMessageFaultPlan(base::Rng& rng, int num_cells) {
+  FaultSpec fault;
+  fault.kind = FaultKind::kMessageFaults;
+  fault.drop_pm = 10 + static_cast<uint32_t>(rng.Below(41));     // 1.0% - 5.0%
+  fault.dup_pm = 10 + static_cast<uint32_t>(rng.Below(41));      // 1.0% - 5.0%
+  fault.delay_pm = 20 + static_cast<uint32_t>(rng.Below(81));    // 2.0% - 10.0%
+  fault.corrupt_pm = 5 + static_cast<uint32_t>(rng.Below(21));   // 0.5% - 2.5%
+  fault.duration = (50 + static_cast<Time>(rng.Below(201))) * hive::kMillisecond;
+  if (rng.OneIn(3)) {
+    // Directed plan: one faulty route between two distinct cells.
+    fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(num_cells)));
+    fault.target = static_cast<CellId>(
+        (fault.victim + 1 + rng.Below(static_cast<uint64_t>(num_cells - 1))) % num_cells);
+  } else {
+    fault.victim = -1;  // All routes.
+    fault.target = -1;
+  }
+  return fault;
+}
+
 }  // namespace
 
 const char* WorkloadKindName(WorkloadKind kind) {
@@ -63,12 +86,26 @@ const char* FaultKindName(FaultKind kind) {
       return "wild-write";
     case FaultKind::kFalseAccusation:
       return "false-accusation";
+    case FaultKind::kMessageFaults:
+      return "message-faults";
   }
   return "unknown";
 }
 
 std::string FaultSpec::ToString() const {
   std::ostringstream out;
+  if (kind == FaultKind::kMessageFaults) {
+    out << FaultKindName(kind);
+    if (victim >= 0) {
+      out << " route=" << victim << "->" << target;
+    } else {
+      out << " route=all";
+    }
+    out << " drop=" << drop_pm << "pm dup=" << dup_pm << "pm delay=" << delay_pm
+        << "pm corrupt=" << corrupt_pm << "pm t=" << inject_at / hive::kMillisecond
+        << "ms+" << duration / hive::kMillisecond << "ms";
+    return out.str();
+  }
   out << FaultKindName(kind) << " victim=" << victim;
   if (kind == FaultKind::kWildWrite || kind == FaultKind::kFalseAccusation) {
     out << " target=" << target;
@@ -122,6 +159,11 @@ std::string ScenarioSpec::ReproLine() const {
   out << "hive_campaign --seed=" << master_seed << " --scenario=" << index;
   if (disable_firewall) {
     out << " --fixture=wild_write";
+  }
+  if (disable_rpc_dedup) {
+    out << " --fixture=no_dedup";
+  } else if (message_faults_only) {
+    out << " --faults=message";
   }
   return out.str();
 }
@@ -180,15 +222,59 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
     return spec;
   }
 
+  if (options.no_dedup_fixture) {
+    // Fixture: duplicate suppression off, plus one long, duplication-heavy
+    // plan over all routes. The intercell traffic the runner drives through
+    // the at-most-once handlers then re-executes, and the at-most-once
+    // oracle must flag the scenario. Reintegration is forced off: a reboot
+    // recreates the victim's RPC layer and would wipe the violation counters
+    // the oracle reads.
+    spec.disable_rpc_dedup = true;
+    spec.message_faults_only = true;
+    spec.auto_reintegrate = false;
+    FaultSpec fault = MakeMessageFaultPlan(rng, spec.num_cells);
+    fault.victim = -1;
+    fault.target = -1;
+    fault.drop_pm = 0;  // Pure duplication: losses would only mask the bug.
+    fault.corrupt_pm = 0;
+    fault.dup_pm = 350 + static_cast<uint32_t>(rng.Below(151));  // 35% - 50%
+    fault.inject_at = (20 + static_cast<Time>(rng.Below(30))) * hive::kMillisecond;
+    fault.duration = 300 * hive::kMillisecond;
+    spec.faults.push_back(fault);
+    return spec;
+  }
+
+  if (options.message_faults_only) {
+    // CI sweep mode: one or two message-fault windows, nothing else. The
+    // transport must keep every cell alive and every mutation at-most-once.
+    spec.message_faults_only = true;
+    const int num_plans = 1 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < num_plans; ++i) {
+      FaultSpec fault = MakeMessageFaultPlan(rng, spec.num_cells);
+      fault.inject_at = (5 + static_cast<Time>(rng.Below(395))) * hive::kMillisecond;
+      spec.faults.push_back(fault);
+    }
+    std::sort(spec.faults.begin(), spec.faults.end(), [](const FaultSpec& a,
+                                                         const FaultSpec& b) {
+      return a.inject_at < b.inject_at;
+    });
+    return spec;
+  }
+
   // Fault plan: one to three faults. At most half the cells take fail-stop
   // node failures so the survivor oracles always have cells to check, and at
   // most one false accusation per scenario (a second identical accusation
   // would, by design, get the accuser declared corrupt -- covered by the
   // recovery edge-case tests, not the campaign's healthy-path oracles).
+  // Message faults and false accusations are never mixed: an
+  // exhaustion-induced hint against the already-accused suspect would be
+  // vetoed and accumulate a second voting strike against a healthy accuser,
+  // which is the strike machinery working as designed, not a containment bug.
   const int max_node_failures = spec.num_cells / 2;
   const int num_faults = 1 + static_cast<int>(rng.Below(3));
   std::vector<CellId> node_fail_victims;
   bool have_accusation = false;
+  bool have_message = false;
   for (int i = 0; i < num_faults; ++i) {
     FaultSpec fault;
     fault.inject_at = (5 + static_cast<Time>(rng.Below(595))) * hive::kMillisecond;
@@ -203,16 +289,21 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
                node_fail_victims.end());
       fault.victim = victim;
       node_fail_victims.push_back(victim);
-    } else if (roll < 70) {
+    } else if (roll < 65) {
       fault.kind = FaultKind::kAddrMapCorruption;
       fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
       fault.mode = PickCorruptionMode(rng);
-    } else if (roll < 85 || have_accusation) {
+    } else if (roll < 80 || have_message || have_accusation) {
       fault.kind = FaultKind::kWildWrite;
       fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
       fault.target = static_cast<CellId>(
           (fault.victim + 1 + rng.Below(static_cast<uint64_t>(spec.num_cells - 1))) %
           spec.num_cells);
+    } else if (roll < 90) {
+      const Time inject_at = fault.inject_at;
+      fault = MakeMessageFaultPlan(rng, spec.num_cells);
+      fault.inject_at = inject_at;
+      have_message = true;
     } else {
       fault.kind = FaultKind::kFalseAccusation;
       fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));

@@ -147,7 +147,10 @@ void Cell::RegisterMiscHandlers() {
         return base::OkStatus();
       });
 
-  rpc_->RegisterInterrupt(
+  // Frame loans and firewall grants mutate remote-visible state, so they go
+  // through the at-most-once path: a retransmitted or duplicated request
+  // must not loan a second batch of frames or double-grant a page.
+  rpc_->RegisterInterruptAtMostOnce(
       MsgType::kBorrowFrames,
       [this](Ctx& sctx, const RpcArgs& args, RpcReply* reply) -> base::Status {
         const CellId client = static_cast<CellId>(args.w[0]);
@@ -163,7 +166,7 @@ void Cell::RegisterMiscHandlers() {
         return frames.empty() ? base::OutOfMemory() : base::OkStatus();
       });
 
-  rpc_->RegisterInterrupt(
+  rpc_->RegisterInterruptAtMostOnce(
       MsgType::kReturnFrame,
       [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
         const CellId client = static_cast<CellId>(args.w[0]);
@@ -173,7 +176,7 @@ void Cell::RegisterMiscHandlers() {
         return allocator_->AcceptReturnedFrame(sctx, args.w[1], client);
       });
 
-  rpc_->RegisterInterrupt(
+  rpc_->RegisterInterruptAtMostOnce(
       MsgType::kGrantFirewall,
       [this](Ctx& sctx, const RpcArgs& args, RpcReply*) -> base::Status {
         const PhysAddr frame = args.w[0];

@@ -963,7 +963,10 @@ void FileSystem::RegisterHandlers() {
         return base::OkStatus();
       });
 
-  rpc.RegisterQueued(
+  // Unlink destroys the vnode: a retransmitted request must not observe a
+  // spurious kNotFound for a removal that already succeeded, so it goes
+  // through the at-most-once path.
+  rpc.RegisterQueuedAtMostOnce(
       MsgType::kUnlink,
       [this](Ctx& sctx, const RpcArgs& args, RpcReply* reply) -> base::Status {
         (void)reply;

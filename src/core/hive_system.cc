@@ -259,6 +259,15 @@ base::Result<ProcId> HiveSystem::Migrate(Ctx& ctx, ProcId pid, CellId target) {
   return new_pid;
 }
 
+void HiveSystem::NoteCellReintegrated(CellId cell_id) {
+  confirmed_failed_.erase(cell_id);
+  for (CellId live : LiveCells()) {
+    if (live != cell_id) {
+      cell(live).rpc().ForgetPeer(cell_id);
+    }
+  }
+}
+
 void HiveSystem::HandleAlert(Ctx& ctx, CellId accuser, CellId suspect, HintReason reason) {
   if (smp_mode() || alert_in_progress_) {
     return;
@@ -289,6 +298,15 @@ void HiveSystem::HandleAlert(Ctx& ctx, CellId accuser, CellId suspect, HintReaso
       // The recovery process starts a fresh incarnation of Wax, which forks
       // to all cells and rebuilds its view from scratch (section 3.2).
       wax_->Restart(stats.barrier2_time + 100 * kMillisecond);
+    }
+  } else {
+    // The accusation was vetoed: the suspect is healthy by majority vote.
+    // Tell every live transport so outstanding suspicion decays into a
+    // bounded probation instead of an endless hint/quarantine.
+    for (CellId live : LiveCells()) {
+      if (live != suspect) {
+        cell(live).rpc().OnSuspectCleared(suspect);
+      }
     }
   }
   alert_in_progress_ = false;

@@ -111,8 +111,10 @@ class HiveSystem {
   }
 
   // A failed cell passed diagnostics and rebooted: future failures of it are
-  // detectable again.
-  void NoteCellReintegrated(CellId cell_id) { confirmed_failed_.erase(cell_id); }
+  // detectable again, and every live transport drops its stale per-peer
+  // state (the fresh kernel restarts RPC sequence numbers, so old replay
+  // cache entries must not suppress its new calls).
+  void NoteCellReintegrated(CellId cell_id);
 
   // True once agreement confirmed this cell failed (detectors stop watching
   // it; a silently-dead cell is still watched until confirmed).

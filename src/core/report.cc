@@ -103,6 +103,29 @@ std::string RenderSystemReport(HiveSystem& system) {
   return out.str();
 }
 
+std::string RenderRpcTransport(HiveSystem& system) {
+  base::Table table({"Cell", "Calls", "Queued", "Timeouts", "Retries", "Dups-suppr",
+                     "Corrupt-lost", "Quarantines", "Fail-fast", "Acked-mut",
+                     "Exec-mut", "AMO-viol"});
+  for (CellId c = 0; c < system.num_cells(); ++c) {
+    Cell& cell = system.cell(c);
+    const RpcCallStats& stats = cell.rpc().stats();
+    table.AddRow({"cell " + base::Table::I64(c),
+                  base::Table::I64(static_cast<int64_t>(stats.calls)),
+                  base::Table::I64(static_cast<int64_t>(stats.queued_calls)),
+                  base::Table::I64(static_cast<int64_t>(stats.timeouts)),
+                  base::Table::I64(static_cast<int64_t>(stats.retries)),
+                  base::Table::I64(static_cast<int64_t>(stats.duplicates_suppressed)),
+                  base::Table::I64(static_cast<int64_t>(stats.corrupt_lost)),
+                  base::Table::I64(static_cast<int64_t>(stats.quarantines_entered)),
+                  base::Table::I64(static_cast<int64_t>(stats.quarantine_fail_fast)),
+                  base::Table::I64(static_cast<int64_t>(stats.acked_mutations)),
+                  base::Table::I64(static_cast<int64_t>(stats.executed_mutations)),
+                  base::Table::I64(static_cast<int64_t>(stats.at_most_once_violations))});
+  }
+  return table.Render("RPC transport (per cell)");
+}
+
 std::string RenderCellSharing(HiveSystem& system, CellId cell_id) {
   Cell& cell = system.cell(cell_id);
   std::ostringstream out;

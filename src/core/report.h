@@ -20,6 +20,11 @@ std::string RenderSystemReport(HiveSystem& system);
 // firewall grants (figure 5.3's pfdat bindings).
 std::string RenderCellSharing(HiveSystem& system, CellId cell_id);
 
+// Per-cell RPC transport counters: calls, timeouts, retries, suppressed
+// duplicates, corruption losses, quarantine activity and at-most-once
+// mutation accounting. The health view of the reliable transport layer.
+std::string RenderRpcTransport(HiveSystem& system);
+
 }  // namespace hive
 
 #endif  // HIVE_SRC_CORE_REPORT_H_

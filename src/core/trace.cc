@@ -34,6 +34,14 @@ const char* TraceEventName(TraceEvent event) {
       return "process-killed";
     case TraceEvent::kInvariantMismatch:
       return "invariant-mismatch";
+    case TraceEvent::kRpcRetry:
+      return "rpc-retry";
+    case TraceEvent::kRpcDuplicateSuppressed:
+      return "rpc-duplicate-suppressed";
+    case TraceEvent::kPeerQuarantined:
+      return "peer-quarantined";
+    case TraceEvent::kPeerUnquarantined:
+      return "peer-unquarantined";
   }
   return "?";
 }

@@ -32,6 +32,10 @@ enum class TraceEvent : uint8_t {
   kPageMigrated,      // arg0 = old frame, arg1 = new frame.
   kProcessKilled,     // arg0 = pid.
   kInvariantMismatch, // arg0 = pfn, arg1 = unauthorized permission bits.
+  kRpcRetry,          // arg0 = target cell.
+  kRpcDuplicateSuppressed,  // arg0 = client cell.
+  kPeerQuarantined,   // arg0 = peer cell.
+  kPeerUnquarantined, // arg0 = peer cell.
 };
 
 const char* TraceEventName(TraceEvent event);

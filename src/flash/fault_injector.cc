@@ -52,4 +52,93 @@ void FaultInjector::CorruptBytes(PhysAddr addr, uint64_t len) {
   }
 }
 
+const char* MessageFaultKindName(MessageFaultKind kind) {
+  switch (kind) {
+    case MessageFaultKind::kNone:
+      return "none";
+    case MessageFaultKind::kDrop:
+      return "drop";
+    case MessageFaultKind::kDuplicate:
+      return "duplicate";
+    case MessageFaultKind::kDelay:
+      return "delay";
+    case MessageFaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool PlanMatches(const MessageFaultPlan& plan, Time now, int src_node, int dst_node) {
+  if (now < plan.start || now >= plan.end) {
+    return false;
+  }
+  if (plan.src_node >= 0 && plan.src_node != src_node) {
+    return false;
+  }
+  if (plan.dst_node >= 0 && plan.dst_node != dst_node) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MessageFaultModel::Active(Time now, int src_node, int dst_node) const {
+  for (const MessageFaultPlan& plan : plans_) {
+    if (PlanMatches(plan, now, src_node, dst_node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MessageFaultDecision MessageFaultModel::Sample(Time now, int src_node, int dst_node) {
+  MessageFaultDecision decision;
+  const MessageFaultPlan* match = nullptr;
+  for (const MessageFaultPlan& plan : plans_) {
+    if (PlanMatches(plan, now, src_node, dst_node)) {
+      match = &plan;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    return decision;  // No RNG draw outside an active window.
+  }
+  ++stats_.sampled;
+  const uint64_t roll = rng_.Below(1000);
+  uint64_t threshold = match->drop_pm;
+  if (roll < threshold) {
+    decision.kind = MessageFaultKind::kDrop;
+    ++stats_.dropped;
+    return decision;
+  }
+  threshold += match->dup_pm;
+  if (roll < threshold) {
+    decision.kind = MessageFaultKind::kDuplicate;
+    ++stats_.duplicated;
+    return decision;
+  }
+  threshold += match->delay_pm;
+  if (roll < threshold) {
+    decision.kind = MessageFaultKind::kDelay;
+    decision.delay_ns =
+        match->delay_max_ns > 0
+            ? static_cast<Time>(1 + rng_.Below(static_cast<uint64_t>(match->delay_max_ns)))
+            : 1;
+    ++stats_.delayed;
+    return decision;
+  }
+  threshold += match->corrupt_pm;
+  if (roll < threshold) {
+    decision.kind = MessageFaultKind::kCorrupt;
+    decision.corrupt_byte = static_cast<uint32_t>(rng_.Below(128));
+    decision.corrupt_mask = static_cast<uint8_t>(1u << rng_.Below(8));
+    ++stats_.corrupted;
+    return decision;
+  }
+  return decision;
+}
+
 }  // namespace flash

@@ -7,6 +7,11 @@
 //    paper's pathological cases: random physical addresses in the same cell
 //    or other cells, one word away from the original address, and pointing
 //    back at the data structure itself.
+//  - Message faults: a seed-driven model of a flaky SIPS substrate (drop,
+//    duplicate, delay/reorder, single-byte payload corruption) expressed as
+//    time-windowed per-route plans. The paper assumes SIPS is reliable; the
+//    model exists to test the layers above it (the reliable RPC transport)
+//    against a substrate that breaks that assumption.
 //
 // Corruption uses the raw (unchecked) store path: a cell's own bug scribbling
 // its own memory is always "permitted" by the firewall. Damage to OTHER cells
@@ -17,6 +22,7 @@
 #define HIVE_SRC_FLASH_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/flash/machine.h"
@@ -54,6 +60,80 @@ class FaultInjector {
  private:
   Machine* machine_;
   base::Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Message-fault model.
+// ---------------------------------------------------------------------------
+
+enum class MessageFaultKind {
+  kNone,       // Message passes untouched.
+  kDrop,       // Message silently vanishes in the mesh.
+  kDuplicate,  // Message is delivered twice.
+  kDelay,      // Message takes a non-minimal route and arrives late
+               // (reordering relative to later traffic on the same route).
+  kCorrupt,    // One payload byte is flipped in flight; the per-line
+               // checksum makes this detectable at the receiver.
+};
+
+const char* MessageFaultKindName(MessageFaultKind kind);
+
+// One time-windowed fault plan. Probabilities are per-mille and are resolved
+// with a single RNG roll per message: drop wins first, then duplicate, then
+// delay, then corrupt (cumulative thresholds), so the sum must stay <= 1000.
+struct MessageFaultPlan {
+  Time start = 0;
+  Time end = 0;  // Exclusive.
+  uint32_t drop_pm = 0;
+  uint32_t dup_pm = 0;
+  uint32_t delay_pm = 0;
+  uint32_t corrupt_pm = 0;
+  Time delay_max_ns = 0;  // Upper bound for injected delay.
+  int src_node = -1;      // -1 matches any source node.
+  int dst_node = -1;      // -1 matches any destination node.
+};
+
+struct MessageFaultStats {
+  uint64_t sampled = 0;  // Messages that fell inside an active plan window.
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+  uint64_t corrupted = 0;
+};
+
+struct MessageFaultDecision {
+  MessageFaultKind kind = MessageFaultKind::kNone;
+  Time delay_ns = 0;          // For kDelay.
+  uint32_t corrupt_byte = 0;  // For kCorrupt: payload byte index.
+  uint8_t corrupt_mask = 0;   // For kCorrupt: non-zero XOR mask.
+};
+
+// Deterministic, seed-driven sampler. Draws from the RNG ONLY when a message
+// falls inside an active plan window, so enabling the model without plans (or
+// outside every window) perturbs nothing.
+class MessageFaultModel {
+ public:
+  explicit MessageFaultModel(uint64_t seed) : rng_(seed) {}
+
+  void AddPlan(const MessageFaultPlan& plan) { plans_.push_back(plan); }
+  void ClearPlans() { plans_.clear(); }
+
+  // True if any plan window covers (now, src_node, dst_node).
+  bool Active(Time now, int src_node, int dst_node) const;
+
+  // Samples the fate of one message hop.
+  MessageFaultDecision Sample(Time now, int src_node, int dst_node);
+
+  const MessageFaultStats& stats() const { return stats_; }
+
+  // Shared jitter source for layers that need deterministic randomness tied
+  // to the same scenario seed (e.g. RPC retry backoff jitter).
+  base::Rng& rng() { return rng_; }
+
+ private:
+  base::Rng rng_;
+  std::vector<MessageFaultPlan> plans_;
+  MessageFaultStats stats_;
 };
 
 }  // namespace flash

@@ -34,6 +34,16 @@ class Interconnect {
     return static_cast<Time>(HopDistance(node_a, node_b)) * hop_extra_ns_;
   }
 
+  // Latency of a route that takes `extra_hops` hops beyond the minimal one
+  // (a message bumped onto a non-minimal route by the fault model). When the
+  // configured per-hop cost is zero (the paper's flat model), a floor cost
+  // applies so a detour is never free.
+  static constexpr Time kDetourHopFloorNs = 500;
+  Time DetourExtraNs(int node_a, int node_b, int extra_hops) const {
+    const Time per_hop = hop_extra_ns_ > 0 ? hop_extra_ns_ : kDetourHopFloorNs;
+    return RouteExtraNs(node_a, node_b) + static_cast<Time>(extra_hops) * per_hop;
+  }
+
  private:
   int width_;
   int height_;

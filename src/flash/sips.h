@@ -3,6 +3,14 @@
 // bytes) of data, is delivered in about the latency of a remote cache miss,
 // and is reliable with hardware flow control. Each node has separate short
 // receive queues for requests and replies, which makes deadlock avoidance easy.
+//
+// An optional seed-driven message-fault model (see fault_injector.h) breaks
+// the reliability assumption on demand: messages inside an active fault-plan
+// window may be dropped, duplicated, delayed onto a non-minimal route, or
+// corrupted by one flipped payload byte. Every line carries a checksum
+// computed at send time; a receiver that sees a checksum mismatch discards
+// the line (counted in corrupt_detected), so corruption degrades into loss
+// rather than silent bad data -- the layer above must retransmit.
 
 #ifndef HIVE_SRC_FLASH_SIPS_H_
 #define HIVE_SRC_FLASH_SIPS_H_
@@ -10,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/base/status.h"
@@ -19,7 +28,12 @@
 
 namespace flash {
 
+class MessageFaultModel;
+
 constexpr size_t kSipsPayloadBytes = 128;
+
+// FNV-1a over one cache line; the "hardware" per-line checksum.
+uint32_t SipsChecksum(const std::array<uint8_t, kSipsPayloadBytes>& payload);
 
 struct SipsMessage {
   int src_cpu = -1;
@@ -27,6 +41,7 @@ struct SipsMessage {
   bool is_reply = false;
   Time send_time = 0;
   Time deliver_time = 0;
+  uint32_t checksum = 0;
   std::array<uint8_t, kSipsPayloadBytes> payload{};
 };
 
@@ -36,6 +51,7 @@ using SipsHandler = std::function<void(const SipsMessage&)>;
 class Sips {
  public:
   Sips(EventQueue* queue, const MachineConfig& config, const Interconnect* interconnect);
+  ~Sips();
 
   // The kernel running on `node` registers its message interrupt handler.
   void SetHandler(int node, SipsHandler handler);
@@ -53,9 +69,16 @@ class Sips {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t corrupt_detected() const { return corrupt_detected_; }
+
+  // Installs (or replaces) the message-fault model. The model is shared with
+  // the synchronous RPC layer above, which consults it per logical hop.
+  void EnableFaultModel(uint64_t seed);
+  MessageFaultModel* fault_model() { return fault_model_.get(); }
 
  private:
   int NodeOfCpu(int cpu) const { return cpu / cpus_per_node_; }
+  void ScheduleDelivery(SipsMessage msg, Time delay, bool release_credit);
 
   EventQueue* queue_;
   const Interconnect* interconnect_;
@@ -67,8 +90,10 @@ class Sips {
   std::vector<int> inflight_requests_;      // Per destination node.
   std::vector<int> inflight_replies_;       // Per destination node.
   std::vector<bool> node_dead_;
+  std::unique_ptr<MessageFaultModel> fault_model_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t corrupt_detected_ = 0;
 };
 
 }  // namespace flash

@@ -53,6 +53,7 @@ TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
     EXPECT_LE(spec.NodeFailureCount(), spec.num_cells / 2);
 
     int accusations = 0;
+    int message_plans = 0;
     std::set<hive::CellId> node_fail_victims;
     Time previous = 0;
     for (const FaultSpec& fault : spec.faults) {
@@ -60,8 +61,10 @@ TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
       previous = fault.inject_at;
       EXPECT_GE(fault.inject_at, 5 * hive::kMillisecond);
       EXPECT_LE(fault.inject_at, 600 * hive::kMillisecond);
-      EXPECT_GE(fault.victim, 0);
-      EXPECT_LT(fault.victim, spec.num_cells);
+      if (fault.kind != FaultKind::kMessageFaults) {
+        EXPECT_GE(fault.victim, 0);
+        EXPECT_LT(fault.victim, spec.num_cells);
+      }
       switch (fault.kind) {
         case FaultKind::kNodeFailure:
           // Distinct victims: failing a dead node is a no-op.
@@ -76,9 +79,31 @@ TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
           break;
         case FaultKind::kAddrMapCorruption:
           break;
+        case FaultKind::kMessageFaults:
+          ++message_plans;
+          // Route: the all-routes wildcard or a directed pair in the hive.
+          if (fault.victim >= 0) {
+            EXPECT_LT(fault.victim, spec.num_cells);
+            EXPECT_GE(fault.target, 0);
+            EXPECT_LT(fault.target, spec.num_cells);
+          } else {
+            EXPECT_EQ(fault.target, -1);
+          }
+          EXPECT_GT(fault.duration, 0);
+          // Per-hop loss (drop + detected corruption) stays low enough that
+          // six consecutive lost round trips -- retry exhaustion against a
+          // healthy peer -- remains negligible.
+          EXPECT_LE(fault.drop_pm + fault.corrupt_pm, 76u);
+          EXPECT_GT(fault.drop_pm + fault.dup_pm + fault.delay_pm + fault.corrupt_pm, 0u);
+          break;
       }
     }
     EXPECT_LE(accusations, 1);
+    EXPECT_LE(message_plans, 1);
+    // Message faults and false accusations never mix in one generated
+    // scenario: probe exhaustion during a lossy window would accumulate
+    // voting strikes against the healthy accuser (a known flake class).
+    EXPECT_FALSE(message_plans > 0 && accusations > 0);
   }
 }
 
@@ -92,6 +117,40 @@ TEST(ScenarioGeneratorTest, FixtureModeGeneratesOneLandingWildWrite) {
     EXPECT_EQ(spec.faults[0].kind, FaultKind::kWildWrite);
     EXPECT_NE(spec.faults[0].victim, spec.faults[0].target);
     EXPECT_NE(spec.ReproLine().find("--fixture=wild_write"), std::string::npos);
+  }
+}
+
+TEST(ScenarioGeneratorTest, MessageFaultSweepModeGeneratesOnlyMessagePlans) {
+  GeneratorOptions options;
+  options.message_faults_only = true;
+  for (uint64_t index = 0; index < 50; ++index) {
+    const ScenarioSpec spec = GenerateScenario(13, index, options);
+    EXPECT_TRUE(spec.message_faults_only);
+    EXPECT_FALSE(spec.disable_rpc_dedup);
+    ASSERT_GE(spec.faults.size(), 1u);
+    ASSERT_LE(spec.faults.size(), 2u);
+    for (const FaultSpec& fault : spec.faults) {
+      EXPECT_EQ(fault.kind, FaultKind::kMessageFaults);
+    }
+    EXPECT_NE(spec.ReproLine().find("--faults=message"), std::string::npos);
+  }
+}
+
+TEST(ScenarioGeneratorTest, NoDedupFixtureGeneratesDuplicationHeavyPlan) {
+  GeneratorOptions options;
+  options.no_dedup_fixture = true;
+  for (uint64_t index = 0; index < 50; ++index) {
+    const ScenarioSpec spec = GenerateScenario(13, index, options);
+    EXPECT_TRUE(spec.disable_rpc_dedup);
+    EXPECT_FALSE(spec.auto_reintegrate);  // A reboot would wipe the counters.
+    ASSERT_EQ(spec.faults.size(), 1u);
+    const FaultSpec& fault = spec.faults[0];
+    EXPECT_EQ(fault.kind, FaultKind::kMessageFaults);
+    EXPECT_EQ(fault.victim, -1);  // All routes.
+    EXPECT_EQ(fault.drop_pm, 0u);     // Pure duplication: losses mask the bug.
+    EXPECT_EQ(fault.corrupt_pm, 0u);
+    EXPECT_GE(fault.dup_pm, 350u);
+    EXPECT_NE(spec.ReproLine().find("--fixture=no_dedup"), std::string::npos);
   }
 }
 
@@ -148,6 +207,63 @@ TEST(ScenarioRunnerTest, WildWriteFixtureIsFlaggedAndReproducible) {
   EXPECT_EQ(again.ToString(), spec.ToString());
   const ScenarioResult rerun = RunScenario(again);
   EXPECT_EQ(rerun.fingerprint, result.fingerprint);
+}
+
+TEST(ScenarioRunnerTest, MessageFaultSweepPassesAllOracles) {
+  // Loss + duplication + reordering + corruption with the reliable transport
+  // intact: every cell survives and every mutation is at-most-once.
+  GeneratorOptions options;
+  options.message_faults_only = true;
+  const uint64_t master = hivetest::TestSeed(13);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 8; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index, options);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult result = RunScenario(spec);
+    EXPECT_FALSE(result.violated()) << result.ViolationReport();
+  }
+}
+
+// --- Oracle sensitivity: the no-dedup fixture must trip at-most-once. ---
+
+TEST(ScenarioRunnerTest, NoDedupFixtureTripsAtMostOnceOracleReproducibly) {
+  GeneratorOptions options;
+  options.no_dedup_fixture = true;
+  const uint64_t master = hivetest::TestSeed(13);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  const ScenarioSpec spec = GenerateScenario(master, 0, options);
+  const ScenarioResult result = RunScenario(spec);
+  ASSERT_TRUE(result.violated()) << "re-executed duplicates went undetected";
+  ASSERT_TRUE(result.injected[0]);
+  bool at_most_once_flagged = false;
+  for (const OracleViolation& violation : result.violations) {
+    at_most_once_flagged =
+        at_most_once_flagged || violation.oracle == "rpc-at-most-once";
+  }
+  EXPECT_TRUE(at_most_once_flagged) << result.ViolationReport();
+
+  // Reproduction: regenerating from (master_seed, index) -- the printed
+  // `--seed=N --scenario=K --fixture=no_dedup` line -- yields the identical
+  // spec and a byte-identical outcome.
+  const ScenarioSpec again = GenerateScenario(spec.master_seed, spec.index, options);
+  EXPECT_EQ(again.ToString(), spec.ToString());
+  const ScenarioResult rerun = RunScenario(again);
+  EXPECT_EQ(rerun.fingerprint, result.fingerprint);
+  ASSERT_EQ(rerun.violations.size(), result.violations.size());
+  for (size_t v = 0; v < result.violations.size(); ++v) {
+    EXPECT_EQ(rerun.violations[v].ToString(), result.violations[v].ToString());
+  }
+}
+
+TEST(ScenarioRunnerTest, SuppressionOnRidesOutTheSameDuplication) {
+  GeneratorOptions options;
+  options.no_dedup_fixture = true;
+  ScenarioSpec spec = GenerateScenario(13, 0, options);
+  // Same duplication-heavy plan, replay cache back on: every duplicate is
+  // suppressed and every oracle must pass.
+  spec.disable_rpc_dedup = false;
+  const ScenarioResult result = RunScenario(spec);
+  EXPECT_FALSE(result.violated()) << result.ViolationReport();
 }
 
 TEST(ScenarioRunnerTest, FirewallOnStopsTheSameWildWrite) {

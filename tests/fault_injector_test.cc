@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "src/flash/sips.h"
 #include "tests/test_util.h"
 
 namespace flash {
@@ -113,6 +116,83 @@ TEST_F(FaultInjectorTest, RestoreNodeRevivesCpus) {
   EXPECT_FALSE(machine_.cpu(machine_.FirstCpuOfNode(1)).halted);
   machine_.mem().WriteValue<uint64_t>(machine_.FirstCpuOfNode(1),
                                       hivetest::SmallConfig().memory_per_node, 7);
+}
+
+MessageFaultPlan AllRoutesPlan(Time start, Time end, uint32_t drop_pm, uint32_t dup_pm,
+                               uint32_t delay_pm, uint32_t corrupt_pm) {
+  MessageFaultPlan plan;
+  plan.start = start;
+  plan.end = end;
+  plan.drop_pm = drop_pm;
+  plan.dup_pm = dup_pm;
+  plan.delay_pm = delay_pm;
+  plan.corrupt_pm = corrupt_pm;
+  return plan;
+}
+
+TEST(MessageFaultModelTest, DrawsNothingOutsideActiveWindows) {
+  MessageFaultModel model(11);
+  model.AddPlan(AllRoutesPlan(1000, 2000, 1000, 0, 0, 0));
+  // Before, after, and between windows: no decision and -- critically for
+  // no-fault determinism -- no RNG draw.
+  EXPECT_FALSE(model.Active(999, 0, 1));
+  EXPECT_EQ(model.Sample(999, 0, 1).kind, MessageFaultKind::kNone);
+  EXPECT_EQ(model.Sample(2000, 0, 1).kind, MessageFaultKind::kNone);
+  EXPECT_EQ(model.stats().sampled, 0u);
+  EXPECT_TRUE(model.Active(1000, 0, 1));
+  EXPECT_EQ(model.Sample(1500, 0, 1).kind, MessageFaultKind::kDrop);
+  EXPECT_EQ(model.stats().sampled, 1u);
+  EXPECT_EQ(model.stats().dropped, 1u);
+}
+
+TEST(MessageFaultModelTest, DirectedPlanMatchesOnlyItsRoute) {
+  MessageFaultModel model(11);
+  MessageFaultPlan plan = AllRoutesPlan(0, 1000, 1000, 0, 0, 0);
+  plan.src_node = 2;
+  plan.dst_node = 3;
+  model.AddPlan(plan);
+  EXPECT_FALSE(model.Active(10, 0, 1));
+  EXPECT_FALSE(model.Active(10, 3, 2));  // Directed: reverse route unaffected.
+  EXPECT_TRUE(model.Active(10, 2, 3));
+  EXPECT_EQ(model.Sample(10, 0, 1).kind, MessageFaultKind::kNone);
+  EXPECT_EQ(model.Sample(10, 2, 3).kind, MessageFaultKind::kDrop);
+}
+
+TEST(MessageFaultModelTest, SameSeedSameDecisionSequence) {
+  MessageFaultModel a(99);
+  MessageFaultModel b(99);
+  a.AddPlan(AllRoutesPlan(0, 1 << 30, 100, 150, 200, 50));
+  b.AddPlan(AllRoutesPlan(0, 1 << 30, 100, 150, 200, 50));
+  for (int i = 0; i < 500; ++i) {
+    const MessageFaultDecision da = a.Sample(i, 0, 1);
+    const MessageFaultDecision db = b.Sample(i, 0, 1);
+    EXPECT_EQ(da.kind, db.kind) << i;
+    EXPECT_EQ(da.delay_ns, db.delay_ns) << i;
+    EXPECT_EQ(da.corrupt_byte, db.corrupt_byte) << i;
+    EXPECT_EQ(da.corrupt_mask, db.corrupt_mask) << i;
+  }
+  EXPECT_EQ(a.stats().sampled, 500u);
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+  EXPECT_EQ(a.stats().delayed, b.stats().delayed);
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+  // With 50% total fault mass over 500 draws, every family fired.
+  EXPECT_GT(a.stats().dropped, 0u);
+  EXPECT_GT(a.stats().duplicated, 0u);
+  EXPECT_GT(a.stats().delayed, 0u);
+  EXPECT_GT(a.stats().corrupted, 0u);
+}
+
+TEST(MessageFaultModelTest, SipsChecksumDetectsSingleBitFlip) {
+  std::array<uint8_t, kSipsPayloadBytes> payload{};
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  const uint32_t clean = SipsChecksum(payload);
+  payload[17] ^= 0x10;
+  EXPECT_NE(SipsChecksum(payload), clean);
+  payload[17] ^= 0x10;
+  EXPECT_EQ(SipsChecksum(payload), clean);
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+// Fixture: R6 violations. Never compiled.
+#include "src/core/rpc.h"
+
+namespace hive {
+
+void BadMutatingInterruptRegistration(RpcLayer& rpc) {
+  // Frame borrowing mutates allocator state: a transport retry racing a
+  // delayed original would grant frames twice. Must be flagged (R6).
+  rpc.RegisterInterrupt(MsgType::kBorrowFrames,
+                        [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+}
+
+void BadMutatingQueuedRegistration(RpcLayer& rpc) {
+  // The queued path is just as exposed to duplicate delivery. Must be
+  // flagged (R6).
+  rpc.RegisterQueued(
+      MsgType::kUnlink,
+      [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+}
+
+void CorrectAtMostOnceRegistration(RpcLayer& rpc) {
+  // The replay-cache path: must NOT be reported.
+  rpc.RegisterInterruptAtMostOnce(
+      MsgType::kReturnFrame,
+      [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+}
+
+void SuppressedIdempotentRegistration(RpcLayer& rpc) {
+  // properly suppressed: must NOT be reported.
+  // hive-lint: allow(R6): fixture stand-in for a grant-by-token handler that is idempotent by design.
+  rpc.RegisterInterrupt(MsgType::kGrantFirewall,
+                        [](Ctx&, const RpcArgs&, RpcReply*) { return base::OkStatus(); });
+}
+
+}  // namespace hive

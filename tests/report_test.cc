@@ -50,6 +50,34 @@ TEST_F(ReportTest, SharingViewShowsExportsAndImports) {
   EXPECT_NE(client_view.find("imported-from=1"), std::string::npos);
 }
 
+TEST_F(ReportTest, RpcTransportTableShowsCallsTimeoutsAndRetries) {
+  // One successful intercell call, then calls against a dead peer: the table
+  // must surface the per-cell call, timeout and quarantine counters.
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+
+  ts_.machine->FailNode(2);
+  for (int i = 0; i < 3; ++i) {
+    Ctx dctx = client.MakeCtx();
+    EXPECT_FALSE(client.rpc().Call(dctx, 2, MsgType::kNull, args, &reply).ok());
+  }
+
+  const std::string report = RenderRpcTransport(*ts_.hive);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(report.find("cell " + std::to_string(c)), std::string::npos) << c;
+  }
+  EXPECT_NE(report.find("Timeouts"), std::string::npos);
+  EXPECT_NE(report.find("Retries"), std::string::npos);
+  EXPECT_NE(report.find("Quarantines"), std::string::npos);
+  EXPECT_NE(report.find("AMO-viol"), std::string::npos);
+  const RpcCallStats& stats = client.rpc().stats();
+  EXPECT_GE(stats.calls, 4u);
+  EXPECT_GE(stats.timeouts, 1u);
+}
+
 TEST_F(ReportTest, SharingViewEmptyWhenNoSharing) {
   const std::string view = RenderCellSharing(*ts_.hive, 3);
   EXPECT_NE(view.find("no intercell sharing"), std::string::npos);

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
+#include "src/flash/fault_injector.h"
+#include "src/flash/sips.h"
 #include "tests/test_util.h"
 
 namespace hive {
@@ -11,6 +14,24 @@ namespace {
 class RpcTest : public ::testing::Test {
  protected:
   RpcTest() : ts_(hivetest::BootHive(4)) {}
+
+  // Installs a message-fault plan with the given per-mille rates over
+  // [0, end) on every route.
+  flash::MessageFaultModel* InstallPlan(uint32_t drop_pm, uint32_t dup_pm,
+                                        uint32_t corrupt_pm, Time end) {
+    flash::Sips& sips = ts_.machine->sips();
+    if (sips.fault_model() == nullptr) {
+      sips.EnableFaultModel(7);
+    }
+    flash::MessageFaultPlan plan;
+    plan.start = 0;
+    plan.end = end;
+    plan.drop_pm = drop_pm;
+    plan.dup_pm = dup_pm;
+    plan.corrupt_pm = corrupt_pm;
+    sips.fault_model()->AddPlan(plan);
+    return sips.fault_model();
+  }
 
   hivetest::TestSystem ts_;
 };
@@ -111,6 +132,148 @@ TEST_F(RpcTest, PingHandlerRegistered) {
   RpcArgs args;
   RpcReply reply;
   EXPECT_TRUE(client.rpc().Call(ctx, 3, MsgType::kPing, args, &reply).ok());
+}
+
+TEST_F(RpcTest, DeadCellHintedOncePerAgreementWindow) {
+  // Regression: repeated calls (or retries) against a dead peer must raise
+  // exactly one failure-detector hint per agreement window, not one per call.
+  ts_.machine->FailNode(2);
+  Cell& client = ts_.cell(0);
+  RpcArgs args;
+  RpcReply reply;
+  for (int i = 0; i < 3; ++i) {
+    Ctx ctx = client.MakeCtx();
+    EXPECT_EQ(client.rpc().Call(ctx, 2, MsgType::kNull, args, &reply).code(),
+              base::StatusCode::kTimeout);
+  }
+  EXPECT_EQ(client.detector().hints_raised(), 1u);
+  EXPECT_EQ(client.rpc().stats().timeouts, 3u);
+  // The one hint was enough: agreement confirmed the death and recovery ran.
+  EXPECT_EQ(ts_.hive->recovery().recoveries_run(), 1);
+}
+
+TEST_F(RpcTest, RetryRecoversFromLostRequest) {
+  // 100% drop, but only during a window that covers the first attempt; the
+  // first backoff (>= 100 us) lands the retry after the window closes.
+  InstallPlan(/*drop_pm=*/1000, /*dup_pm=*/0, /*corrupt_pm=*/0,
+              /*end=*/ts_.machine->Now() + 120 * kMicrosecond);
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+  EXPECT_EQ(client.rpc().stats().retries, 1u);
+  EXPECT_EQ(client.rpc().stats().timeouts, 0u);
+  // The lost attempt cost a spin + context switch + backoff on top of the
+  // 7.2 us happy path.
+  EXPECT_GT(ctx.elapsed, 7200 + 100 * kMicrosecond);
+  EXPECT_EQ(client.detector().hints_raised(), 0u);
+}
+
+TEST_F(RpcTest, DetectedCorruptionIsRetriedLikeLoss) {
+  InstallPlan(/*drop_pm=*/0, /*dup_pm=*/0, /*corrupt_pm=*/1000,
+              /*end=*/ts_.machine->Now() + 120 * kMicrosecond);
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+  EXPECT_GE(client.rpc().stats().corrupt_lost, 1u);
+  EXPECT_EQ(client.rpc().stats().retries, 1u);
+}
+
+TEST_F(RpcTest, DuplicateMutationSuppressedByReplayCache) {
+  // Every hop duplicated: the server sees the borrow request twice but must
+  // execute it exactly once.
+  InstallPlan(/*drop_pm=*/0, /*dup_pm=*/1000, /*corrupt_pm=*/0,
+              /*end=*/ts_.machine->Now() + kSecond);
+  Cell& client = ts_.cell(0);
+  Cell& server = ts_.cell(1);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  args.w[0] = 0;  // Borrowing client.
+  args.w[1] = 1;  // One frame.
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kBorrowFrames, args, &reply).ok());
+  EXPECT_EQ(reply.w[0], 1u);
+  EXPECT_GE(server.rpc().stats().duplicates_suppressed, 1u);
+  EXPECT_EQ(server.rpc().stats().executed_mutations, 1u);
+  EXPECT_EQ(server.rpc().stats().at_most_once_violations, 0u);
+  EXPECT_EQ(client.rpc().stats().acked_mutations, 1u);
+}
+
+TEST_F(RpcTest, DisablingSuppressionReExecutesAndCountsViolations) {
+  InstallPlan(/*drop_pm=*/0, /*dup_pm=*/1000, /*corrupt_pm=*/0,
+              /*end=*/ts_.machine->Now() + kSecond);
+  Cell& client = ts_.cell(0);
+  Cell& server = ts_.cell(1);
+  server.rpc().set_duplicate_suppression(false);
+  Ctx ctx = client.MakeCtx();
+  RpcArgs args;
+  args.w[0] = 0;
+  args.w[1] = 1;
+  RpcReply reply;
+  ASSERT_TRUE(client.rpc().Call(ctx, 1, MsgType::kBorrowFrames, args, &reply).ok());
+  // The duplicated request re-ran the non-idempotent handler.
+  EXPECT_GE(server.rpc().stats().at_most_once_violations, 1u);
+  EXPECT_GE(server.rpc().stats().executed_mutations, 2u);
+  EXPECT_EQ(server.rpc().stats().duplicates_suppressed, 0u);
+}
+
+TEST_F(RpcTest, RetryExhaustionQuarantinesPeerAndFailsFast) {
+  // A permanently lossy path to a healthy peer: the call burns all attempts,
+  // hints once, and the vetoed accusation puts the peer on probation.
+  InstallPlan(/*drop_pm=*/1000, /*dup_pm=*/0, /*corrupt_pm=*/0,
+              /*end=*/ts_.machine->Now() + 10 * kSecond);
+  Cell& client = ts_.cell(0);
+  RpcArgs args;
+  RpcReply reply;
+
+  Ctx ctx = client.MakeCtx();
+  EXPECT_EQ(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).code(),
+            base::StatusCode::kTimeout);
+  EXPECT_EQ(client.rpc().stats().retries,
+            static_cast<uint64_t>(kMaxRpcAttempts - 1));
+  EXPECT_EQ(client.detector().hints_raised(), 1u);
+  EXPECT_TRUE(ts_.cell(1).alive());  // Agreement refused to kill the peer.
+  EXPECT_TRUE(client.rpc().quarantined(1));
+
+  // While quarantined, ordinary traffic fails fast without burning retries.
+  Ctx ctx2 = client.MakeCtx();
+  EXPECT_EQ(client.rpc().Call(ctx2, 1, MsgType::kNull, args, &reply).code(),
+            base::StatusCode::kUnavailable);
+  EXPECT_GE(client.rpc().stats().quarantine_fail_fast, 1u);
+  EXPECT_EQ(client.rpc().stats().retries,
+            static_cast<uint64_t>(kMaxRpcAttempts - 1));
+}
+
+TEST_F(RpcTest, PingBypassesQuarantineAndProbationExpiryClearsIt) {
+  flash::MessageFaultModel* model =
+      InstallPlan(/*drop_pm=*/1000, /*dup_pm=*/0, /*corrupt_pm=*/0,
+                  /*end=*/ts_.machine->Now() + 10 * kSecond);
+  Cell& client = ts_.cell(0);
+  RpcArgs args;
+  RpcReply reply;
+  Ctx ctx = client.MakeCtx();
+  EXPECT_FALSE(client.rpc().Call(ctx, 1, MsgType::kNull, args, &reply).ok());
+  ASSERT_TRUE(client.rpc().quarantined(1));
+
+  // The path heals; agreement probes (kPing) bypass the quarantine gate and
+  // measure the real path, while ordinary traffic still fails fast.
+  model->ClearPlans();
+  Ctx pctx = client.MakeCtx();
+  EXPECT_TRUE(client.rpc().Call(pctx, 1, MsgType::kPing, args, &reply).ok());
+  EXPECT_TRUE(client.rpc().quarantined(1));
+  Ctx fctx = client.MakeCtx();
+  EXPECT_EQ(client.rpc().Call(fctx, 1, MsgType::kNull, args, &reply).code(),
+            base::StatusCode::kUnavailable);
+
+  // After the probation window the next call un-quarantines automatically.
+  ts_.machine->events().RunUntil(ts_.machine->Now() + kQuarantineProbationNs +
+                                 10 * kMillisecond);
+  Ctx cctx = client.MakeCtx();
+  EXPECT_TRUE(client.rpc().Call(cctx, 1, MsgType::kNull, args, &reply).ok());
+  EXPECT_FALSE(client.rpc().quarantined(1));
 }
 
 }  // namespace

@@ -29,6 +29,8 @@ struct Args {
   bool have_scenario = false;
   uint64_t scenario = 0;
   bool wild_write_fixture = false;
+  bool no_dedup_fixture = false;
+  bool message_faults_only = false;
   bool minimize = true;
   bool verbose = false;
 };
@@ -36,8 +38,8 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: hive_campaign [--seed=N] [--scenarios=N] [--workers=N]\n"
-               "                     [--scenario=K] [--fixture=wild_write]\n"
-               "                     [--no-minimize] [--verbose]\n"
+               "                     [--scenario=K] [--fixture=wild_write|no_dedup]\n"
+               "                     [--faults=message] [--no-minimize] [--verbose]\n"
                "\n"
                "  --seed=N             campaign master seed (default: $HIVE_TEST_SEED or 1)\n"
                "  --scenarios=N        number of scenarios to sweep (default 200)\n"
@@ -45,6 +47,13 @@ void Usage() {
                "  --scenario=K         run only scenario K and print its outcome\n"
                "  --fixture=wild_write generate landing wild writes (firewall checking\n"
                "                       off); every scenario is expected to violate\n"
+               "  --fixture=no_dedup   disable RPC duplicate suppression under a\n"
+               "                       duplication-heavy message-fault plan; every\n"
+               "                       scenario is expected to trip the at-most-once\n"
+               "                       oracle\n"
+               "  --faults=message     restrict fault plans to SIPS message faults\n"
+               "                       (drop/duplicate/delay/corrupt); the reliable\n"
+               "                       transport must pass every oracle\n"
                "  --no-minimize        skip minimization of violating scenarios\n"
                "  --verbose            print a line per scenario\n");
 }
@@ -81,6 +90,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->scenario = value;
     } else if (std::strcmp(arg, "--fixture=wild_write") == 0) {
       args->wild_write_fixture = true;
+    } else if (std::strcmp(arg, "--fixture=no_dedup") == 0) {
+      args->no_dedup_fixture = true;
+    } else if (std::strcmp(arg, "--faults=message") == 0) {
+      args->message_faults_only = true;
     } else if (std::strcmp(arg, "--no-minimize") == 0) {
       args->minimize = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -96,6 +109,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int RunSingle(const Args& args) {
   campaign::GeneratorOptions gen_options;
   gen_options.wild_write_fixture = args.wild_write_fixture;
+  gen_options.no_dedup_fixture = args.no_dedup_fixture;
+  gen_options.message_faults_only = args.message_faults_only;
   const campaign::ScenarioSpec spec =
       campaign::GenerateScenario(args.seed, args.scenario, gen_options);
   std::printf("%s\n", spec.ToString().c_str());
@@ -124,15 +139,19 @@ int RunSweep(const Args& args) {
   options.num_scenarios = args.scenarios;
   options.workers = args.workers;
   options.wild_write_fixture = args.wild_write_fixture;
+  options.no_dedup_fixture = args.no_dedup_fixture;
+  options.message_faults_only = args.message_faults_only;
   options.minimize = args.minimize;
   if (args.verbose) {
     options.on_result = [](const campaign::ScenarioResult& result) {
       std::printf("%s\n", result.Summary().c_str());
     };
   }
-  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s\n",
+  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s\n",
               args.seed, args.scenarios, args.workers,
-              args.wild_write_fixture ? " fixture=wild_write" : "");
+              args.wild_write_fixture ? " fixture=wild_write" : "",
+              args.no_dedup_fixture ? " fixture=no_dedup" : "",
+              args.message_faults_only ? " faults=message" : "");
   const campaign::CampaignReport report = campaign::RunCampaign(options);
   std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %zu violation(s)\n",
               report.scenarios_run, report.faults_injected, report.failures.size());

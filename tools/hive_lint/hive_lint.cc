@@ -19,6 +19,12 @@
 //       (the post-mortem renderer must never print "?" for a real event).
 //   R5  KernelTypeTag values are unique: the careful reference protocol's
 //       type-tag check is only as strong as tag uniqueness.
+//   R6  Non-idempotent RPC handlers (mutating message types) must register
+//       through the replay-cache path (RegisterInterruptAtMostOnce /
+//       RegisterQueuedAtMostOnce); the reliable transport retries timed-out
+//       requests, so a plain registration would re-execute the mutation on a
+//       duplicate delivery. Idempotent-by-design handlers carry a justified
+//       suppression.
 //
 // Suppressions: `// hive-lint: allow(R1): <justification>` on the violating
 // line or the line directly above it. The justification is mandatory; a
@@ -397,6 +403,49 @@ void CheckR3(const SourceFile& file, std::vector<Diagnostic>* diags) {
   }
 }
 
+// R6: the reliable transport retries timed-out requests, so a handler for a
+// mutating message type that is registered through the plain
+// RegisterInterrupt/RegisterQueued path would re-execute its side effect when
+// a retry races a delayed original. Mutating types must use the AtMostOnce
+// registration (server-side replay cache) or carry a justified suppression
+// explaining why the handler is idempotent by design. Heuristic: a
+// RegisterInterrupt/RegisterQueued call site whose argument tokens (next few
+// tokens after the call) name a mutating MsgType enumerator. The
+// ...AtMostOnce identifiers are distinct tokens and never match.
+void CheckR6(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (!StartsWith(file.rel_path, "src/")) {
+    return;  // Tests may register intentionally unsafe handlers.
+  }
+  static const std::set<std::string> kMutatingTypes = {
+      "kForkRemote", "kCreate",      "kUnlink",
+      "kBorrowFrames", "kReturnFrame", "kGrantFirewall",
+  };
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent ||
+        (toks[i].text != "RegisterInterrupt" && toks[i].text != "RegisterQueued")) {
+      continue;
+    }
+    if (toks[i + 1].text != "(") {
+      continue;  // Mention in a declaration list or comment-adjacent token.
+    }
+    // The MsgType argument is within the first few tokens of the call
+    // (`MsgType :: kFoo` or a bare enumerator); the handler lambda follows.
+    for (size_t j = i + 2; j < toks.size() && j < i + 8; ++j) {
+      if (toks[j].kind == Token::kIdent && kMutatingTypes.count(toks[j].text) > 0) {
+        diags->push_back(
+            {file.rel_path, toks[i].line, "R6",
+             "non-idempotent RPC handler for MsgType::" + toks[j].text +
+                 " registered without the replay cache; use Register" +
+                 (toks[i].text == "RegisterInterrupt" ? "Interrupt" : "Queued") +
+                 std::string("AtMostOnce so a transport retry cannot re-execute "
+                             "the mutation (at-most-once contract, rpc.h)")});
+        break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cross-file rules R4-R5.
 // ---------------------------------------------------------------------------
@@ -610,6 +659,7 @@ int Run(const fs::path& root, bool verbose) {
     CheckR1(file, &diags);
     CheckR2(file, &diags);
     CheckR3(file, &diags);
+    CheckR6(file, &diags);
   }
   CheckR4(files, &diags);
   CheckR5(files, &diags);
@@ -671,7 +721,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: hive_lint [--root DIR] [--verbose]\n"
                    "Scans DIR/src, DIR/tests, DIR/bench for violations of the Hive\n"
-                   "fault-containment coding rules R1-R5 (see DESIGN.md).\n";
+                   "fault-containment coding rules R1-R6 (see DESIGN.md).\n";
       return 0;
     } else {
       std::cerr << "hive_lint: unknown argument '" << arg << "' (try --help)\n";
