@@ -74,6 +74,35 @@ grep -q "rpc-at-most-once" "$nodedup_log" || {
   fail "no_dedup fixture failed without an rpc-at-most-once diagnostic"
 }
 
+echo "== hive_bench smoke: throughput harness emits valid JSON =="
+BENCH="$BUILD_DIR/tools/hive_bench/hive_bench"
+[[ -x "$BENCH" ]] || fail "hive_bench not built at $BENCH"
+bench_json="$BUILD_DIR/bench_smoke.json"
+"$BENCH" --smoke --out="$bench_json" || fail "hive_bench --smoke exited nonzero"
+[[ -s "$bench_json" ]] || fail "hive_bench --smoke wrote no JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$bench_json" <<'PYEOF' || fail "hive_bench JSON failed schema validation"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hive-bench-v1", doc.get("schema")
+for key in ("events_per_sec", "ns_per_event", "scenarios_per_sec", "peak_rss_bytes"):
+    assert isinstance(doc[key], (int, float)) and doc[key] > 0, key
+assert doc["event_queue"]["schedule_run"]["events_per_sec"] > 0
+assert doc["event_queue"]["cancel_churn"]["ops_per_sec"] > 0
+for stage in ("single_scenario", "campaign"):
+    assert doc[stage]["scenarios_per_sec"] > 0, stage
+    assert doc[stage]["sim_events"] > 0, stage
+PYEOF
+else
+  # No python3: structural grep fallback on the required fields.
+  for field in '"schema": "hive-bench-v1"' '"events_per_sec"' '"ns_per_event"' \
+               '"scenarios_per_sec"' '"peak_rss_bytes"' '"schedule_run"' \
+               '"cancel_churn"' '"single_scenario"' '"campaign"'; do
+    grep -qF "$field" "$bench_json" || fail "hive_bench JSON missing $field"
+  done
+fi
+
 echo "== sanitizer build: ASan+UBSan test suite =="
 ASAN_DIR="$BUILD_DIR/check-asan"
 cmake -B "$ASAN_DIR" -S "$SOURCE_DIR" \

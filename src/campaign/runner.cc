@@ -456,6 +456,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   }
   machine.events().RunUntil(std::max(machine.Now(), last_inject) + spec.settle_ns);
   result.end_time = machine.Now();
+  result.events_run = machine.events().total_run();
   result.injected = state->injected;
 
   // Output validation: each validator already skips dead cells and

@@ -23,6 +23,7 @@ struct ScenarioResult {
   std::vector<OracleViolation> violations;
   int corrupt_outputs = -1;  // -1 = outputs not validated this run.
   Time end_time = 0;         // Simulated time when the scenario finished.
+  uint64_t events_run = 0;   // Simulator events executed (throughput metric).
   // FNV-1a digest of the run's observable outcome (cell states, panic
   // reasons, injections, recovery count, violations). Two runs of the same
   // scenario -- on any thread, in any batch -- must produce equal

@@ -1,5 +1,7 @@
 #include "src/core/firewall_manager.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 #include "src/core/cell.h"
 #include "src/core/hive_system.h"
@@ -15,8 +17,28 @@ int FirewallManager::LocalCpuFor(Pfn pfn) const {
   return node * cell_->machine().config().cpus_per_node;
 }
 
+bool FirewallManager::IsAllWritable(Pfn pfn) const {
+  return cell_->machine().firewall().GetVector(pfn) == flash::Firewall::kAllowAll;
+}
+
+void FirewallManager::IndexGrant(Pfn pfn, CellId client_cell) {
+  pages_by_cell_[client_cell].insert(pfn);
+}
+
+void FirewallManager::UnindexGrant(Pfn pfn, CellId client_cell) {
+  auto it = pages_by_cell_.find(client_cell);
+  if (it != pages_by_cell_.end()) {
+    it->second.erase(pfn);
+    if (it->second.empty()) {
+      pages_by_cell_.erase(it);
+    }
+  }
+}
+
 void FirewallManager::ProtectLocal(Pfn pfn) {
-  cell_->machine().firewall().SetVector(pfn, cell_->CpuMask(), LocalCpuFor(pfn));
+  MutateVector(pfn, [&] {
+    cell_->machine().firewall().SetVector(pfn, cell_->CpuMask(), LocalCpuFor(pfn));
+  });
 }
 
 void FirewallManager::ProtectRange(PhysAddr base, uint64_t size) {
@@ -43,11 +65,14 @@ base::Status FirewallManager::GrantWrite(Ctx& ctx, Pfn pfn, CellId client_cell) 
     // (RPC + revoke sync), the cost the paper's bit vector avoids.
     for (auto it = counts.begin(); it != counts.end();) {
       if (it->first != client_cell) {
-        cell_->machine().firewall().RevokeCpus(
-            pfn, cell_->system()->cell(it->first).CpuMask(), LocalCpuFor(pfn));
+        MutateVector(pfn, [&] {
+          cell_->machine().firewall().RevokeCpus(
+              pfn, cell_->system()->cell(it->first).CpuMask(), LocalCpuFor(pfn));
+        });
         ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
         ctx.Charge(cell_->costs().NullRpcNs(cell_->machine().config().latency));
         ++writer_conflicts_;
+        UnindexGrant(pfn, it->first);
         it = counts.erase(it);
       } else {
         ++it;
@@ -58,9 +83,12 @@ base::Status FirewallManager::GrantWrite(Ctx& ctx, Pfn pfn, CellId client_cell) 
     const uint64_t mask = policy == FirewallPolicy::kGlobalBit
                               ? ~0ull  // One bit per page: all or nothing.
                               : cell_->system()->cell(client_cell).CpuMask();
-    cell_->machine().firewall().GrantCpus(pfn, mask, LocalCpuFor(pfn));
+    MutateVector(pfn, [&] {
+      cell_->machine().firewall().GrantCpus(pfn, mask, LocalCpuFor(pfn));
+    });
     ctx.Charge(cell_->machine().config().latency.firewall_grant_ns);
     ++grants_;
+    IndexGrant(pfn, client_cell);
   }
   return base::OkStatus();
 }
@@ -76,11 +104,14 @@ base::Status FirewallManager::RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell)
   }
   if (--cell_it->second == 0) {
     page_it->second.erase(cell_it);
-    cell_->machine().firewall().RevokeCpus(
-        pfn, cell_->system()->cell(client_cell).CpuMask(), LocalCpuFor(pfn));
+    MutateVector(pfn, [&] {
+      cell_->machine().firewall().RevokeCpus(
+          pfn, cell_->system()->cell(client_cell).CpuMask(), LocalCpuFor(pfn));
+    });
     // Revocation must wait for pending valid writebacks to drain (section 4.2).
     ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
     ++revokes_;
+    UnindexGrant(pfn, client_cell);
     if (page_it->second.empty()) {
       grants_by_page_.erase(page_it);
     }
@@ -90,20 +121,29 @@ base::Status FirewallManager::RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell)
 
 std::vector<Pfn> FirewallManager::RevokeAllFor(Ctx& ctx, CellId failed_cell) {
   std::vector<Pfn> writable_pages;
-  for (auto it = grants_by_page_.begin(); it != grants_by_page_.end();) {
-    auto cell_it = it->second.find(failed_cell);
-    if (cell_it != it->second.end()) {
-      writable_pages.push_back(it->first);
-      it->second.erase(cell_it);
+  auto index_it = pages_by_cell_.find(failed_cell);
+  if (index_it == pages_by_cell_.end()) {
+    return writable_pages;
+  }
+  // Take the failed cell's page set out of the index and sweep it in pfn
+  // order: O(pages granted to the failed cell), deterministic regardless of
+  // hash layout.
+  writable_pages.assign(index_it->second.begin(), index_it->second.end());
+  std::sort(writable_pages.begin(), writable_pages.end());
+  pages_by_cell_.erase(index_it);
+  for (const Pfn pfn : writable_pages) {
+    auto page_it = grants_by_page_.find(pfn);
+    CHECK(page_it != grants_by_page_.end()) << "reverse index names an ungranted page";
+    CHECK_GT(page_it->second.erase(failed_cell), 0u)
+        << "reverse index disagrees with grant table";
+    MutateVector(pfn, [&] {
       cell_->machine().firewall().RevokeCpus(
-          it->first, cell_->system()->cell(failed_cell).CpuMask(), LocalCpuFor(it->first));
-      ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
-      ++revokes_;
-    }
-    if (it->second.empty()) {
-      it = grants_by_page_.erase(it);
-    } else {
-      ++it;
+          pfn, cell_->system()->cell(failed_cell).CpuMask(), LocalCpuFor(pfn));
+    });
+    ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+    ++revokes_;
+    if (page_it->second.empty()) {
+      grants_by_page_.erase(page_it);
     }
   }
   return writable_pages;
@@ -113,14 +153,17 @@ int FirewallManager::RevokeAllRemote(Ctx& ctx) {
   int revoked = 0;
   for (auto& [pfn, cells] : grants_by_page_) {
     for (auto& [client, count] : cells) {
-      cell_->machine().firewall().RevokeCpus(
-          pfn, cell_->system()->cell(client).CpuMask(), LocalCpuFor(pfn));
+      MutateVector(pfn, [&, page = pfn, target = client] {
+        cell_->machine().firewall().RevokeCpus(
+            page, cell_->system()->cell(target).CpuMask(), LocalCpuFor(page));
+      });
       ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
       ++revokes_;
       ++revoked;
     }
   }
   grants_by_page_.clear();
+  pages_by_cell_.clear();
   return revoked;
 }
 
@@ -148,16 +191,6 @@ std::vector<CellId> FirewallManager::GrantedCells(Pfn pfn) const {
 
 int FirewallManager::RemotelyWritablePages() const {
   return static_cast<int>(grants_by_page_.size());
-}
-
-int FirewallManager::GloballyWritablePages() const {
-  int count = 0;
-  for (const auto& [pfn, cells] : grants_by_page_) {
-    if (cell_->machine().firewall().GetVector(pfn) == flash::Firewall::kAllowAll) {
-      ++count;
-    }
-  }
-  return count;
 }
 
 }  // namespace hive

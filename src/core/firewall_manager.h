@@ -11,11 +11,17 @@
 // change local firewall bits). The data home drives it: directly when the
 // frame is local, through kGrantFirewall/kRevokeFirewall RPCs when the frame
 // was borrowed (paper section 5.4).
+//
+// Failure-time sweeps are proportional to the *failed cell's* state, not the
+// machine's: a per-client reverse index (pages_by_cell_) lets RevokeAllFor
+// walk only the pages granted to the failed cell, matching the paper's claim
+// that preemptive discard cost scales with failed-cell state (section 4.2).
 
 #ifndef HIVE_SRC_CORE_FIREWALL_MANAGER_H_
 #define HIVE_SRC_CORE_FIREWALL_MANAGER_H_
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/status.h"
@@ -42,7 +48,9 @@ class FirewallManager {
   base::Status RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell);
 
   // Recovery: revoke every grant made to `failed_cell` and report which local
-  // pages were writable by it (candidates for preemptive discard).
+  // pages were writable by it (candidates for preemptive discard). Cost is
+  // O(pages granted to the failed cell), via the per-client reverse index;
+  // the returned pages are sorted by pfn (deterministic sweep order).
   std::vector<Pfn> RevokeAllFor(Ctx& ctx, CellId failed_cell);
 
   // Recovery: after barrier 1 no remote mapping is valid anywhere, so every
@@ -62,18 +70,46 @@ class FirewallManager {
   uint64_t revokes() const { return revokes_; }
   // kSingleWriter ablation: grants that had to evict another cell first.
   uint64_t writer_conflicts() const { return writer_conflicts_; }
-  // kGlobalBit ablation: pages currently writable by EVERY processor.
-  int GloballyWritablePages() const;
+  // kGlobalBit ablation: granted pages currently writable by EVERY processor.
+  // Maintained as a running set at every vector mutation, so report/oracle
+  // calls cost O(1) instead of a scan over every grant.
+  int GloballyWritablePages() const {
+    return static_cast<int>(globally_writable_pfns_.size());
+  }
 
  private:
   int LocalCpuFor(Pfn pfn) const;
+  bool IsAllWritable(Pfn pfn) const;
+
+  // Wraps a firewall vector mutation on `pfn`, keeping the globally-writable
+  // set in sync. Membership is decided by the vector's post-mutation state,
+  // so pages whose boot-time vector was open but never granted (ProtectLocal
+  // at boot) are never counted.
+  template <typename Fn>
+  void MutateVector(Pfn pfn, Fn&& fn) {
+    fn();
+    if (IsAllWritable(pfn)) {
+      globally_writable_pfns_.insert(pfn);
+    } else {
+      globally_writable_pfns_.erase(pfn);
+    }
+  }
+
+  // Reverse-index maintenance for the (page, cell) grant set.
+  void IndexGrant(Pfn pfn, CellId client_cell);
+  void UnindexGrant(Pfn pfn, CellId client_cell);
 
   Cell* cell_;
   // pfn -> (cell -> grant count).
   std::unordered_map<Pfn, std::unordered_map<CellId, int>> grants_by_page_;
+  // Reverse index: client cell -> local pages it currently has write grants
+  // on. Keeps RevokeAllFor proportional to the failed cell's footprint.
+  std::unordered_map<CellId, std::unordered_set<Pfn>> pages_by_cell_;
   uint64_t grants_ = 0;
   uint64_t revokes_ = 0;
   uint64_t writer_conflicts_ = 0;
+  // Local pages whose firewall vector currently allows every processor.
+  std::unordered_set<Pfn> globally_writable_pfns_;
 };
 
 }  // namespace hive

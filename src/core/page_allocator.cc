@@ -1,5 +1,7 @@
 #include "src/core/page_allocator.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 #include "src/core/cell.h"
 #include "src/core/hive_system.h"
@@ -66,15 +68,18 @@ base::Result<Pfdat*> PageAllocator::AllocFrame(Ctx& ctx, const AllocConstraints&
 
   if (remote_target != kInvalidCell &&
       (constraints.acceptable_cells & (1ull << remote_target)) != 0) {
-    // Use a previously borrowed free frame from that home if available.
-    for (auto it = borrowed_free_.begin(); it != borrowed_free_.end(); ++it) {
-      if ((*it)->borrowed_from == remote_target) {
-        Pfdat* pfdat = *it;
-        borrowed_free_.erase(it);
-        pfdat->refcount = 1;
-        ctx.Charge(kLocalAllocNs);
-        return pfdat;
+    // Use a previously borrowed free frame from that home if available:
+    // an O(1) bucket probe instead of a scan over every borrowed frame.
+    auto bucket_it = borrowed_free_.find(remote_target);
+    if (bucket_it != borrowed_free_.end() && !bucket_it->second.empty()) {
+      Pfdat* pfdat = bucket_it->second.front();
+      bucket_it->second.pop_front();
+      if (bucket_it->second.empty()) {
+        borrowed_free_.erase(bucket_it);
       }
+      pfdat->refcount = 1;
+      ctx.Charge(kLocalAllocNs);
+      return pfdat;
     }
     auto borrowed = BorrowFrom(ctx, remote_target);
     if (borrowed.ok()) {
@@ -120,7 +125,7 @@ base::Result<Pfdat*> PageAllocator::BorrowFrom(Ctx& ctx, CellId memory_home) {
       pfdat->refcount = 1;
       first = pfdat;
     } else {
-      borrowed_free_.push_back(pfdat);
+      borrowed_free_[memory_home].push_back(pfdat);
     }
   }
   if (first == nullptr) {
@@ -157,7 +162,8 @@ std::vector<PhysAddr> PageAllocator::LoanFrames(Ctx& ctx, CellId client, int cou
     free_list_.pop_front();
     pfdat->loaned_out = true;
     pfdat->loaned_to = client;
-    loaned_.insert(pfdat);
+    loaned_[client].insert(pfdat);
+    ++loaned_count_;
     // The loan hands write control to the borrower: the frame's firewall
     // vector becomes the borrowing cell's processors.
     const Pfn loan_pfn = cell_->machine().mem().PfnOfAddr(pfdat->frame);
@@ -178,9 +184,18 @@ base::Status PageAllocator::AcceptReturnedFrame(Ctx& ctx, PhysAddr frame, CellId
     cell_->detector().RaiseHint(ctx, client, HintReason::kCarefulCheckFailed);
     return base::InvalidArgument();
   }
+  auto bucket_it = loaned_.find(client);
+  if (bucket_it == loaned_.end() || bucket_it->second.erase(pfdat) == 0) {
+    // The allocator has no record of this loan: treat like a bogus return.
+    cell_->detector().RaiseHint(ctx, client, HintReason::kCarefulCheckFailed);
+    return base::InvalidArgument();
+  }
+  if (bucket_it->second.empty()) {
+    loaned_.erase(bucket_it);
+  }
+  --loaned_count_;
   pfdat->loaned_out = false;
   pfdat->loaned_to = kInvalidCell;
-  loaned_.erase(pfdat);
   cell_->firewall_manager().ProtectLocal(cell_->machine().mem().PfnOfAddr(frame));
   ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
   free_list_.push_back(pfdat);
@@ -188,21 +203,25 @@ base::Status PageAllocator::AcceptReturnedFrame(Ctx& ctx, PhysAddr frame, CellId
 }
 
 int PageAllocator::ReclaimLoansTo(CellId failed_cell) {
-  int reclaimed = 0;
-  for (auto it = loaned_.begin(); it != loaned_.end();) {
-    Pfdat* pfdat = *it;
-    if (pfdat->loaned_to == failed_cell) {
-      it = loaned_.erase(it);
-      pfdat->loaned_out = false;
-      pfdat->loaned_to = kInvalidCell;
-      cell_->firewall_manager().ProtectLocal(cell_->machine().mem().PfnOfAddr(pfdat->frame));
-      free_list_.push_back(pfdat);
-      ++reclaimed;
-    } else {
-      ++it;
-    }
+  auto bucket_it = loaned_.find(failed_cell);
+  if (bucket_it == loaned_.end()) {
+    return 0;
   }
-  return reclaimed;
+  // Sweep only the failed borrower's bucket. Frames rejoin the free list in
+  // frame-address order so recovery is deterministic regardless of where the
+  // pfdats happen to live in host memory.
+  std::vector<Pfdat*> reclaimed(bucket_it->second.begin(), bucket_it->second.end());
+  loaned_.erase(bucket_it);
+  std::sort(reclaimed.begin(), reclaimed.end(),
+            [](const Pfdat* a, const Pfdat* b) { return a->frame < b->frame; });
+  for (Pfdat* pfdat : reclaimed) {
+    pfdat->loaned_out = false;
+    pfdat->loaned_to = kInvalidCell;
+    cell_->firewall_manager().ProtectLocal(cell_->machine().mem().PfnOfAddr(pfdat->frame));
+    free_list_.push_back(pfdat);
+  }
+  loaned_count_ -= reclaimed.size();
+  return static_cast<int>(reclaimed.size());
 }
 
 void PageAllocator::ReleaseToFreeList(Pfdat* pfdat) {
@@ -216,17 +235,27 @@ void PageAllocator::ReleaseToFreeList(Pfdat* pfdat) {
 }
 
 int PageAllocator::DropBorrowsFrom(CellId failed_cell) {
-  int dropped = 0;
-  for (auto it = borrowed_free_.begin(); it != borrowed_free_.end();) {
-    if ((*it)->borrowed_from == failed_cell) {
-      cell_->pfdats().RemoveExtended(*it);
-      it = borrowed_free_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
+  auto bucket_it = borrowed_free_.find(failed_cell);
+  if (bucket_it == borrowed_free_.end()) {
+    return 0;
+  }
+  // Only this home's bucket is touched: O(frames borrowed from it).
+  const int dropped = static_cast<int>(bucket_it->second.size());
+  for (Pfdat* pfdat : bucket_it->second) {
+    cell_->pfdats().RemoveExtended(pfdat);
+  }
+  borrowed_free_.erase(bucket_it);
+  return dropped;
+}
+
+bool PageAllocator::IsLoanedFrame(const Pfdat* pfdat) const {
+  Pfdat* key = const_cast<Pfdat*>(pfdat);
+  for (const auto& [client, bucket] : loaned_) {
+    if (bucket.count(key) > 0) {
+      return true;
     }
   }
-  return dropped;
+  return false;
 }
 
 }  // namespace hive

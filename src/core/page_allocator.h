@@ -8,11 +8,17 @@
 // acceptable for the request and one preferred cell. Frames allocated for
 // internal kernel use must be local, since the firewall does not defend
 // against wild writes by the memory home.
+//
+// Loaned and borrowed frames are bucketed per peer cell so the hot reuse
+// probe in AllocFrame is O(1) and the failure-time sweeps
+// (ReclaimLoansTo / DropBorrowsFrom) are proportional to the *failed cell's*
+// frames, not to every loan or borrow this cell has outstanding.
 
 #ifndef HIVE_SRC_CORE_PAGE_ALLOCATOR_H_
 #define HIVE_SRC_CORE_PAGE_ALLOCATOR_H_
 
 #include <deque>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -57,23 +63,26 @@ class PageAllocator {
   base::Status AcceptReturnedFrame(Ctx& ctx, PhysAddr frame, CellId client);
 
   // Recovery: reclaims every frame loaned to a failed cell (contents are
-  // untrusted; the frame goes back to the free list).
+  // untrusted; the frame goes back to the free list). O(frames loaned to the
+  // failed cell); reclaimed frames rejoin the free list in frame-address
+  // order (deterministic regardless of hash/pointer layout).
   int ReclaimLoansTo(CellId failed_cell);
 
   // Recovery: drops records of frames borrowed from a failed memory home.
+  // O(frames borrowed from that home).
   int DropBorrowsFrom(CellId failed_cell);
 
   // Recovery/eviction: puts an unbound local frame back on the free list.
   void ReleaseToFreeList(Pfdat* pfdat);
 
   // Invariant auditing: whether this local frame is currently loaned out
-  // (must agree with the pfdat's loaned_out flag).
-  bool IsLoanedFrame(const Pfdat* pfdat) const {
-    return loaned_.count(const_cast<Pfdat*>(pfdat)) > 0;
-  }
+  // (must agree with the pfdat's loaned_out flag). Scans the per-client
+  // buckets rather than trusting the pfdat's own loaned_to field, so corrupt
+  // pfdat state cannot hide a disagreement.
+  bool IsLoanedFrame(const Pfdat* pfdat) const;
 
   size_t free_frames() const { return free_list_.size(); }
-  size_t loaned_frames() const { return loaned_.size(); }
+  size_t loaned_frames() const { return loaned_count_; }
   uint64_t borrow_rpcs() const { return borrow_rpcs_; }
 
   // Low-water mark: below this many local free frames the allocator tries to
@@ -86,9 +95,13 @@ class PageAllocator {
   base::Result<Pfdat*> TakeLocalFree(Ctx& ctx);
 
   Cell* cell_;
-  std::deque<Pfdat*> free_list_;             // Local free frames.
-  std::deque<Pfdat*> borrowed_free_;         // Borrowed frames not yet in use.
-  std::unordered_set<Pfdat*> loaned_;        // Local frames loaned out.
+  std::deque<Pfdat*> free_list_;  // Local free frames.
+  // Borrowed frames not yet in use, bucketed by memory home: the AllocFrame
+  // reuse probe pops the target home's bucket in O(1).
+  std::unordered_map<CellId, std::deque<Pfdat*>> borrowed_free_;
+  // Local frames loaned out, bucketed by borrower.
+  std::unordered_map<CellId, std::unordered_set<Pfdat*>> loaned_;
+  size_t loaned_count_ = 0;
   uint64_t borrow_rpcs_ = 0;
 };
 

@@ -4,26 +4,53 @@
 
 namespace hive {
 
+Pfdat* PfdatTable::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    Pfdat* slot = free_slots_.back();
+    free_slots_.pop_back();
+    *slot = Pfdat{};
+    return slot;
+  }
+  if (slab_used_ == kSlabPfdats) {
+    if (slab_cursor_ + 1 < slabs_.size()) {
+      ++slab_cursor_;  // Recycle a slab retained across Clear().
+    } else {
+      slabs_.push_back(std::make_unique<Pfdat[]>(kSlabPfdats));
+      slab_cursor_ = slabs_.size() - 1;
+    }
+    slab_used_ = 0;
+  }
+  Pfdat* slot = &slabs_[slab_cursor_][slab_used_++];
+  *slot = Pfdat{};
+  return slot;
+}
+
+void PfdatTable::ReleaseSlot(Pfdat* pfdat) {
+  // Careful check: a second RemoveExtended on a recycled slot (a double
+  // remove would push the slot onto the free list twice, later aliasing two
+  // live pfdats) now trips RemoveExtended's CHECK instead.
+  pfdat->extended = false;
+  free_slots_.push_back(pfdat);
+}
+
 Pfdat* PfdatTable::AddRegular(PhysAddr frame) {
-  auto pfdat = std::make_unique<Pfdat>();
+  Pfdat* pfdat = AllocateSlot();
   pfdat->frame = frame;
   pfdat->extended = false;
-  Pfdat* raw = pfdat.get();
-  auto [it, inserted] = by_frame_.emplace(frame, std::move(pfdat));
+  auto [it, inserted] = by_frame_.emplace(frame, pfdat);
   CHECK(inserted) << "duplicate pfdat for frame";
   (void)it;
-  return raw;
+  return pfdat;
 }
 
 Pfdat* PfdatTable::AddExtended(PhysAddr frame) {
-  auto pfdat = std::make_unique<Pfdat>();
+  Pfdat* pfdat = AllocateSlot();
   pfdat->frame = frame;
   pfdat->extended = true;
-  Pfdat* raw = pfdat.get();
-  auto [it, inserted] = by_frame_.emplace(frame, std::move(pfdat));
+  auto [it, inserted] = by_frame_.emplace(frame, pfdat);
   CHECK(inserted) << "extended pfdat collides with existing pfdat for frame";
   (void)it;
-  return raw;
+  return pfdat;
 }
 
 void PfdatTable::RemoveExtended(Pfdat* pfdat) {
@@ -31,12 +58,13 @@ void PfdatTable::RemoveExtended(Pfdat* pfdat) {
   if (pfdat->HasLogicalBinding()) {
     RemoveHash(pfdat);
   }
-  by_frame_.erase(pfdat->frame);  // Destroys *pfdat.
+  by_frame_.erase(pfdat->frame);
+  ReleaseSlot(pfdat);  // Recycled; the slot stays owned by the arena.
 }
 
 Pfdat* PfdatTable::FindByFrame(PhysAddr frame) {
   auto it = by_frame_.find(frame);
-  return it == by_frame_.end() ? nullptr : it->second.get();
+  return it == by_frame_.end() ? nullptr : it->second;
 }
 
 Pfdat* PfdatTable::FindByLpid(const LogicalPageId& lpid) {

@@ -56,6 +56,12 @@ struct Pfdat {
 
 // Per-cell pfdat table + hash (paper figure 5.3). Owns regular pfdats for
 // every local paged frame and dynamically allocated extended pfdats.
+//
+// Pfdats are carved out of a slab arena (fixed-size blocks, recycled through
+// a free list) instead of one heap allocation per page: boot allocates one
+// slab per kSlabPfdats frames and the borrow/return churn of extended pfdats
+// reuses slots without touching the host allocator. Pfdat pointers are stable
+// for the life of the table (slabs never move).
 class PfdatTable {
  public:
   PfdatTable() = default;
@@ -81,21 +87,39 @@ class PfdatTable {
   template <typename Fn>
   void ForEach(Fn&& fn) {
     for (auto& [frame, pfdat] : by_frame_) {
-      fn(pfdat.get());
+      fn(pfdat);
     }
   }
 
   size_t hash_size() const { return by_lpid_.size(); }
   size_t total_pfdats() const { return by_frame_.size(); }
 
-  // Reboot: drops everything.
+  // Arena introspection (tests): slabs allocated so far.
+  size_t arena_slabs() const { return slabs_.size(); }
+
+  // Reboot: drops everything. Slab memory is retained and recycled by the
+  // next boot's allocations.
   void Clear() {
     by_lpid_.clear();
     by_frame_.clear();
+    free_slots_.clear();
+    slab_used_ = slabs_.empty() ? kSlabPfdats : 0;
+    slab_cursor_ = 0;
   }
 
+  static constexpr size_t kSlabPfdats = 256;
+
  private:
-  std::unordered_map<PhysAddr, std::unique_ptr<Pfdat>> by_frame_;
+  Pfdat* AllocateSlot();
+  void ReleaseSlot(Pfdat* pfdat);
+
+  // Slab arena: blocks never move, so Pfdat* stays valid until Clear().
+  std::vector<std::unique_ptr<Pfdat[]>> slabs_;
+  size_t slab_cursor_ = 0;             // Slab currently being carved.
+  size_t slab_used_ = kSlabPfdats;     // Slots used in that slab (full = new slab).
+  std::vector<Pfdat*> free_slots_;     // Recycled slots (RemoveExtended).
+
+  std::unordered_map<PhysAddr, Pfdat*> by_frame_;
   std::unordered_map<LogicalPageId, Pfdat*, LogicalPageIdHash> by_lpid_;
 };
 

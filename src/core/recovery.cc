@@ -53,7 +53,17 @@ Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
     (void)cell.firewall_manager().RevokeAllFor(phase_ctx, failed[i]);
   }
 
-  // 2. Walk the pfdat table: discard pages writable by failed cells, drop
+  // 2. Drop the spare borrowed frames still sitting in the allocator's
+  //    per-home free buckets. This must happen before the pfdat walk below:
+  //    those spares are extended pfdats borrowed from the failed cells, so
+  //    the walk would otherwise collect them into dead_borrows and remove
+  //    them a second time behind the allocator's back.
+  cell.allocator().DropBorrowsFrom(failed.front());
+  for (size_t i = 1; i < failed.size(); ++i) {
+    cell.allocator().DropBorrowsFrom(failed[i]);
+  }
+
+  // 3. Walk the pfdat table: discard pages writable by failed cells, drop
   //    bindings cached in frames whose memory home failed, clear export
   //    state (every remaining remote grant is also revoked -- no remote
   //    mapping survives barrier 1).
@@ -97,16 +107,12 @@ Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
     }
     cell.pfdats().RemoveExtended(pfdat);
   }
-  cell.allocator().DropBorrowsFrom(failed.front());
-  for (size_t i = 1; i < failed.size(); ++i) {
-    cell.allocator().DropBorrowsFrom(failed[i]);
-  }
 
-  // 3. Drop all imports (rebuilt by fresh faults) and remaining grants.
+  // 4. Drop all imports (rebuilt by fresh faults) and remaining grants.
   stats->imports_dropped += cell.fs().DropAllImports(phase_ctx);
   cell.firewall_manager().RevokeAllRemote(phase_ctx);
 
-  // 4. Reclaim frames loaned to failed cells.
+  // 5. Reclaim frames loaned to failed cells.
   for (CellId f : failed) {
     stats->loans_reclaimed += cell.allocator().ReclaimLoansTo(f);
   }

@@ -48,20 +48,26 @@ const char* TraceEventName(TraceEvent event) {
 
 std::vector<TraceRecord> TraceBuffer::Snapshot() const {
   std::vector<TraceRecord> out;
-  const uint64_t count = next_ < kCapacity ? next_ : kCapacity;
-  const uint64_t start = next_ - count;
-  out.reserve(count);
-  for (uint64_t i = start; i < next_; ++i) {
-    out.push_back(ring_[i % kCapacity]);
+  if (next_ <= kCapacity) {
+    // Ring has not wrapped: the retained events are a single prefix span.
+    out.assign(ring_.begin(), ring_.begin() + next_);
+    return out;
   }
+  // Wrapped: two contiguous spans, oldest-first, no per-element modulo.
+  const uint64_t head = next_ & (kCapacity - 1);
+  out.reserve(kCapacity);
+  out.insert(out.end(), ring_.begin() + head, ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + head);
   return out;
 }
 
 int TraceBuffer::Count(TraceEvent event) const {
-  int count = 0;
+  // Retained events occupy a dense region of the ring; order is irrelevant
+  // for counting, so scan the occupied slots linearly.
   const uint64_t retained = next_ < kCapacity ? next_ : kCapacity;
-  for (uint64_t i = next_ - retained; i < next_; ++i) {
-    if (ring_[i % kCapacity].event == event) {
+  int count = 0;
+  for (uint64_t i = 0; i < retained; ++i) {
+    if (ring_[i].event == event) {
       ++count;
     }
   }

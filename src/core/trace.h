@@ -50,9 +50,12 @@ struct TraceRecord {
 class TraceBuffer {
  public:
   static constexpr size_t kCapacity = 256;
+  static_assert((kCapacity & (kCapacity - 1)) == 0,
+                "ring index masking requires a power-of-two capacity");
 
   void Record(Time when, TraceEvent event, uint64_t arg0 = 0, uint64_t arg1 = 0) {
-    ring_[next_ % kCapacity] = TraceRecord{when, event, arg0, arg1};
+    // Hot path for every kernel event: bitmask index, no divide.
+    ring_[next_ & (kCapacity - 1)] = TraceRecord{when, event, arg0, arg1};
     ++next_;
   }
 

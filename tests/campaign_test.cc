@@ -156,6 +156,28 @@ TEST(ScenarioGeneratorTest, NoDedupFixtureGeneratesDuplicationHeavyPlan) {
 
 // --- Run determinism. ---
 
+// Golden fingerprints for seed 1, scenarios 0-3, captured before the event
+// pool / indexed-sweep rework. These pin the simulator's observable behavior:
+// any change to event ordering (tie-breaking, cancellation) or recovery sweep
+// order that alters outcomes shows up as a fingerprint diff here. Note this
+// only holds for the default generator (HIVE_TEST_SEED does not apply).
+TEST(ScenarioRunnerTest, GoldenFingerprintsAreStable) {
+  constexpr uint64_t kGolden[] = {
+      0x0cd10d52dbd1d3fdull,
+      0x68ef6467b4faefa0ull,
+      0xd225d0e860f239c5ull,
+      0x801a30dc22be1cc7ull,
+  };
+  constexpr Time kGoldenEndMs[] = {1215, 1037, 1206, 1074};
+  for (uint64_t index = 0; index < 4; ++index) {
+    const ScenarioSpec spec = GenerateScenario(1, index);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult result = RunScenario(spec);
+    EXPECT_EQ(result.fingerprint, kGolden[index]);
+    EXPECT_EQ(result.end_time / hive::kMillisecond, kGoldenEndMs[index]);
+  }
+}
+
 TEST(ScenarioRunnerTest, SameSpecSameFingerprint) {
   const uint64_t master = hivetest::TestSeed(5);
   SCOPED_TRACE(hivetest::SeedTrace(master));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace flash {
@@ -104,6 +106,112 @@ TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
   queue.Run();
   EXPECT_EQ(depth, 2);
   EXPECT_EQ(queue.Now(), 15);
+}
+
+TEST(EventQueueTest, FifoTieBreakSurvivesInterleavedCancels) {
+  // Cancelled tombstones between live entries at the same timestamp must not
+  // perturb the FIFO order of the survivors.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(queue.ScheduleAt(50, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 20; i += 2) {
+    EXPECT_TRUE(queue.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  queue.Run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 2 * i);
+  }
+}
+
+TEST(EventQueueTest, PoolReusesSlotsAfterChurn) {
+  // Heavy schedule/run/cancel churn must recycle slots instead of growing the
+  // pool: the pool high-water mark tracks peak pending, not total scheduled.
+  EventQueue queue;
+  for (int round = 0; round < 100; ++round) {
+    EventId keep = queue.ScheduleAfter(1, [] {});
+    EventId drop = queue.ScheduleAfter(2, [] {});
+    EXPECT_TRUE(queue.Cancel(drop));
+    (void)keep;
+    queue.Run();
+  }
+  EXPECT_EQ(queue.total_run(), 100u);
+  EXPECT_LE(queue.pool_slots(), 4u);
+}
+
+TEST(EventQueueTest, StaleIdDoesNotCancelRecycledSlot) {
+  // After a slot is recycled, the old EventId's generation no longer matches:
+  // cancelling it must not kill the new occupant.
+  EventQueue queue;
+  EventId old_id = queue.ScheduleAt(10, [] {});
+  queue.Run();  // Slot released; old_id is now stale.
+  bool ran = false;
+  queue.ScheduleAt(20, [&] { ran = true; });  // Likely reuses the slot.
+  EXPECT_FALSE(queue.Cancel(old_id));
+  queue.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, LargeCallbackFallsBackToHeap) {
+  // Callables bigger than the inline buffer take the heap path and must still
+  // run, move, and destroy correctly.
+  EventQueue queue;
+  struct Big {
+    char payload[EventFn::kInlineBytes * 2] = {};
+  };
+  Big big;
+  big.payload[0] = 42;
+  int seen = 0;
+  queue.ScheduleAt(10, [big, &seen] { seen = big.payload[0]; });
+  queue.Run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, GoldenEventOrderRegression) {
+  // Determinism regression: a fixed pseudo-random schedule/cancel workload
+  // must execute in exactly the order of a reference model (stable sort by
+  // timestamp, FIFO among equals). Any change to tie-breaking or tombstone
+  // handling shows up as an order diff here before it corrupts campaign
+  // fingerprints.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<std::pair<Time, int>> model;  // (when, tag) in schedule order.
+  std::vector<EventId> ids;
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 200; ++i) {
+    const Time when = static_cast<Time>(next() % 16) * 100;
+    ids.push_back(queue.ScheduleAt(when, [&order, i] { order.push_back(i); }));
+    model.emplace_back(when, i);
+  }
+  // Cancel a deterministic subset.
+  std::vector<bool> cancelled(200, false);
+  for (int i = 0; i < 60; ++i) {
+    const size_t pick = next() % 200;
+    if (!cancelled[pick]) {
+      EXPECT_TRUE(queue.Cancel(ids[pick]));
+      cancelled[pick] = true;
+    }
+  }
+  queue.Run();
+
+  std::vector<int> expected;
+  std::stable_sort(model.begin(), model.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [when, tag] : model) {
+    if (!cancelled[static_cast<size_t>(tag)]) {
+      expected.push_back(tag);
+    }
+  }
+  EXPECT_EQ(order, expected);
 }
 
 }  // namespace

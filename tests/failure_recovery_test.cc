@@ -347,6 +347,41 @@ TEST_F(FailureRecoveryTest, PanickedCellMemoryIsCutOff) {
                flash::BusError);
 }
 
+TEST_F(FailureRecoveryTest, SpareBorrowedFramesDroppedOnceAtRecovery) {
+  // Cell 0 borrows a batch of frames from cell 2; the batch leaves spare
+  // frames in the allocator's per-home free bucket. When cell 2 then fails,
+  // recovery must drop those spares from the pfdat table exactly once (the
+  // bucket owns them AND they are borrowed-from-failed extended pfdats, so a
+  // naive sweep removes them twice and corrupts the slab arena's free list).
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  AllocConstraints constraints;
+  constraints.preferred_cell = 2;
+  auto in_use = client.allocator().AllocFrame(ctx, constraints);
+  ASSERT_TRUE(in_use.ok());
+  ASSERT_EQ((*in_use)->borrowed_from, 2);
+
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, ts_.machine->Now() + kMillisecond);
+  ts_.machine->events().RunUntil(ts_.machine->Now() + 200 * kMillisecond);
+  ASSERT_EQ(ts_.hive->recovery().recoveries_run(), 1);
+
+  // No pfdat borrowed from the failed cell survives on the client.
+  client.pfdats().ForEach([&](Pfdat* pfdat) {
+    EXPECT_NE(pfdat->borrowed_from, 2) << "frame " << pfdat->frame;
+  });
+  // A double release would hand the same arena slot to the next two
+  // allocations; distinct pfdats prove the free list holds no duplicates.
+  Ctx ctx2 = client.MakeCtx();
+  auto a = client.allocator().AllocFrame(ctx2);
+  auto b = client.allocator().AllocFrame(ctx2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(client.pfdats().FindByFrame((*a)->frame), *a);
+  EXPECT_EQ(client.pfdats().FindByFrame((*b)->frame), *b);
+}
+
 TEST_F(FailureRecoveryTest, SmpModeHasNoDetection) {
   auto smp = hivetest::BootSmp();
   flash::FaultInjector injector(smp.machine.get(), 1);

@@ -1,0 +1,211 @@
+// Tests for the hot-path data structures behind the simulator overhaul:
+// the firewall manager's per-client reverse index and globally-writable
+// counter, the page allocator's per-cell loan/borrow buckets, and the pfdat
+// slab arena.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/cell.h"
+#include "src/core/filesystem.h"
+#include "src/core/pfdat.h"
+#include "src/workloads/workload.h"
+#include "tests/test_util.h"
+
+namespace hive {
+namespace {
+
+// --- FirewallManager reverse index + counters. ---
+
+class FirewallIndexTest : public ::testing::Test {
+ protected:
+  FirewallIndexTest() : ts_(hivetest::BootHive(4)) {}
+
+  Pfn LocalPfn(CellId cell, uint64_t offset_pages) {
+    return ts_.machine->mem().PfnOfAddr(ts_.cell(cell).mem_base()) + offset_pages;
+  }
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(FirewallIndexTest, RevokeAllForSweepsOnlyFailedCellAndSortsByPfn) {
+  Cell& home = ts_.cell(0);
+  Ctx ctx = home.MakeCtx();
+  // Grant a scattered set of pages to cell 2 and a disjoint set to cell 3.
+  const std::vector<uint64_t> cell2_pages = {9, 3, 14, 6};
+  for (uint64_t page : cell2_pages) {
+    ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, LocalPfn(0, page), 2).ok());
+  }
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, LocalPfn(0, 4), 3).ok());
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, LocalPfn(0, 11), 3).ok());
+
+  const std::vector<Pfn> swept = home.firewall_manager().RevokeAllFor(ctx, 2);
+  ASSERT_EQ(swept.size(), cell2_pages.size());
+  EXPECT_TRUE(std::is_sorted(swept.begin(), swept.end()));
+  for (uint64_t page : cell2_pages) {
+    EXPECT_TRUE(std::count(swept.begin(), swept.end(), LocalPfn(0, page)) == 1);
+    EXPECT_FALSE(home.firewall_manager().HasGrant(LocalPfn(0, page), 2));
+  }
+  // Cell 3's grants are untouched.
+  EXPECT_TRUE(home.firewall_manager().HasGrant(LocalPfn(0, 4), 3));
+  EXPECT_TRUE(home.firewall_manager().HasGrant(LocalPfn(0, 11), 3));
+  // A second sweep for the same cell finds nothing.
+  EXPECT_TRUE(home.firewall_manager().RevokeAllFor(ctx, 2).empty());
+}
+
+TEST_F(FirewallIndexTest, NestedGrantsUnindexOnlyAtLastRevoke) {
+  Cell& home = ts_.cell(0);
+  Ctx ctx = home.MakeCtx();
+  const Pfn pfn = LocalPfn(0, 5);
+  // Two overlapping grants to the same cell: one revoke must not drop the
+  // page from the reverse index.
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, pfn, 2).ok());
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, pfn, 2).ok());
+  ASSERT_TRUE(home.firewall_manager().RevokeWrite(ctx, pfn, 2).ok());
+  EXPECT_TRUE(home.firewall_manager().HasGrant(pfn, 2));
+  EXPECT_EQ(home.firewall_manager().RevokeAllFor(ctx, 2).size(), 1u);
+  EXPECT_FALSE(home.firewall_manager().HasGrant(pfn, 2));
+}
+
+TEST(FirewallCounterTest, GloballyWritableCounterTracksTransitions) {
+  // Under the one-bit-per-page ablation a grant opens the page to everyone;
+  // the counter must track kAllowAll transitions without scanning.
+  HiveOptions options;
+  options.firewall_policy = FirewallPolicy::kGlobalBit;
+  auto ts = hivetest::BootHive(4, 4, options);
+  Cell& home = ts.cell(0);
+  Ctx ctx = home.MakeCtx();
+  const Pfn base = ts.machine->mem().PfnOfAddr(home.mem_base());
+  EXPECT_EQ(home.firewall_manager().GloballyWritablePages(), 0);
+
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, base + 1, 2).ok());
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, base + 2, 3).ok());
+  EXPECT_EQ(home.firewall_manager().GloballyWritablePages(), 2);
+  // Overlapping grant on an already-open page: no double count.
+  ASSERT_TRUE(home.firewall_manager().GrantWrite(ctx, base + 1, 3).ok());
+  EXPECT_EQ(home.firewall_manager().GloballyWritablePages(), 2);
+
+  ASSERT_TRUE(home.firewall_manager().RevokeWrite(ctx, base + 2, 3).ok());
+  EXPECT_EQ(home.firewall_manager().GloballyWritablePages(), 1);
+  // Failure sweep closes the remaining open page.
+  (void)home.firewall_manager().RevokeAllFor(ctx, 2);
+  (void)home.firewall_manager().RevokeAllFor(ctx, 3);
+  EXPECT_EQ(home.firewall_manager().GloballyWritablePages(), 0);
+}
+
+// --- PageAllocator per-cell buckets. ---
+
+class AllocatorBucketTest : public ::testing::Test {
+ protected:
+  AllocatorBucketTest() : ts_(hivetest::BootHive(4)) {}
+
+  hivetest::TestSystem ts_;
+};
+
+TEST_F(AllocatorBucketTest, BorrowedFreeBucketServesRepeatAllocations) {
+  Cell& client = ts_.cell(0);
+  Ctx ctx = client.MakeCtx();
+  AllocConstraints constraints;
+  constraints.preferred_cell = 2;
+  auto first = client.allocator().AllocFrame(ctx, constraints);
+  ASSERT_TRUE(first.ok());
+  const uint64_t rpcs_after_first = client.allocator().borrow_rpcs();
+  EXPECT_EQ(rpcs_after_first, 1u);
+  // The borrow batch left spare frames in cell 2's bucket: later requests for
+  // that home are served locally, with no further RPC.
+  auto second = client.allocator().AllocFrame(ctx, constraints);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(client.allocator().borrow_rpcs(), rpcs_after_first);
+  EXPECT_EQ((*second)->borrowed_from, 2);
+
+  (*first)->refcount = 0;
+  (*second)->refcount = 0;
+  client.allocator().FreeFrame(ctx, *first);
+  client.allocator().FreeFrame(ctx, *second);
+}
+
+TEST_F(AllocatorBucketTest, ReclaimLoansSweepsOnlyFailedBorrower) {
+  Cell& home = ts_.cell(1);
+  Ctx ctx = home.MakeCtx();
+  const size_t free_before = home.allocator().free_frames();
+  const std::vector<PhysAddr> to2 = home.allocator().LoanFrames(ctx, 2, 3);
+  const std::vector<PhysAddr> to3 = home.allocator().LoanFrames(ctx, 3, 2);
+  ASSERT_EQ(to2.size(), 3u);
+  ASSERT_EQ(to3.size(), 2u);
+  EXPECT_EQ(home.allocator().loaned_frames(), 5u);
+
+  EXPECT_EQ(home.allocator().ReclaimLoansTo(2), 3);
+  EXPECT_EQ(home.allocator().loaned_frames(), 2u);
+  // Cell 3's loans survive; reclaiming cell 2 again is a no-op.
+  EXPECT_EQ(home.allocator().ReclaimLoansTo(2), 0);
+  EXPECT_EQ(home.allocator().ReclaimLoansTo(3), 2);
+  EXPECT_EQ(home.allocator().loaned_frames(), 0u);
+  EXPECT_EQ(home.allocator().free_frames(), free_before);
+}
+
+TEST_F(AllocatorBucketTest, DoubleReturnIsRejectedAsCarefulCheckFailure) {
+  Cell& home = ts_.cell(1);
+  Ctx ctx = home.MakeCtx();
+  const std::vector<PhysAddr> frames = home.allocator().LoanFrames(ctx, 2, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(home.allocator().AcceptReturnedFrame(ctx, frames[0], 2).ok());
+  // Returning the same frame twice (a confused or malicious borrower) must
+  // fail the careful check, not corrupt the free list.
+  EXPECT_FALSE(home.allocator().AcceptReturnedFrame(ctx, frames[0], 2).ok());
+  EXPECT_EQ(home.allocator().loaned_frames(), 0u);
+}
+
+// --- Pfdat slab arena. ---
+
+TEST(PfdatArenaTest, SlabsGrowByBlockAndRecycleSlots) {
+  PfdatTable table;
+  std::vector<Pfdat*> extended;
+  for (uint64_t i = 0; i < PfdatTable::kSlabPfdats + 10; ++i) {
+    extended.push_back(table.AddExtended(0x100000 + i * 4096));
+  }
+  EXPECT_EQ(table.arena_slabs(), 2u);
+  EXPECT_EQ(table.total_pfdats(), PfdatTable::kSlabPfdats + 10);
+
+  // Free half, then re-add as many: recycled slots, no new slab.
+  for (uint64_t i = 0; i < PfdatTable::kSlabPfdats / 2; ++i) {
+    table.RemoveExtended(extended[i]);
+  }
+  for (uint64_t i = 0; i < PfdatTable::kSlabPfdats / 2; ++i) {
+    table.AddExtended(0x900000 + i * 4096);
+  }
+  EXPECT_EQ(table.arena_slabs(), 2u);
+  EXPECT_EQ(table.total_pfdats(), PfdatTable::kSlabPfdats + 10);
+}
+
+TEST(PfdatArenaTest, PointersStayStableAsArenaGrows) {
+  PfdatTable table;
+  Pfdat* first = table.AddRegular(0x1000);
+  first->refcount = 7;
+  for (uint64_t i = 0; i < 4 * PfdatTable::kSlabPfdats; ++i) {
+    table.AddExtended(0x200000 + i * 4096);
+  }
+  // The original pointer still names the same pfdat after the arena added
+  // several slabs (slabs never move).
+  EXPECT_EQ(table.FindByFrame(0x1000), first);
+  EXPECT_EQ(first->refcount, 7);
+  EXPECT_EQ(first->frame, 0x1000u);
+}
+
+TEST(PfdatArenaTest, ClearRetainsSlabMemoryForReboot) {
+  PfdatTable table;
+  for (uint64_t i = 0; i < 3 * PfdatTable::kSlabPfdats; ++i) {
+    table.AddExtended(0x300000 + i * 4096);
+  }
+  const size_t slabs_before = table.arena_slabs();
+  table.Clear();
+  EXPECT_EQ(table.total_pfdats(), 0u);
+  // Reboot re-populates out of the retained slabs: no new allocations.
+  for (uint64_t i = 0; i < 3 * PfdatTable::kSlabPfdats; ++i) {
+    table.AddExtended(0x300000 + i * 4096);
+  }
+  EXPECT_EQ(table.arena_slabs(), slabs_before);
+}
+
+}  // namespace
+}  // namespace hive

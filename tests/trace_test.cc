@@ -33,6 +33,46 @@ TEST(TraceBufferTest, RingOverwritesOldest) {
   EXPECT_EQ(trace.total_recorded(), TraceBuffer::kCapacity + 10);
 }
 
+TEST(TraceBufferTest, SnapshotAtExactCapacityBoundary) {
+  // next_ == kCapacity is the edge between the un-wrapped single-span path
+  // and the wrapped two-span path: both sides of the boundary must agree.
+  TraceBuffer trace;
+  for (uint64_t i = 0; i < TraceBuffer::kCapacity; ++i) {
+    trace.Record(static_cast<Time>(i), TraceEvent::kSwapIn, i);
+  }
+  auto full = trace.Snapshot();
+  ASSERT_EQ(full.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(full.front().arg0, 0u);
+  EXPECT_EQ(full.back().arg0, TraceBuffer::kCapacity - 1);
+
+  trace.Record(static_cast<Time>(TraceBuffer::kCapacity), TraceEvent::kSwapIn,
+               TraceBuffer::kCapacity);
+  auto wrapped = trace.Snapshot();
+  ASSERT_EQ(wrapped.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(wrapped.front().arg0, 1u);  // Oldest slot was overwritten.
+  EXPECT_EQ(wrapped.back().arg0, TraceBuffer::kCapacity);
+}
+
+TEST(TraceBufferTest, CountMatchesSnapshotBeforeAndAfterWrap) {
+  TraceBuffer trace;
+  auto count_via_snapshot = [&](TraceEvent event) {
+    int n = 0;
+    for (const TraceRecord& r : trace.Snapshot()) {
+      n += r.event == event ? 1 : 0;
+    }
+    return n;
+  };
+  for (uint64_t i = 0; i < TraceBuffer::kCapacity / 2; ++i) {
+    trace.Record(static_cast<Time>(i), TraceEvent::kSwapOut, i);
+  }
+  EXPECT_EQ(trace.Count(TraceEvent::kSwapOut), count_via_snapshot(TraceEvent::kSwapOut));
+  for (uint64_t i = 0; i < TraceBuffer::kCapacity; ++i) {
+    trace.Record(static_cast<Time>(i), TraceEvent::kSwapIn, i);
+  }
+  EXPECT_EQ(trace.Count(TraceEvent::kSwapOut), count_via_snapshot(TraceEvent::kSwapOut));
+  EXPECT_EQ(trace.Count(TraceEvent::kSwapIn), count_via_snapshot(TraceEvent::kSwapIn));
+}
+
 TEST(TraceBufferTest, RenderNamesEvents) {
   TraceBuffer trace;
   trace.Record(1500, TraceEvent::kPanic);

@@ -1,0 +1,345 @@
+// hive_bench: wall-clock throughput harness for the simulator hot paths.
+//
+// The fault-campaign engine drives thousands of isolated simulator runs per
+// nightly sweep, so simulator throughput (scenarios/sec, events/sec) is the
+// perf trajectory every PR is judged against. This harness times:
+//
+//   1. event-queue microbenchmarks (schedule+run, schedule+cancel churn),
+//   2. single-scenario simulation (one campaign scenario per run, serial),
+//   3. multi-worker campaign throughput (the nightly-sweep shape),
+//
+// and emits machine-readable BENCH_sim.json (schema "hive-bench-v1") plus a
+// human-readable table. Wall-clock numbers are informational -- CI only
+// validates that the JSON is well-formed (`--smoke`); regressions are judged
+// by comparing committed BENCH_sim.json snapshots across PRs.
+//
+// Exit codes: 0 = ok, 1 = I/O failure writing the JSON, 2 = usage error.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/scenario.h"
+#include "src/flash/event_queue.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Args {
+  uint64_t seed = 1;
+  int workers = 4;
+  uint64_t scenarios = 64;       // Campaign-stage scenario count.
+  uint64_t serial_scenarios = 8; // Single-scenario stage count.
+  double eq_seconds = 0.5;       // Wall-time budget per event-queue stage.
+  bool smoke = false;
+  std::string out = "BENCH_sim.json";
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hive_bench [--seed=N] [--workers=N] [--scenarios=N]\n"
+               "                  [--out=PATH] [--smoke]\n"
+               "\n"
+               "  --seed=N      campaign master seed for the scenario stages (default 1)\n"
+               "  --workers=N   worker threads for the campaign stage (default 4)\n"
+               "  --scenarios=N scenarios in the campaign stage (default 64)\n"
+               "  --out=PATH    where to write the JSON report (default BENCH_sim.json)\n"
+               "  --smoke       tiny sizes for CI schema validation (seconds, not minutes)\n");
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strncmp(arg, "--seed=", 7) == 0 && ParseU64(arg + 7, &value)) {
+      args->seed = value;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0 && ParseU64(arg + 10, &value) &&
+               value >= 1 && value <= 256) {
+      args->workers = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--scenarios=", 12) == 0 && ParseU64(arg + 12, &value) &&
+               value >= 1) {
+      args->scenarios = value;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      args->out = arg + 6;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      args->smoke = true;
+    } else {
+      std::fprintf(stderr, "hive_bench: bad argument '%s'\n", arg);
+      return false;
+    }
+  }
+  if (args->smoke) {
+    args->scenarios = 4;
+    args->serial_scenarios = 2;
+    args->eq_seconds = 0.02;
+  }
+  return true;
+}
+
+struct StageResult {
+  uint64_t items = 0;      // Events fired / scenarios completed.
+  double wall_seconds = 0;
+
+  double PerSec() const { return wall_seconds > 0 ? items / wall_seconds : 0; }
+  double NsPerItem() const { return items > 0 ? wall_seconds * 1e9 / items : 0; }
+};
+
+// Best-of-N repetitions: microbenchmark numbers on a shared machine are
+// throttled by scheduler noise, so the least-disturbed repetition is the
+// estimator closest to the code's actual cost.
+template <typename Stage>
+StageResult BestOf(int reps, Stage&& stage) {
+  StageResult best;
+  for (int i = 0; i < reps; ++i) {
+    const StageResult attempt = stage();
+    if (attempt.PerSec() > best.PerSec()) {
+      best = attempt;
+    }
+  }
+  return best;
+}
+
+// --- Stage 1a: schedule+run throughput. ---
+// Batches of events with captures shaped like the simulator's real callbacks
+// (a couple of pointers plus an index), drained in timestamp order.
+StageResult BenchEventQueueScheduleRun(double budget_seconds) {
+  constexpr int kBatch = 4096;
+  StageResult result;
+  uint64_t sink = 0;
+  // One long-lived queue, filled and drained per round: steady-state
+  // throughput of the schedule/sift/dispatch cycle, the shape of a scenario
+  // run (one queue, millions of events), not of queue construction.
+  flash::EventQueue queue;
+  const Clock::time_point start = Clock::now();
+  while (SecondsSince(start) < budget_seconds) {
+    uint64_t* sink_ptr = &sink;
+    const flash::EventQueue* queue_ptr = &queue;
+    const flash::Time base = queue.Now();
+    for (int i = 0; i < kBatch; ++i) {
+      // Timestamps interleave (i % 16 spreads arrival order) so the heap does
+      // real sifting instead of append-only work.
+      queue.ScheduleAt(base + (i % 16) * 1000 + i, [sink_ptr, queue_ptr, i] {
+        *sink_ptr += static_cast<uint64_t>(i) + queue_ptr->pending();
+      });
+    }
+    result.items += queue.Run();
+  }
+  result.wall_seconds = SecondsSince(start);
+  if (sink == 0xdead) {
+    std::printf("impossible\n");  // Keep the side effect observable.
+  }
+  return result;
+}
+
+// --- Stage 1b: schedule+cancel churn. ---
+// Two schedules and one cancellation per iteration, with periodic drains: the
+// shape of timer-heavy kernel paths (clock ticks, RPC timeouts) where most
+// scheduled events never fire.
+StageResult BenchEventQueueCancelChurn(double budget_seconds) {
+  constexpr int kBatch = 2048;
+  StageResult result;
+  uint64_t sink = 0;
+  flash::EventQueue queue;  // Long-lived: steady-state churn, as above.
+  const Clock::time_point start = Clock::now();
+  while (SecondsSince(start) < budget_seconds) {
+    uint64_t* sink_ptr = &sink;
+    const flash::Time base = queue.Now();
+    for (int i = 0; i < kBatch; ++i) {
+      queue.ScheduleAt(base + i + 1,
+                       [sink_ptr, i] { *sink_ptr += static_cast<uint64_t>(i); });
+      const flash::EventId doomed = queue.ScheduleAt(
+          base + i + 2, [sink_ptr, i] { *sink_ptr -= static_cast<uint64_t>(i); });
+      queue.Cancel(doomed);
+    }
+    result.items += queue.Run();
+    // Count cancelled schedules too: the stage measures schedule+cancel ops.
+    result.items += kBatch;
+  }
+  result.wall_seconds = SecondsSince(start);
+  if (sink == 0xdead) {
+    std::printf("impossible\n");
+  }
+  return result;
+}
+
+// --- Stage 2: serial single-scenario simulation. ---
+struct ScenarioStage {
+  StageResult scenarios;
+  uint64_t sim_events = 0;
+
+  double EventsPerSec() const {
+    return scenarios.wall_seconds > 0 ? sim_events / scenarios.wall_seconds : 0;
+  }
+  double NsPerEvent() const {
+    return sim_events > 0 ? scenarios.wall_seconds * 1e9 / sim_events : 0;
+  }
+};
+
+ScenarioStage BenchSerialScenarios(uint64_t seed, uint64_t count) {
+  ScenarioStage stage;
+  const Clock::time_point start = Clock::now();
+  for (uint64_t index = 0; index < count; ++index) {
+    const campaign::ScenarioSpec spec = campaign::GenerateScenario(seed, index);
+    const campaign::ScenarioResult result = campaign::RunScenario(spec);
+    stage.sim_events += result.events_run;
+    ++stage.scenarios.items;
+  }
+  stage.scenarios.wall_seconds = SecondsSince(start);
+  return stage;
+}
+
+// --- Stage 3: multi-worker campaign throughput. ---
+ScenarioStage BenchCampaign(uint64_t seed, uint64_t scenarios, int workers) {
+  ScenarioStage stage;
+  campaign::CampaignOptions options;
+  options.master_seed = seed;
+  options.num_scenarios = scenarios;
+  options.workers = workers;
+  options.minimize = false;
+  uint64_t sim_events = 0;
+  options.on_result = [&sim_events](const campaign::ScenarioResult& result) {
+    sim_events += result.events_run;  // Invoked under the campaign lock.
+  };
+  const Clock::time_point start = Clock::now();
+  const campaign::CampaignReport report = campaign::RunCampaign(options);
+  stage.scenarios.wall_seconds = SecondsSince(start);
+  stage.scenarios.items = report.scenarios_run;
+  stage.sim_events = sim_events;
+  return stage;
+}
+
+// Peak RSS in bytes from /proc/self/status (0 when unavailable).
+uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+bool WriteJson(const Args& args, const StageResult& eq_run, const StageResult& eq_churn,
+               const ScenarioStage& serial, const ScenarioStage& parallel,
+               uint64_t peak_rss) {
+  std::FILE* out = std::fopen(args.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "hive_bench: cannot write %s\n", args.out.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"hive-bench-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", args.smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"seed\": %" PRIu64 ",\n", args.seed);
+  std::fprintf(out, "  \"workers\": %d,\n", args.workers);
+  std::fprintf(out, "  \"event_queue\": {\n");
+  std::fprintf(out,
+               "    \"schedule_run\": {\"events\": %" PRIu64
+               ", \"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f},\n",
+               eq_run.items, eq_run.wall_seconds, eq_run.PerSec(), eq_run.NsPerItem());
+  std::fprintf(out,
+               "    \"cancel_churn\": {\"ops\": %" PRIu64
+               ", \"wall_seconds\": %.6f, \"ops_per_sec\": %.0f, "
+               "\"ns_per_op\": %.2f}\n",
+               eq_churn.items, eq_churn.wall_seconds, eq_churn.PerSec(),
+               eq_churn.NsPerItem());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"single_scenario\": {\n");
+  std::fprintf(out,
+               "    \"scenarios\": %" PRIu64 ", \"wall_seconds\": %.6f, "
+               "\"scenarios_per_sec\": %.3f,\n",
+               serial.scenarios.items, serial.scenarios.wall_seconds,
+               serial.scenarios.PerSec());
+  std::fprintf(out,
+               "    \"sim_events\": %" PRIu64 ", \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f\n",
+               serial.sim_events, serial.EventsPerSec(), serial.NsPerEvent());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"campaign\": {\n");
+  std::fprintf(out,
+               "    \"scenarios\": %" PRIu64 ", \"wall_seconds\": %.6f, "
+               "\"scenarios_per_sec\": %.3f,\n",
+               parallel.scenarios.items, parallel.scenarios.wall_seconds,
+               parallel.scenarios.PerSec());
+  std::fprintf(out,
+               "    \"sim_events\": %" PRIu64 ", \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f\n",
+               parallel.sim_events, parallel.EventsPerSec(), parallel.NsPerEvent());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"peak_rss_bytes\": %" PRIu64 ",\n", peak_rss);
+  // Headline trio: the event-queue microbenchmark is the events/sec and
+  // ns/event trajectory; the multi-worker campaign is the scenarios/sec
+  // trajectory (the nightly-sweep shape).
+  std::fprintf(out, "  \"events_per_sec\": %.0f,\n", eq_run.PerSec());
+  std::fprintf(out, "  \"ns_per_event\": %.2f,\n", eq_run.NsPerItem());
+  std::fprintf(out, "  \"scenarios_per_sec\": %.3f\n", parallel.scenarios.PerSec());
+  std::fprintf(out, "}\n");
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  std::printf("hive_bench: seed=%" PRIu64 " workers=%d scenarios=%" PRIu64 "%s\n",
+              args.seed, args.workers, args.scenarios, args.smoke ? " (smoke)" : "");
+
+  const StageResult eq_run =
+      BestOf(3, [&] { return BenchEventQueueScheduleRun(args.eq_seconds); });
+  const StageResult eq_churn =
+      BestOf(3, [&] { return BenchEventQueueCancelChurn(args.eq_seconds); });
+  const ScenarioStage serial = BenchSerialScenarios(args.seed, args.serial_scenarios);
+  const ScenarioStage parallel = BenchCampaign(args.seed, args.scenarios, args.workers);
+  const uint64_t peak_rss = PeakRssBytes();
+
+  std::printf("\n%-24s %14s %14s %12s\n", "stage", "items", "items/sec", "ns/item");
+  std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "eq/schedule_run",
+              eq_run.items, eq_run.PerSec(), eq_run.NsPerItem());
+  std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "eq/cancel_churn",
+              eq_churn.items, eq_churn.PerSec(), eq_churn.NsPerItem());
+  std::printf("%-24s %14" PRIu64 " %14.3f %12s\n", "scenario/serial",
+              serial.scenarios.items, serial.scenarios.PerSec(), "-");
+  std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "scenario/serial-events",
+              serial.sim_events, serial.EventsPerSec(), serial.NsPerEvent());
+  std::printf("%-24s %14" PRIu64 " %14.3f %12s\n", "campaign/parallel",
+              parallel.scenarios.items, parallel.scenarios.PerSec(), "-");
+  std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "campaign/parallel-events",
+              parallel.sim_events, parallel.EventsPerSec(), parallel.NsPerEvent());
+  std::printf("%-24s %14" PRIu64 " %14s %12s\n", "peak_rss_bytes", peak_rss, "-", "-");
+
+  if (!WriteJson(args, eq_run, eq_churn, serial, parallel, peak_rss)) {
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}
