@@ -7,10 +7,14 @@
 #   3. a message-fault campaign sweep (loss+duplication+reordering) passes
 #      every transport oracle, and the no_dedup fixture demonstrably trips
 #      the rpc-at-most-once oracle (the oracle can fail, not just pass);
-#   4. the full test suite builds and passes under ASan+UBSan;
-#   5. the campaign thread pool -- including the RPC retry/quarantine state
+#   4. a rogue-cell sweep (live Byzantine cells) passes every
+#      Byzantine-survivor oracle, the zero-fault baseline sees zero
+#      excisions, and the no_hop_bound fixture demonstrably trips the
+#      no-survivor-hang oracle;
+#   5. the full test suite builds and passes under ASan+UBSan;
+#   6. the campaign thread pool -- including the RPC retry/quarantine state
 #      it exercises -- builds and runs clean under TSan;
-#   6. optionally, a nightly-scale campaign sweep (HIVE_CAMPAIGN_SCENARIOS).
+#   7. optionally, a nightly-scale campaign sweep (HIVE_CAMPAIGN_SCENARIOS).
 #
 # Usage: ci/run_checks.sh [primary-build-dir]
 # Also registered as the `run_checks` ctest entry (see tests/CMakeLists.txt),
@@ -45,7 +49,7 @@ echo "== hive_lint: seeded fixtures must be flagged =="
 fixture_out="$("$LINT" --root "$SOURCE_DIR/tests/lint_fixtures" 2>&1)" && \
   fail "hive_lint exited 0 on the seeded fixture tree"
 echo "$fixture_out"
-for rule in R0 R1 R2 R3 R4 R5 R6; do
+for rule in R0 R1 R2 R3 R4 R5 R6 R7; do
   grep -q ": $rule:" <<<"$fixture_out" || fail "fixture scan did not report $rule"
 done
 # The properly suppressed site (bad_direct_access.cc line 19) must be absent.
@@ -72,6 +76,43 @@ fi
 grep -q "rpc-at-most-once" "$nodedup_log" || {
   cat "$nodedup_log"
   fail "no_dedup fixture failed without an rpc-at-most-once diagnostic"
+}
+
+echo "== rogue-cell campaign: Byzantine-survivor sweep =="
+# Live Byzantine cells (frozen/drifting clocks, heap scribbles, babbling,
+# garbage replies, silence, contrarian votes, false accusations): survivors
+# must detect and excise every rogue, hang nowhere, and excise nobody else.
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=40 --workers="$JOBS" --faults=rogue || \
+  fail "rogue-cell sweep reported Byzantine-survivor oracle violations"
+
+echo "== healthy baseline: zero-fault sweep must see zero excisions =="
+# Same 4-cell voting geometry with no fault plan: the detection machinery's
+# sensitivity check. Any excision here is a false positive.
+baseline_log="$BUILD_DIR/healthy_baseline.log"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=20 --workers="$JOBS" \
+  --faults=none >"$baseline_log" 2>&1 || {
+  cat "$baseline_log"
+  fail "healthy-baseline sweep reported oracle violations"
+}
+grep -q " 0 excision(s)," "$baseline_log" || {
+  cat "$baseline_log"
+  fail "healthy-baseline sweep excised a cell with no fault injected"
+}
+
+echo "== no_hop_bound fixture: no-survivor-hang oracle must trip =="
+# With the survivors' chain-chase hop bound removed, a rogue cyclic chain
+# makes the prober walk thousands of hops; the sweep must fail AND name the
+# no-survivor-hang oracle. This proves the oracle detects real hangs rather
+# than passing vacuously.
+nohop_log="$BUILD_DIR/no_hop_bound_fixture.log"
+if "$CAMPAIGN" --seed="$MSG_SEED" --scenarios=10 --workers="$JOBS" \
+     --fixture=no_hop_bound >"$nohop_log" 2>&1; then
+  cat "$nohop_log"
+  fail "no_hop_bound fixture sweep passed; the no-survivor-hang oracle never tripped"
+fi
+grep -q "no-survivor-hang" "$nohop_log" || {
+  cat "$nohop_log"
+  fail "no_hop_bound fixture failed without a no-survivor-hang diagnostic"
 }
 
 echo "== hive_bench smoke: throughput harness emits valid JSON =="

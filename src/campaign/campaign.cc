@@ -24,9 +24,13 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
   gen_options.wild_write_fixture = options.wild_write_fixture;
   gen_options.no_dedup_fixture = options.no_dedup_fixture;
   gen_options.message_faults_only = options.message_faults_only;
+  gen_options.rogue_only = options.rogue_only;
+  gen_options.healthy_baseline = options.healthy_baseline;
+  gen_options.no_hop_bound_fixture = options.no_hop_bound_fixture;
 
   std::atomic<uint64_t> next_index{0};
   std::atomic<uint64_t> faults_injected{0};
+  std::atomic<uint64_t> excisions{0};
   std::mutex mutex;  // Guards report.failures and the progress hook.
 
   auto worker = [&] {
@@ -42,6 +46,8 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
         landed += flag ? 1 : 0;
       }
       faults_injected.fetch_add(landed, std::memory_order_relaxed);
+      excisions.fetch_add(static_cast<uint64_t>(result.excisions),
+                          std::memory_order_relaxed);
       if (result.violated() || options.on_result) {
         std::lock_guard<std::mutex> lock(mutex);
         if (options.on_result) {
@@ -72,6 +78,7 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
 
   report.scenarios_run = options.num_scenarios;
   report.faults_injected = faults_injected.load();
+  report.excisions = excisions.load();
   std::sort(report.failures.begin(), report.failures.end(),
             [](const CampaignFailure& a, const CampaignFailure& b) {
               return a.result.spec.index < b.result.spec.index;

@@ -34,6 +34,15 @@ struct CampaignOptions {
   // Restrict generated fault plans to message faults (the CI message-fault
   // sweep: loss + duplication + reordering + corruption).
   bool message_faults_only = false;
+  // Restrict generated fault plans to one rogue-cell fault each (the CI rogue
+  // sweep: a live Byzantine cell the survivors must detect and excise).
+  bool rogue_only = false;
+  // Rogue-sweep geometry with zero faults: the sensitivity baseline; every
+  // excision is a false positive the no-false-excision oracle must flag.
+  bool healthy_baseline = false;
+  // Rogue fixture with the survivors' chain-chase hop bound removed: every
+  // scenario is expected to trip the no-survivor-hang oracle.
+  bool no_hop_bound_fixture = false;
   // Minimize each violating scenario after the sweep.
   bool minimize = true;
   int max_minimize_runs = 64;
@@ -53,6 +62,7 @@ struct CampaignFailure {
 struct CampaignReport {
   uint64_t scenarios_run = 0;
   uint64_t faults_injected = 0;
+  uint64_t excisions = 0;  // Cells confirmed failed by agreement, summed.
   // Violating scenarios, sorted by index (deterministic across worker
   // counts and interleavings).
   std::vector<CampaignFailure> failures;

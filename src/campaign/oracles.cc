@@ -84,6 +84,10 @@ void CheckContainmentAndDetection(const OracleInput& input,
       case FaultKind::kMessageFaults:
         // The reliable transport must ride out message faults; nobody dies.
         break;
+      case FaultKind::kRogueCell:
+        // The survivors must detect the Byzantine cell and excise it.
+        must_die[victim] = true;
+        break;
     }
   }
 
@@ -436,6 +440,109 @@ void CheckQuarantineImpliesHint(const OracleInput& input,
   }
 }
 
+// A rogue cell (alive but Byzantine) must be detected and excised within the
+// detection bound of its injection: every misbehaviour axis has a detector
+// whose latency is far below the grace window (clock stale/drift windows,
+// structure-prober cadence, heartbeat retries, babble throttle, accusation
+// strikes).
+void CheckRogueDetection(const OracleInput& input, std::vector<OracleViolation>* out) {
+  const ScenarioSpec& spec = *input.spec;
+  HiveSystem& sys = *input.system;
+  for (size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& fault = spec.faults[i];
+    if (fault.kind != FaultKind::kRogueCell ||
+        (i < input.injected.size() && !input.injected[i])) {
+      continue;
+    }
+    if (!sys.CellConfirmedFailed(fault.victim)) {
+      std::ostringstream detail;
+      detail << "rogue cell " << fault.victim << " (axes "
+             << RogueAxesToString(fault.rogue_axes) << ") was never excised";
+      Add(out, "rogue-detected", detail.str());
+      continue;
+    }
+    // Excision time: the kCellExcised record the survivors traced. The rogue
+    // itself may carry no such record (it is dead by then).
+    Time excised_at = -1;
+    for (CellId c = 0; c < spec.num_cells; ++c) {
+      for (const TraceRecord& record : sys.cell(c).trace().Snapshot()) {
+        if (record.event == TraceEvent::kCellExcised &&
+            record.arg0 == static_cast<uint64_t>(fault.victim)) {
+          excised_at = excised_at < 0 ? record.when : std::min(excised_at, record.when);
+        }
+      }
+    }
+    if (excised_at >= 0 && excised_at - fault.inject_at > kDetectionGraceNs) {
+      std::ostringstream detail;
+      detail << "rogue cell " << fault.victim << " excised only at t="
+             << excised_at / hive::kMillisecond << "ms, "
+             << (excised_at - fault.inject_at) / hive::kMillisecond
+             << "ms after injection (bound " << kDetectionGraceNs / hive::kMillisecond
+             << "ms)";
+      Add(out, "rogue-detected", detail.str());
+    }
+  }
+}
+
+// Survivors must never hang while inspecting a rogue's memory: every remote
+// structure traversal stays within a sane hop bound and no agreement round
+// consumes unbounded time (a mute voter costs one vote timeout, a cyclic
+// chain is cut by the hop bound / cycle detection).
+void CheckNoSurvivorHang(const OracleInput& input, std::vector<OracleViolation>* out) {
+  const ScenarioSpec& spec = *input.spec;
+  if (!spec.rogue_only && !spec.healthy_baseline) {
+    return;
+  }
+  constexpr int kMaxSaneHops = 64;
+  constexpr Time kMaxRoundCostNs = 100 * hive::kMillisecond;
+  HiveSystem& sys = *input.system;
+  for (CellId c : sys.LiveCells()) {
+    const int hops = sys.cell(c).detector().max_traversal_hops();
+    if (hops > kMaxSaneHops) {
+      std::ostringstream detail;
+      detail << "cell " << c << " walked a remote structure for " << hops
+             << " hops (bound " << kMaxSaneHops << "): survivor hung on rogue memory";
+      Add(out, "no-survivor-hang", detail.str());
+    }
+  }
+  if (sys.agreement().max_round_cost_ns() > kMaxRoundCostNs) {
+    std::ostringstream detail;
+    detail << "an agreement round consumed "
+           << sys.agreement().max_round_cost_ns() / hive::kMillisecond
+           << "ms (bound " << kMaxRoundCostNs / hive::kMillisecond << "ms)";
+    Add(out, "no-survivor-hang", detail.str());
+  }
+}
+
+// No healthy cell may ever be excised: in rogue scenarios only the rogue may
+// be confirmed failed, and in the healthy baseline (same geometry, same
+// detectors, zero faults) there must be no excision at all -- the sensitivity
+// proof that the hardened detectors do not false-positive.
+void CheckNoFalseExcision(const OracleInput& input, std::vector<OracleViolation>* out) {
+  const ScenarioSpec& spec = *input.spec;
+  if (!spec.rogue_only && !spec.healthy_baseline) {
+    return;
+  }
+  HiveSystem& sys = *input.system;
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    if (!sys.CellConfirmedFailed(c)) {
+      continue;
+    }
+    bool is_rogue = false;
+    for (size_t i = 0; i < spec.faults.size(); ++i) {
+      is_rogue = is_rogue || (spec.faults[i].kind == FaultKind::kRogueCell &&
+                              spec.faults[i].victim == c &&
+                              (i >= input.injected.size() || input.injected[i]));
+    }
+    if (!is_rogue) {
+      std::ostringstream detail;
+      detail << "healthy cell " << c << " was excised"
+             << (spec.healthy_baseline ? " in the zero-fault baseline" : "");
+      Add(out, "no-false-excision", detail.str());
+    }
+  }
+}
+
 void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation>* out) {
   HiveSystem& sys = *input.system;
   for (CellId c : sys.LiveCells()) {
@@ -466,6 +573,9 @@ std::vector<OracleViolation> CheckAllOracles(const OracleInput& input) {
   CheckRpcNoLostAck(input, &violations);
   CheckRpcLiveness(input, &violations);
   CheckQuarantineImpliesHint(input, &violations);
+  CheckRogueDetection(input, &violations);
+  CheckNoSurvivorHang(input, &violations);
+  CheckNoFalseExcision(input, &violations);
   CheckTraceConsistency(input, &violations);
   return violations;
 }

@@ -69,6 +69,10 @@ struct OracleInput {
 //   rpc-no-lost-ack       every acknowledged mutation was executed on a server
 //   rpc-liveness          message faults alone never cost a cell its life
 //   quarantine-implies-hint a quarantining cell also raised a detector hint
+//   rogue-detected        a Byzantine cell was excised within the detection bound
+//   no-survivor-hang      bounded traversal hops and agreement round cost
+//   no-false-excision     only the rogue may be confirmed failed; the healthy
+//                         baseline sees zero excisions
 //   trace-consistency     every survivor's trace shows balanced recovery events
 std::vector<OracleViolation> CheckAllOracles(const OracleInput& input);
 

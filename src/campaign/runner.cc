@@ -6,7 +6,10 @@
 
 #include "src/base/rng.h"
 #include "src/core/address_space.h"
+#include "src/core/careful_ref.h"
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
+#include "src/core/kernel_heap.h"
 #include "src/core/process.h"
 #include "src/core/rpc.h"
 #include "src/core/scheduler.h"
@@ -281,6 +284,223 @@ void ProbeIntercellRpc(const std::shared_ptr<InjectionState>& state, Time until)
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rogue-cell fault family.
+// ---------------------------------------------------------------------------
+
+// The rogue keeps flooding every peer with null requests until it is excised
+// (or the scenario window closes). Bursts are interleaved across peers so all
+// survivors cross the babble threshold nearly together and can corroborate
+// each other's kBabbling evidence from their own incoming-rate counters.
+void DriveRogueBabble(const std::shared_ptr<InjectionState>& state, CellId rogue,
+                      Time until) {
+  HiveSystem& sys = *state->sys;
+  if (!sys.CellReachable(rogue) || sys.CellConfirmedFailed(rogue)) {
+    return;
+  }
+  Cell& cell = sys.cell(rogue);
+  for (CellId peer = 0; peer < sys.num_cells(); ++peer) {
+    if (peer == rogue || !sys.CellReachable(peer)) {
+      continue;
+    }
+    for (int burst = 0; burst < 30; ++burst) {
+      if (!sys.CellReachable(rogue) || sys.CellConfirmedFailed(rogue)) {
+        return;  // Excised mid-flood by a peer's babble throttle.
+      }
+      Ctx ctx = cell.MakeCtx();
+      hive::RpcArgs args;
+      hive::RpcReply reply;
+      (void)cell.rpc().Call(ctx, peer, hive::MsgType::kNull, args, &reply);
+    }
+  }
+  if (sys.machine().Now() + kMillisecond <= until) {
+    sys.machine().events().ScheduleAfter(kMillisecond, [state, rogue, until] {
+      DriveRogueBabble(state, rogue, until);
+    });
+  }
+}
+
+// The rogue repeatedly accuses the same healthy cell. Voting refuses to kill
+// the accused both times, and the second voted-down alert turns the strike
+// counter against the rogue itself (paper section 4.3).
+void DriveRogueAccusations(const std::shared_ptr<InjectionState>& state, CellId rogue,
+                           CellId target, Time until) {
+  HiveSystem& sys = *state->sys;
+  if (!sys.CellReachable(rogue) || sys.CellConfirmedFailed(rogue)) {
+    return;
+  }
+  if (sys.CellReachable(target)) {
+    Ctx ctx = sys.cell(rogue).MakeCtx();
+    sys.HandleAlert(ctx, rogue, target, hive::HintReason::kRpcTimeout);
+  }
+  if (sys.machine().Now() + 30 * kMillisecond <= until) {
+    sys.machine().events().ScheduleAfter(30 * kMillisecond, [state, rogue, target, until] {
+      DriveRogueAccusations(state, rogue, target, until);
+    });
+  }
+}
+
+// Periodic null-RPC heartbeats between every pair of live cells (rogue-family
+// scenarios only). A mute rogue surfaces as retry exhaustion (kRpcTimeout
+// hints come from the transport itself); a garbling rogue surfaces here, when
+// a reply that must be all-zero comes back with garbage payload words.
+void DriveHeartbeats(const std::shared_ptr<InjectionState>& state, Time until) {
+  HiveSystem& sys = *state->sys;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    if (!sys.CellReachable(c) || sys.cell(c).in_recovery()) {
+      continue;
+    }
+    Cell& cell = sys.cell(c);
+    for (CellId peer = 0; peer < sys.num_cells(); ++peer) {
+      if (peer == c || !sys.CellReachable(peer) || sys.cell(peer).in_recovery()) {
+        continue;
+      }
+      Ctx ctx = cell.MakeCtx();
+      hive::RpcArgs args;
+      hive::RpcReply reply;
+      const base::Status status =
+          cell.rpc().Call(ctx, peer, hive::MsgType::kNull, args, &reply);
+      if (!status.ok()) {
+        continue;  // Timeout path already raised its own hint.
+      }
+      bool garbage = false;
+      for (uint64_t word : reply.w) {
+        garbage = garbage || word != 0;
+      }
+      if (garbage) {
+        hive::HintEvidence evidence;
+        evidence.structure = hive::EvidenceStructure::kRpcReply;
+        cell.detector().RaiseHintWithEvidence(ctx, peer,
+                                              hive::HintReason::kInvariantMismatch,
+                                              evidence);
+      }
+    }
+  }
+  if (sys.machine().Now() + 20 * kMillisecond <= until) {
+    sys.machine().events().ScheduleAfter(
+        20 * kMillisecond, [state, until] { DriveHeartbeats(state, until); });
+  }
+}
+
+// Periodic careful-reference walks of every other live cell's published probe
+// structures (bounded chain chase + seqlock read). Corruption planted by a
+// rogue surfaces here as a kCarefulCheckFailed hint with structural evidence
+// that agreement voters re-walk themselves. In the no-hop-bound fixture the
+// chase runs with the bound effectively removed and cycle detection off, so a
+// cyclic chain racks up the hop count the no-survivor-hang oracle flags.
+void ProbeRemoteStructures(const std::shared_ptr<InjectionState>& state, Time until) {
+  HiveSystem& sys = *state->sys;
+  const bool no_hop_bound = state->spec->disable_hop_bound;
+  const int max_hops = no_hop_bound ? 4096 : 16;
+  for (CellId c = 0; c < sys.num_cells(); ++c) {
+    if (!sys.CellReachable(c) || sys.cell(c).in_recovery()) {
+      continue;
+    }
+    Cell& prober = sys.cell(c);
+    for (CellId peer = 0; peer < sys.num_cells(); ++peer) {
+      if (peer == c || !sys.CellReachable(peer) || sys.cell(peer).in_recovery()) {
+        continue;
+      }
+      Cell& suspect = sys.cell(peer);
+      const hive::PhysAddr head = suspect.chain_head_addr();
+      if (head == 0) {
+        continue;
+      }
+      Ctx ctx = prober.MakeCtx();
+      hive::CarefulRef careful(&ctx, &prober.machine().mem(), prober.costs(), peer,
+                               suspect.mem_base(), suspect.mem_size());
+      auto walk = careful.ChaseChain(head, hive::kTagChainNode, max_hops,
+                                     /*detect_cycles=*/!no_hop_bound);
+      prober.detector().NoteTraversal(careful.last_chain_hops());
+      if (!walk.ok()) {
+        hive::HintEvidence evidence;
+        evidence.structure = hive::EvidenceStructure::kChain;
+        evidence.structure_addr = head;
+        prober.detector().RaiseHintWithEvidence(
+            ctx, peer, hive::HintReason::kCarefulCheckFailed, evidence);
+        continue;
+      }
+      const hive::PhysAddr block = suspect.seq_block_addr();
+      if (block == 0) {
+        continue;
+      }
+      auto snap = careful.ReadSeqlocked(block, hive::kTagSeqBlock, /*max_retries=*/3);
+      if (!snap.ok() || snap->word1 != ~snap->word0) {
+        hive::HintEvidence evidence;
+        evidence.structure = hive::EvidenceStructure::kSeqBlock;
+        evidence.structure_addr = block;
+        prober.detector().RaiseHintWithEvidence(
+            ctx, peer, hive::HintReason::kCarefulCheckFailed, evidence);
+      }
+    }
+  }
+  if (sys.machine().Now() + 15 * kMillisecond <= until) {
+    sys.machine().events().ScheduleAfter(
+        15 * kMillisecond, [state, until] { ProbeRemoteStructures(state, until); });
+  }
+}
+
+// Turns the victim Byzantine: behaviour flags for the clock / RPC / vote axes
+// and raw-path corruption of the victim's own published probe structures for
+// the heap axes (a cell's own bug scribbling its own memory -- damage to
+// others can only flow through checked reads of that memory). Babbling and
+// repeated accusations need ongoing activity, so they run as drivers.
+void InjectRogue(const std::shared_ptr<InjectionState>& state, size_t fault_index,
+                 Time drive_until) {
+  const FaultSpec& fault = state->spec->faults[fault_index];
+  HiveSystem& sys = *state->sys;
+  if (!sys.CellReachable(fault.victim)) {
+    return;
+  }
+  Cell& victim = sys.cell(fault.victim);
+  const uint32_t axes = fault.rogue_axes;
+
+  hive::RogueBehavior behavior;
+  behavior.active = true;
+  behavior.clock_freeze = (axes & kRogueClockFreeze) != 0;
+  behavior.clock_drift = (axes & kRogueClockDrift) != 0;
+  behavior.rpc_silent = (axes & kRogueRpcSilence) != 0;
+  behavior.rpc_garbage = (axes & kRogueRpcGarbage) != 0;
+  behavior.vote_contrarian = (axes & kRogueVoteContrarian) != 0;
+  behavior.garbage_seed = state->spec->seed ^ (0x90609ull << 32) ^ fault_index;
+  victim.SetRogueBehavior(behavior);
+
+  const uint32_t heap_axes =
+      kRogueHeapScribble | kRogueHeapBadPtr | kRogueHeapCycle | kRogueHeapTorn;
+  if ((axes & heap_axes) != 0) {
+    flash::FaultInjector injector(&sys.machine(),
+                                  state->spec->seed ^ (0xBADull << 32) ^ fault_index);
+    const std::vector<hive::PhysAddr>& nodes = victim.chain_node_addrs();
+    if ((axes & kRogueHeapScribble) != 0 && nodes.size() > 1) {
+      // Scribble the second node's type tag: the walk passes the head, then
+      // the careful reference protocol's tag check must refuse the node.
+      injector.CorruptTypeTag(nodes[1] - hive::KernelHeap::kHeaderSize + 4, 0xDEADBEEFu);
+    }
+    if ((axes & kRogueHeapBadPtr) != 0 && !nodes.empty()) {
+      // Bend the head's next pointer into another cell's range: the chase
+      // must refuse to follow a pointer outside the suspect's memory.
+      injector.WriteWord(nodes[0] + 8, sys.cell(fault.target).mem_base() + 64);
+    }
+    if ((axes & kRogueHeapCycle) != 0 && !nodes.empty()) {
+      injector.WriteWord(nodes.back() + 8, victim.chain_head_addr());
+    }
+    if ((axes & kRogueHeapTorn) != 0 && victim.seq_block_addr() != 0) {
+      // A writer died mid-update: odd sequence word plus a half-written
+      // payload. Generation-retry readers must give up, never spin forever.
+      injector.WriteWord(victim.seq_block_addr(), 3);
+      injector.WriteWord(victim.seq_block_addr() + 8, injector.rng().Next());
+    }
+  }
+  state->injected[fault_index] = true;
+
+  if ((axes & kRogueRpcBabble) != 0) {
+    DriveRogueBabble(state, fault.victim, drive_until);
+  }
+  if ((axes & kRogueVoteAccuse) != 0) {
+    DriveRogueAccusations(state, fault.victim, fault.target, drive_until);
+  }
+}
+
 // A buggy detector on the accuser cell raises a hint against a healthy cell.
 // Agreement (voting or the oracle) must refuse to kill the accused.
 void InjectFalseAccusation(InjectionState& state, size_t fault_index) {
@@ -339,7 +559,8 @@ uint64_t ComputeFingerprint(const ScenarioResult& result, HiveSystem& sys) {
 std::string ScenarioResult::Summary() const {
   std::ostringstream out;
   out << (violated() ? "VIOLATION" : "ok") << " " << spec.ToString()
-      << " fingerprint=0x" << std::hex << fingerprint << std::dec;
+      << " excisions=" << excisions << " fingerprint=0x" << std::hex << fingerprint
+      << std::dec;
   return out.str();
 }
 
@@ -439,7 +660,30 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
         last_inject = std::max(last_inject, fault.inject_at + fault.duration);
         probe_until = std::max(probe_until, fault.inject_at + fault.duration);
         break;
+      case FaultKind::kRogueCell: {
+        const Time drive_until = fault.inject_at + spec.settle_ns;
+        machine.events().ScheduleAt(fault.inject_at, [state, i, drive_until] {
+          InjectRogue(state, i, drive_until);
+        });
+        break;
+      }
     }
+  }
+  if (spec.rogue_only || spec.healthy_baseline) {
+    // Publish the probe structures every survivor walks, then start the
+    // heartbeat and structure probers. The healthy baseline runs the same
+    // detectors over the same structures with no fault injected, proving
+    // they raise no excision on their own (the sensitivity check).
+    for (CellId c = 0; c < spec.num_cells; ++c) {
+      sys.cell(c).PublishProbeStructures();
+    }
+    const Time drivers_until = last_inject + spec.settle_ns;
+    machine.events().ScheduleAt(10 * kMillisecond, [state, drivers_until] {
+      DriveHeartbeats(state, drivers_until);
+    });
+    machine.events().ScheduleAt(15 * kMillisecond, [state, drivers_until] {
+      ProbeRemoteStructures(state, drivers_until);
+    });
   }
   if (probe_until > 0) {
     // Keep probing a few quiet rounds past the last fault window so retry
@@ -471,6 +715,9 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
     corrupt = corrupt < 0 ? tiles : corrupt + tiles;
   }
   result.corrupt_outputs = corrupt;
+  for (CellId c = 0; c < spec.num_cells; ++c) {
+    result.excisions += sys.CellConfirmedFailed(c) ? 1 : 0;
+  }
 
   OracleInput input;
   input.spec = &spec;

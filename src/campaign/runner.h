@@ -22,6 +22,7 @@ struct ScenarioResult {
   std::vector<bool> injected;
   std::vector<OracleViolation> violations;
   int corrupt_outputs = -1;  // -1 = outputs not validated this run.
+  int excisions = 0;         // Cells confirmed failed by agreement this run.
   Time end_time = 0;         // Simulated time when the scenario finished.
   uint64_t events_run = 0;   // Simulator events executed (throughput metric).
   // FNV-1a digest of the run's observable outcome (cell states, panic

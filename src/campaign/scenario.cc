@@ -1,12 +1,33 @@
 #include "src/campaign/scenario.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/base/rng.h"
 
 namespace campaign {
 namespace {
+
+// Name table for RogueAxesToString; order matches the RogueAxis bit order so
+// the rendering is stable for repro lines and fingerprint-adjacent logs.
+struct RogueAxisEntry {
+  RogueAxis axis;
+  const char* name;
+};
+constexpr RogueAxisEntry kRogueAxisNames[] = {
+    {kRogueClockFreeze, "clock-freeze"},
+    {kRogueClockDrift, "clock-drift"},
+    {kRogueHeapScribble, "heap-scribble"},
+    {kRogueHeapBadPtr, "heap-bad-ptr"},
+    {kRogueHeapCycle, "heap-cycle"},
+    {kRogueHeapTorn, "heap-torn"},
+    {kRogueRpcBabble, "rpc-babble"},
+    {kRogueRpcGarbage, "rpc-garbage"},
+    {kRogueRpcSilence, "rpc-silence"},
+    {kRogueVoteContrarian, "vote-contrarian"},
+    {kRogueVoteAccuse, "vote-accuse"},
+};
 
 const char* CorruptionModeName(flash::PointerCorruptionMode mode) {
   switch (mode) {
@@ -58,6 +79,69 @@ FaultSpec MakeMessageFaultPlan(base::Rng& rng, int num_cells) {
   return fault;
 }
 
+// One rogue axis from the given category (0 clock, 1 heap, 2 rpc, 3 vote).
+// As a primary axis, category 3 always includes vote-accuse: a purely
+// contrarian rogue only acts when something else triggers an agreement round,
+// so on its own it would be undetectable; the repeated-accusation strike rule
+// gives the vote category a self-contained detection path. Babble and
+// silence live in the same category so they can never be combined (a mute
+// cell cannot flood anyone).
+uint32_t PickRogueAxis(base::Rng& rng, int category, bool primary) {
+  switch (category) {
+    case 0:
+      return rng.OneIn(2) ? kRogueClockFreeze : kRogueClockDrift;
+    case 1:
+      switch (rng.Below(4)) {
+        case 0:
+          return kRogueHeapScribble;
+        case 1:
+          return kRogueHeapBadPtr;
+        case 2:
+          return kRogueHeapCycle;
+        default:
+          return kRogueHeapTorn;
+      }
+    case 2:
+      switch (rng.Below(3)) {
+        case 0:
+          return kRogueRpcBabble;
+        case 1:
+          return kRogueRpcGarbage;
+        default:
+          return kRogueRpcSilence;
+      }
+    default:
+      if (primary) {
+        return kRogueVoteAccuse | (rng.OneIn(2) ? kRogueVoteContrarian : 0u);
+      }
+      return rng.OneIn(2) ? kRogueVoteContrarian : kRogueVoteAccuse;
+  }
+}
+
+// A rogue-cell plan: one victim turned Byzantine along a primary axis plus,
+// half the time, a secondary axis from a different category. The victim,
+// accusation target and injection time are drawn before the axes so the RNG
+// stream stays position-stable across axis choices.
+FaultSpec MakeRoguePlan(base::Rng& rng, int num_cells, uint32_t forced_axes) {
+  FaultSpec fault;
+  fault.kind = FaultKind::kRogueCell;
+  fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(num_cells)));
+  fault.target = static_cast<CellId>(
+      (fault.victim + 1 + rng.Below(static_cast<uint64_t>(num_cells - 1))) % num_cells);
+  fault.inject_at = (30 + static_cast<Time>(rng.Below(120))) * hive::kMillisecond;
+  if (forced_axes != 0) {
+    fault.rogue_axes = forced_axes;
+    return fault;
+  }
+  const int primary = static_cast<int>(rng.Below(4));
+  fault.rogue_axes = PickRogueAxis(rng, primary, /*primary=*/true);
+  if (rng.OneIn(2)) {
+    const int secondary = (primary + 1 + static_cast<int>(rng.Below(3))) % 4;
+    fault.rogue_axes |= PickRogueAxis(rng, secondary, /*primary=*/false);
+  }
+  return fault;
+}
+
 }  // namespace
 
 const char* WorkloadKindName(WorkloadKind kind) {
@@ -77,6 +161,9 @@ const char* WorkloadKindName(WorkloadKind kind) {
 }
 
 const char* FaultKindName(FaultKind kind) {
+  // Exhaustive: adding a FaultKind without a name is a compile error
+  // (-Werror=switch), and the trailing abort keeps the function total
+  // without a silent "unknown" bucket.
   switch (kind) {
     case FaultKind::kNodeFailure:
       return "node-failure";
@@ -88,8 +175,38 @@ const char* FaultKindName(FaultKind kind) {
       return "false-accusation";
     case FaultKind::kMessageFaults:
       return "message-faults";
+    case FaultKind::kRogueCell:
+      return "rogue-cell";
   }
-  return "unknown";
+  std::abort();
+}
+
+bool FaultKindFromName(std::string_view name, FaultKind* out) {
+  for (FaultKind kind : kAllFaultKinds) {
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RogueAxesToString(uint32_t axes) {
+  std::string out;
+  for (const RogueAxisEntry& entry : kRogueAxisNames) {
+    if ((axes & entry.axis) == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += "+";
+    }
+    out += entry.name;
+    axes &= ~static_cast<uint32_t>(entry.axis);
+  }
+  if (axes != 0) {
+    out += out.empty() ? "?" : "+?";
+  }
+  return out.empty() ? "none" : out;
 }
 
 std::string FaultSpec::ToString() const {
@@ -107,6 +224,14 @@ std::string FaultSpec::ToString() const {
     return out.str();
   }
   out << FaultKindName(kind) << " victim=" << victim;
+  if (kind == FaultKind::kRogueCell) {
+    out << " axes=" << RogueAxesToString(rogue_axes);
+    if ((rogue_axes & kRogueVoteAccuse) != 0) {
+      out << " target=" << target;
+    }
+    out << " t=" << inject_at / hive::kMillisecond << "ms";
+    return out.str();
+  }
   if (kind == FaultKind::kWildWrite || kind == FaultKind::kFalseAccusation) {
     out << " target=" << target;
   }
@@ -146,6 +271,12 @@ std::string ScenarioSpec::ToString() const {
   if (disable_firewall) {
     out << " FIREWALL-OFF";
   }
+  if (disable_hop_bound) {
+    out << " HOP-BOUND-OFF";
+  }
+  if (healthy_baseline) {
+    out << " baseline";
+  }
   out << " faults=[";
   for (size_t i = 0; i < faults.size(); ++i) {
     out << (i > 0 ? "; " : "") << faults[i].ToString();
@@ -162,8 +293,14 @@ std::string ScenarioSpec::ReproLine() const {
   }
   if (disable_rpc_dedup) {
     out << " --fixture=no_dedup";
+  } else if (disable_hop_bound) {
+    out << " --fixture=no_hop_bound";
   } else if (message_faults_only) {
     out << " --faults=message";
+  } else if (rogue_only) {
+    out << " --faults=rogue";
+  } else if (healthy_baseline) {
+    out << " --faults=none";
   }
   return out.str();
 }
@@ -258,6 +395,33 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
                                                          const FaultSpec& b) {
       return a.inject_at < b.inject_at;
     });
+    return spec;
+  }
+
+  if (options.rogue_only || options.healthy_baseline || options.no_hop_bound_fixture) {
+    // Rogue-family geometry: four cells so three honest voters always outvote
+    // the rogue, real voting (an oracle consulting ground truth would
+    // trivialise Byzantine detection), and no reintegration (the excision
+    // verdict must stand for the oracles to inspect).
+    spec.num_cells = 4;
+    spec.agreement_mode = hive::AgreementMode::kVoting;
+    spec.auto_reintegrate = false;
+    if (options.healthy_baseline) {
+      // Sensitivity baseline: identical geometry and workload, zero faults.
+      // The hardened detectors must raise no excision at all.
+      spec.healthy_baseline = true;
+      return spec;
+    }
+    spec.rogue_only = true;
+    uint32_t forced_axes = 0;
+    if (options.no_hop_bound_fixture) {
+      // Fixture: a cyclic chain with the survivors' hop bound removed is
+      // exactly the hang the bound exists to prevent; the no-survivor-hang
+      // oracle must flag it.
+      spec.disable_hop_bound = true;
+      forced_axes = kRogueHeapCycle;
+    }
+    spec.faults.push_back(MakeRoguePlan(rng, spec.num_cells, forced_axes));
     return spec;
   }
 

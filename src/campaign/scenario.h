@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/agreement.h"
@@ -52,9 +53,46 @@ enum class FaultKind {
   // flash::MessageFaultPlan). No cell may die from message faults alone:
   // the reliable RPC transport must ride them out.
   kMessageFaults,
+  // The victim cell stays alive but turns Byzantine along the axes in
+  // `rogue_axes` (clock misbehaviour, kernel-heap corruption of its published
+  // probe structures, RPC babbling/garbage/silence, contrarian votes or
+  // repeated false accusations). The survivors must detect and excise the
+  // rogue within the detection bound without hanging and without excising any
+  // healthy cell.
+  kRogueCell,
 };
 
 const char* FaultKindName(FaultKind kind);
+// Inverse of FaultKindName; returns false for unknown names.
+bool FaultKindFromName(std::string_view name, FaultKind* out);
+
+// Every FaultKind, for exhaustive round-trip tests and sweeps.
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kNodeFailure,     FaultKind::kAddrMapCorruption,
+    FaultKind::kWildWrite,       FaultKind::kFalseAccusation,
+    FaultKind::kMessageFaults,   FaultKind::kRogueCell,
+};
+
+// Orthogonal misbehaviour axes for FaultKind::kRogueCell, combined as a
+// bitmask in FaultSpec::rogue_axes. Axes come from four categories (clock,
+// heap, rpc, agreement); the generator picks one primary axis and at most one
+// secondary axis from a different category.
+enum RogueAxis : uint32_t {
+  kRogueClockFreeze = 1u << 0,     // Clock word stops advancing.
+  kRogueClockDrift = 1u << 1,      // Clock advances at half rate.
+  kRogueHeapScribble = 1u << 2,    // Type tag of a published node scribbled.
+  kRogueHeapBadPtr = 1u << 3,      // Chain next pointer sent out of range.
+  kRogueHeapCycle = 1u << 4,       // Chain next pointer bent back to the head.
+  kRogueHeapTorn = 1u << 5,        // Seqlock block torn mid-update (odd seq).
+  kRogueRpcBabble = 1u << 6,       // Floods peers with requests.
+  kRogueRpcGarbage = 1u << 7,      // Replies carry garbage payload words.
+  kRogueRpcSilence = 1u << 8,      // Drops every incoming request, even pings.
+  kRogueVoteContrarian = 1u << 9,  // Votes the opposite of its observation.
+  kRogueVoteAccuse = 1u << 10,     // Repeatedly accuses a healthy cell.
+};
+
+// "clock-freeze+rpc-babble" style rendering of an axis mask.
+std::string RogueAxesToString(uint32_t axes);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kNodeFailure;
@@ -71,6 +109,10 @@ struct FaultSpec {
   uint32_t delay_pm = 0;
   uint32_t corrupt_pm = 0;
   Time duration = 0;
+
+  // kRogueCell only: bitmask of RogueAxis values. For kRogueVoteAccuse,
+  // `target` names the healthy cell the rogue keeps accusing.
+  uint32_t rogue_axes = 0;
 
   std::string ToString() const;
 };
@@ -95,6 +137,16 @@ struct ScenarioSpec {
   // Generated by the message-fault-only sweep (--faults=message): the fault
   // plan contains only kMessageFaults entries.
   bool message_faults_only = false;
+  // Generated by the rogue-cell sweep (--faults=rogue): exactly one
+  // kRogueCell fault, four cells, real voting, no reintegration.
+  bool rogue_only = false;
+  // Healthy baseline (--faults=none): rogue-sweep geometry with an empty
+  // fault plan; the no-false-excision oracle must see zero excisions.
+  bool healthy_baseline = false;
+  // No-hop-bound fixture: survivors chase remote chains with the hop bound
+  // effectively removed and cycle detection off, so a cyclic rogue chain
+  // must trip the no-survivor-hang oracle.
+  bool disable_hop_bound = false;
 
   std::vector<FaultSpec> faults;  // Sorted by inject_at.
 
@@ -127,6 +179,15 @@ struct GeneratorOptions {
   // Restrict the fault plan to kMessageFaults (the CI message-fault sweep:
   // loss + duplication + reordering + corruption with the transport intact).
   bool message_faults_only = false;
+  // Restrict the fault plan to exactly one kRogueCell fault (the CI rogue
+  // sweep: a live Byzantine cell the survivors must detect and excise).
+  bool rogue_only = false;
+  // Rogue-sweep geometry with zero faults: the sensitivity baseline proving
+  // the hardened detectors never excise a healthy cell.
+  bool healthy_baseline = false;
+  // Rogue fixture: force a cyclic-chain rogue and disable the survivors' hop
+  // bound, so the no-survivor-hang oracle must flag the scenario.
+  bool no_hop_bound_fixture = false;
 };
 
 // Generates scenario `index` of the campaign rooted at `master_seed`.

@@ -51,10 +51,20 @@ class Agreement {
 
   uint64_t rounds_run() const { return rounds_run_; }
   uint64_t false_alerts() const { return false_alerts_; }
+  uint64_t vote_timeouts() const { return vote_timeouts_; }
+  // Most expensive round so far; the no-survivor-hang oracle bounds it.
+  Time max_round_cost_ns() const { return max_round_cost_ns_; }
 
  private:
   // One cell's independent probe of the suspect: true = "I think it failed".
   bool ProbeSuspect(Ctx& ctx, CellId prober, CellId suspect);
+
+  // Evidence-aware probe: the prober re-runs the accuser's failed check
+  // itself (re-reads the clock word, re-walks the probe chain, checks its
+  // own incoming-request rate) instead of trusting either the accuser or a
+  // rogue suspect that still answers pings. True = "evidence corroborated".
+  bool CorroborateEvidence(Ctx& ctx, CellId prober, CellId suspect,
+                           const HintEvidence& evidence);
 
   HiveSystem* system_;
   AgreementMode mode_;
@@ -62,6 +72,8 @@ class Agreement {
   std::unordered_map<uint64_t, int> strikes_;
   uint64_t rounds_run_ = 0;
   uint64_t false_alerts_ = 0;
+  uint64_t vote_timeouts_ = 0;
+  Time max_round_cost_ns_ = 0;
 };
 
 }  // namespace hive

@@ -69,6 +69,70 @@ base::Status CarefulRef::CheckTag(PhysAddr payload, uint32_t expected_tag) {
   return base::OkStatus();
 }
 
+base::Result<ChainWalk> CarefulRef::ChaseChain(PhysAddr head, uint32_t expected_tag,
+                                               int max_hops, bool detect_cycles) {
+  ChainWalk walk;
+  last_chain_hops_ = 0;
+  std::vector<PhysAddr> visited;
+  PhysAddr node = head;
+  while (node != 0) {
+    if (walk.hops >= max_hops) {
+      // Hop bound exhausted: a rogue peer may have grown (or looped) the
+      // chain; return a Status instead of chasing it forever.
+      return base::ResourceExhausted();
+    }
+    if (detect_cycles) {
+      for (PhysAddr seen : visited) {
+        if (seen == node) {
+          return base::BadRemoteData();
+        }
+      }
+      visited.push_back(node);
+    }
+    // Copy the node out word-by-word (RemoteChainNode layout: value, next);
+    // the bus only transfers naturally aligned power-of-two sizes.
+    RETURN_IF_ERROR_RESULT(CheckTag(node, expected_tag));
+    ASSIGN_OR_RETURN(const uint64_t value, Read<uint64_t>(node));
+    ASSIGN_OR_RETURN(const uint64_t next, Read<uint64_t>(node + 8));
+    ++walk.hops;
+    last_chain_hops_ = walk.hops;
+    walk.values.push_back(value);
+    node = next;
+  }
+  return walk;
+}
+
+base::Result<SeqSnapshot> CarefulRef::ReadSeqlocked(PhysAddr block, uint32_t expected_tag,
+                                                    int max_retries) {
+  SeqSnapshot snapshot;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0 && retry_hook_) {
+      retry_hook_(attempt);
+    }
+    // Word-by-word copy-out (RemoteSeqBlock layout: seq, word0, word1).
+    RETURN_IF_ERROR_RESULT(CheckTag(block, expected_tag));
+    ASSIGN_OR_RETURN(const uint64_t seq_before, Read<uint64_t>(block));
+    if (seq_before % 2 != 0) {
+      // Writer mid-update: the payload words may be torn; retry.
+      snapshot.retries = attempt + 1;
+      continue;
+    }
+    ASSIGN_OR_RETURN(snapshot.word0, Read<uint64_t>(block + 8));
+    ASSIGN_OR_RETURN(snapshot.word1, Read<uint64_t>(block + 16));
+    // Re-read the sequence word: if it moved, the copy above may mix old and
+    // new halves and must be discarded.
+    ASSIGN_OR_RETURN(const uint64_t after, Read<uint64_t>(block));
+    if (after != seq_before) {
+      snapshot.retries = attempt + 1;
+      continue;
+    }
+    snapshot.retries = attempt;
+    return snapshot;
+  }
+  // Persistently torn across every retry: treat as corrupt remote data.
+  return base::BadRemoteData();
+}
+
 base::Status CarefulRef::ReadBytes(PhysAddr addr, std::span<uint8_t> out) {
   RETURN_IF_ERROR(CheckAddr(addr, out.size(), 1));
   ChargeAccessAt(addr, out.size());

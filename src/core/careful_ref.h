@@ -21,7 +21,9 @@
 #ifndef HIVE_SRC_CORE_CAREFUL_REF_H_
 #define HIVE_SRC_CORE_CAREFUL_REF_H_
 
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/core/context.h"
@@ -31,6 +33,36 @@
 #include "src/flash/phys_mem.h"
 
 namespace hive {
+
+// Layout of a remote singly linked chain node walked by ChaseChain. Published
+// as a tagged kernel-heap allocation; `next` is the physical address of the
+// next node's payload, 0 terminates.
+struct RemoteChainNode {
+  uint64_t value = 0;
+  PhysAddr next = 0;
+};
+
+// Layout of a remote seqlock-published block read by ReadSeqlocked. The
+// writer increments `seq` to odd before updating the payload words and to
+// even after; a reader that observes an odd or changed `seq` retries.
+struct RemoteSeqBlock {
+  uint64_t seq = 0;
+  uint64_t word0 = 0;
+  uint64_t word1 = 0;
+};
+
+// Result of a bounded chain walk: copied-out node values, hop count.
+struct ChainWalk {
+  std::vector<uint64_t> values;
+  int hops = 0;
+};
+
+// Consistent two-word snapshot extracted from a RemoteSeqBlock.
+struct SeqSnapshot {
+  uint64_t word0 = 0;
+  uint64_t word1 = 0;
+  int retries = 0;
+};
 
 class CarefulRef {
  public:
@@ -75,6 +107,35 @@ class CarefulRef {
 
   base::Status ReadBytes(PhysAddr addr, std::span<uint8_t> out);
 
+  // Bounded pointer chase over a remote chain of RemoteChainNode allocations
+  // tagged `expected_tag`. Every hop revalidates address range, alignment and
+  // type tag; visiting a payload address twice fails with kBadRemoteData
+  // (cycle), and exceeding `max_hops` fails with kResourceExhausted rather
+  // than looping — a rogue peer can corrupt its own structures but cannot
+  // make the reader hang. `detect_cycles` exists only so the campaign's
+  // no_hop_bound fixture can demonstrate the no-survivor-hang oracle firing.
+  base::Result<ChainWalk> ChaseChain(PhysAddr head, uint32_t expected_tag, int max_hops,
+                                     bool detect_cycles = true);
+
+  // Seqlock-style generation-retry read of a RemoteSeqBlock tagged
+  // `expected_tag`: the payload words are only returned when the sequence
+  // word is even and unchanged across the copy-out. Retries a torn snapshot
+  // up to `max_retries` times, then fails with kBadRemoteData (the structure
+  // is persistently torn — a writer died or went rogue mid-update).
+  base::Result<SeqSnapshot> ReadSeqlocked(PhysAddr block, uint32_t expected_tag,
+                                          int max_retries);
+
+  // Hop count of the most recent ChaseChain, including the failed attempt
+  // paths; lets callers account bounded work for the no-survivor-hang oracle.
+  int last_chain_hops() const { return last_chain_hops_; }
+
+  // Test seam: the simulator is synchronous, so a torn write can never
+  // complete "concurrently" with a retry loop. Tests install a hook that runs
+  // between seqlock attempts (argument = retries so far) to finish the write.
+  void set_retry_hook_for_test(std::function<void(int)> hook) {
+    retry_hook_ = std::move(hook);
+  }
+
   bool bus_error_seen() const { return bus_error_seen_; }
 
  private:
@@ -89,6 +150,8 @@ class CarefulRef {
   PhysAddr range_base_;
   uint64_t range_size_;
   bool bus_error_seen_ = false;
+  int last_chain_hops_ = 0;
+  std::function<void(int)> retry_hook_;
   // Last 128-byte line touched: repeated accesses to the same line (e.g. an
   // allocation tag followed by the adjacent payload) cost no extra miss.
   uint64_t last_line_ = ~0ull;

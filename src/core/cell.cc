@@ -63,6 +63,12 @@ void Cell::Boot() {
   panic_reason_.clear();
   in_recovery_ = false;
   user_suspended_until_ = 0;
+  clock_ticks_ = 0;
+  rogue_ = RogueBehavior{};
+  rogue_garbage_state_ = 0;
+  chain_head_addr_ = 0;
+  chain_node_addrs_.clear();
+  seq_block_addr_ = 0;
 
   // Kernel heap at the bottom of the cell's first node.
   heap_ = std::make_unique<KernelHeap>(&machine().mem(), FirstCpu(), mem_base_,
@@ -273,13 +279,23 @@ void Cell::ClockTick() {
   }
 
   Ctx ctx = MakeCtx(0);
-  try {
-    const uint64_t value = heap_->Read<uint64_t>(clock_word_addr_);
-    heap_->Write<uint64_t>(clock_word_addr_, value + 1);
-    // hive-lint: allow(R3): bus error outside a careful section panics this kernel (paper 4.1) -- the required conversion IS the panic.
-  } catch (const flash::BusError& e) {
-    Panic(std::string("bus error updating own clock: ") + e.what());
-    return;
+  ++clock_ticks_;
+  // Rogue clock axes: a frozen clock word never advances (caught by the
+  // peer's stale check); a drifting one advances at a fraction of the tick
+  // rate (caught by the peer's drift window).
+  const bool skip_increment =
+      rogue_.active && (rogue_.clock_freeze ||
+                        (rogue_.clock_drift &&
+                         clock_ticks_ % static_cast<uint64_t>(rogue_.clock_drift_divisor) != 0));
+  if (!skip_increment) {
+    try {
+      const uint64_t value = heap_->Read<uint64_t>(clock_word_addr_);
+      heap_->Write<uint64_t>(clock_word_addr_, value + 1);
+      // hive-lint: allow(R3): bus error outside a careful section panics this kernel (paper 4.1) -- the required conversion IS the panic.
+    } catch (const flash::BusError& e) {
+      Panic(std::string("bus error updating own clock: ") + e.what());
+      return;
+    }
   }
 
   if (!system_->smp_mode() && system_->num_cells() > 1) {
@@ -288,6 +304,54 @@ void Cell::ClockTick() {
   if (state_ == CellState::kRunning) {
     StartClock();
   }
+}
+
+void Cell::SetRogueBehavior(const RogueBehavior& behavior) {
+  rogue_ = behavior;
+  // SplitMix64-style state for the garbage stream; never zero so the first
+  // scribble is already non-trivial.
+  rogue_garbage_state_ = behavior.garbage_seed | 1;
+}
+
+uint64_t Cell::NextRogueGarbage() {
+  // SplitMix64: deterministic per-cell scribble stream.
+  uint64_t z = (rogue_garbage_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void Cell::PublishProbeStructures() {
+  if (chain_head_addr_ != 0 || state_ != CellState::kRunning) {
+    return;
+  }
+  // A short chain of tagged {value, next} nodes; survivors walk it with
+  // CarefulRef::ChaseChain. Values are a deterministic function of the cell
+  // id so a consistent walk is recognizable.
+  constexpr int kChainLen = 4;
+  for (int i = 0; i < kChainLen; ++i) {
+    auto node = heap_->Alloc(kTagChainNode, 2 * sizeof(uint64_t));
+    CHECK(node.ok());
+    chain_node_addrs_.push_back(*node);
+  }
+  for (int i = 0; i < kChainLen; ++i) {
+    const PhysAddr addr = chain_node_addrs_[static_cast<size_t>(i)];
+    heap_->Write<uint64_t>(addr, (static_cast<uint64_t>(id_) << 8) | static_cast<uint64_t>(i));
+    const PhysAddr next =
+        i + 1 < kChainLen ? chain_node_addrs_[static_cast<size_t>(i + 1)] : 0;
+    heap_->Write<uint64_t>(addr + 8, next);
+  }
+  chain_head_addr_ = chain_node_addrs_.front();
+
+  // A seqlock block {seq, word0, word1} with word1 == ~word0 as the
+  // consistency invariant; survivors read it with CarefulRef::ReadSeqlocked.
+  auto block = heap_->Alloc(kTagSeqBlock, 3 * sizeof(uint64_t));
+  CHECK(block.ok());
+  seq_block_addr_ = *block;
+  const uint64_t word0 = 0x5EED000000000000ull | static_cast<uint64_t>(id_);
+  heap_->Write<uint64_t>(seq_block_addr_, 2);  // Even: no update in progress.
+  heap_->Write<uint64_t>(seq_block_addr_ + 8, word0);
+  heap_->Write<uint64_t>(seq_block_addr_ + 16, ~word0);
 }
 
 void Cell::SuspendUsersUntil(Time t) {

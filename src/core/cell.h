@@ -40,6 +40,21 @@ enum class CellState {
   kRebooting,  // Undergoing diagnostics + reboot.
 };
 
+// Byzantine misbehavior knobs for the campaign's rogue-cell fault family
+// (DESIGN.md section 9). A rogue cell stays kRunning but misbehaves along
+// the enabled axes; survivors must detect and excise it via the hardened
+// detection paths. Cleared on (re)boot.
+struct RogueBehavior {
+  bool active = false;
+  bool clock_freeze = false;    // Stop incrementing the monitored clock word.
+  bool clock_drift = false;     // Increment only every clock_drift_divisor-th tick.
+  int clock_drift_divisor = 2;  // 2 => half rate: below stale threshold, caught by drift.
+  bool rpc_silent = false;      // Drop every incoming RPC; votes time out.
+  bool rpc_garbage = false;     // Scribble reply payloads of served requests.
+  bool vote_contrarian = false; // Invert this cell's probe votes in agreement rounds.
+  uint64_t garbage_seed = 0;    // Deterministic stream for reply scribbles.
+};
+
 // Per-cell VM statistics for the section 5.2 measurement.
 struct VmStats {
   uint64_t faults = 0;          // Page faults entering the kernel fault path.
@@ -104,6 +119,22 @@ class Cell {
   uint64_t ReadOwnClock() const;
   void StartClock();
 
+  // --- Rogue (Byzantine) fault-injection state. ---
+  const RogueBehavior& rogue() const { return rogue_; }
+  bool rogue_active() const { return rogue_.active; }
+  void SetRogueBehavior(const RogueBehavior& behavior);
+  // Next word of the deterministic garbage stream used for reply scribbles.
+  uint64_t NextRogueGarbage();
+
+  // Publishes the remotely probed structures (a tagged pointer chain and a
+  // tagged seqlock block) survivors walk to health-check this cell.
+  // Idempotent, and allocated lazily -- NOT at Boot() -- so healthy runs keep
+  // a byte-identical kernel heap layout.
+  void PublishProbeStructures();
+  PhysAddr chain_head_addr() const { return chain_head_addr_; }
+  const std::vector<PhysAddr>& chain_node_addrs() const { return chain_node_addrs_; }
+  PhysAddr seq_block_addr() const { return seq_block_addr_; }
+
   // --- Subsystems. ---
   KernelHeap& heap() { return *heap_; }
   RpcLayer& rpc() { return *rpc_; }
@@ -157,6 +188,13 @@ class Cell {
 
   PhysAddr clock_word_addr_ = 0;
   flash::EventId clock_event_ = flash::kInvalidEventId;
+  uint64_t clock_ticks_ = 0;
+
+  RogueBehavior rogue_;
+  uint64_t rogue_garbage_state_ = 0;
+  PhysAddr chain_head_addr_ = 0;
+  std::vector<PhysAddr> chain_node_addrs_;
+  PhysAddr seq_block_addr_ = 0;
 
   std::unique_ptr<KernelHeap> heap_;
   std::unique_ptr<RpcLayer> rpc_;

@@ -1,13 +1,18 @@
 #include "src/core/failure_detection.h"
 
+#include <cstdlib>
+
 #include "src/base/log.h"
 #include "src/core/careful_ref.h"
 #include "src/core/cell.h"
 #include "src/core/hive_system.h"
+#include "src/core/rpc.h"
 
 namespace hive {
 
 const char* HintReasonName(HintReason reason) {
+  // Exhaustive: no default, so adding an enumerator without a name is a
+  // compile error (-Wswitch) instead of a silent "unknown" in repro lines.
   switch (reason) {
     case HintReason::kRpcTimeout:
       return "rpc-timeout";
@@ -19,8 +24,22 @@ const char* HintReasonName(HintReason reason) {
       return "careful-check-failed";
     case HintReason::kInvariantMismatch:
       return "invariant-mismatch";
+    case HintReason::kClockDrift:
+      return "clock-drift";
+    case HintReason::kBabbling:
+      return "babbling";
   }
-  return "unknown";
+  std::abort();  // Unreachable for in-range enumerators.
+}
+
+bool HintReasonFromName(std::string_view name, HintReason* out) {
+  for (HintReason reason : kAllHintReasons) {
+    if (name == HintReasonName(reason)) {
+      *out = reason;
+      return true;
+    }
+  }
+  return false;
 }
 
 FailureDetector::FailureDetector(Cell* cell) : cell_(cell) {}
@@ -53,10 +72,18 @@ void FailureDetector::MonitorPeerClock(Ctx& ctx) {
                        peer_cell.mem_base(), peer_cell.mem_size());
     auto read = careful.ReadTagged<uint64_t>(peer_cell.clock_word_addr(), kTagClockWord);
     if (!read.ok()) {
-      RaiseHint(ctx, peer,
-                read.status().code() == base::StatusCode::kBusError
-                    ? HintReason::kBusError
-                    : HintReason::kCarefulCheckFailed);
+      if (read.status().code() == base::StatusCode::kBusError) {
+        // Memory unreachable: the classic dead-cell signature, no evidence
+        // needed -- every voter's own probe fails the same way.
+        RaiseHint(ctx, peer, HintReason::kBusError);
+      } else {
+        // The clock word is readable but its allocation header no longer
+        // carries the expected tag: a live peer scribbled its own heap.
+        // Attach evidence so voters re-run the tag check themselves.
+        HintEvidence evidence;
+        evidence.structure = EvidenceStructure::kClockWord;
+        RaiseHintWithEvidence(ctx, peer, HintReason::kCarefulCheckFailed, evidence);
+      }
       return;
     }
     value = *read;
@@ -66,20 +93,62 @@ void FailureDetector::MonitorPeerClock(Ctx& ctx) {
   if (last != last_seen_clock_.end() && last->second == value) {
     if (++stale_ticks_[peer] >= cell_->costs().clock_missed_ticks_threshold) {
       stale_ticks_[peer] = 0;
-      RaiseHint(ctx, peer, HintReason::kClockStale);
+      drift_.erase(peer);  // A frozen clock is the stale check's finding.
+      HintEvidence evidence;
+      evidence.structure = EvidenceStructure::kClockWord;
+      evidence.clock_value = value;
+      RaiseHintWithEvidence(ctx, peer, HintReason::kClockStale, evidence);
       return;
     }
   } else {
     stale_ticks_[peer] = 0;
   }
   last_seen_clock_[peer] = value;
+
+  // Drift window: a clock that keeps moving -- so the stale check never
+  // fires -- but advances well below one increment per monitoring tick marks
+  // a sick peer (run-away interrupt load, or a rogue cell feigning life).
+  DriftWindow& window = drift_[peer];
+  ++window.ticks;
+  if (window.ticks == 1) {
+    window.start_value = value;
+    return;
+  }
+  if (window.ticks < kDriftWindowTicks) {
+    return;
+  }
+  const uint64_t advance = value - window.start_value;
+  const int intervals = window.ticks - 1;
+  drift_.erase(peer);  // Restart the window either way.
+  if (advance > 0 && advance * 4 < static_cast<uint64_t>(intervals) * 3) {
+    HintEvidence evidence;
+    evidence.structure = EvidenceStructure::kClockWord;
+    evidence.clock_value = value - advance;  // Window start value.
+    evidence.ticks_observed = intervals;
+    RaiseHintWithEvidence(ctx, peer, HintReason::kClockDrift, evidence);
+  }
 }
 
 void FailureDetector::RaiseHint(Ctx& ctx, CellId suspect, HintReason reason) {
+  evidence_.erase(suspect);  // No evidence accompanies this hint.
+  RaiseHintCommon(ctx, suspect, reason);
+}
+
+void FailureDetector::RaiseHintWithEvidence(Ctx& ctx, CellId suspect, HintReason reason,
+                                            const HintEvidence& evidence) {
+  HintEvidence& stored = evidence_[suspect];
+  stored = evidence;
+  stored.valid = true;
+  stored.reason = reason;
+  RaiseHintCommon(ctx, suspect, reason);
+}
+
+void FailureDetector::RaiseHintCommon(Ctx& ctx, CellId suspect, HintReason reason) {
   if (cell_->system()->smp_mode() || suspect == cell_->id()) {
     return;
   }
   ++hints_raised_;
+  ++hints_by_reason_[static_cast<int>(reason)];
   cell_->Trace(TraceEvent::kHintRaised, static_cast<uint64_t>(suspect),
                static_cast<uint64_t>(reason));
   LOG(kDebug) << "cell " << cell_->id() << " raises hint against cell " << suspect << " ("
@@ -87,9 +156,54 @@ void FailureDetector::RaiseHint(Ctx& ctx, CellId suspect, HintReason reason) {
   cell_->system()->HandleAlert(ctx, cell_->id(), suspect, reason);
 }
 
+const HintEvidence& FailureDetector::EvidenceAgainst(CellId suspect) const {
+  static const HintEvidence kNoEvidence;
+  auto it = evidence_.find(suspect);
+  return it == evidence_.end() ? kNoEvidence : it->second;
+}
+
+void FailureDetector::ClearEvidence(CellId suspect) { evidence_.erase(suspect); }
+
+bool FailureDetector::RecordIncomingRequest(Ctx& ctx, CellId from) {
+  if (cell_->system()->smp_mode() || from == cell_->id()) {
+    return true;
+  }
+  if (babblers_.count(from) != 0) {
+    // Throttled: reject at the dispatch boundary so a babbler costs the
+    // victim O(1) per request instead of a full handler execution.
+    return false;
+  }
+  RateWindow& window = incoming_[from];
+  const Time now = ctx.VirtualNow();
+  if (!window.open || now - window.start > kBabbleWindowNs) {
+    window.open = true;
+    window.start = now;
+    window.count = 0;
+  }
+  if (++window.count < kBabbleThreshold) {
+    return true;
+  }
+  babblers_.insert(from);
+  // Escalate: quarantine outgoing traffic to the babbler immediately, then
+  // raise the hint (agreement may confirm and excise it).
+  cell_->rpc().QuarantinePeer(ctx, from);
+  HintEvidence evidence;
+  RaiseHintWithEvidence(ctx, from, HintReason::kBabbling, evidence);
+  return false;
+}
+
+int FailureDetector::IncomingCount(CellId peer) const {
+  auto it = incoming_.find(peer);
+  return it == incoming_.end() ? 0 : it->second.count;
+}
+
 void FailureDetector::ForgetCell(CellId cell_id) {
   last_seen_clock_.erase(cell_id);
   stale_ticks_.erase(cell_id);
+  drift_.erase(cell_id);
+  incoming_.erase(cell_id);
+  babblers_.erase(cell_id);
+  evidence_.erase(cell_id);
 }
 
 }  // namespace hive

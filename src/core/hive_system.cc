@@ -291,6 +291,11 @@ void HiveSystem::HandleAlert(Ctx& ctx, CellId accuser, CellId suspect, HintReaso
     for (CellId f : result.failed) {
       confirmed_failed_.insert(f);
       cell(f).MarkDead();
+      // Every surviving cell records the excision: the failed cell is out of
+      // the live set from this moment (its own ring stops at kMarkedDead).
+      for (CellId live : LiveCells()) {
+        cell(live).Trace(TraceEvent::kCellExcised, static_cast<uint64_t>(f));
+      }
     }
     wax_->OnCellFailure();
     const RecoveryStats stats = recovery_->Run(ctx, result.failed);

@@ -109,6 +109,16 @@ base::Result<Pfdat*> PageAllocator::BorrowFrom(Ctx& ctx, CellId memory_home) {
   if (count == 0) {
     return base::OutOfMemory();
   }
+  if (count > kRpcWords - 1) {
+    // A frame count that cannot fit in the reply is garbage, not a short
+    // loan: never index past the payload. The evidence lets agreement voters
+    // corroborate with their own null RPC instead of trusting the accuser.
+    HintEvidence evidence;
+    evidence.structure = EvidenceStructure::kRpcReply;
+    cell_->detector().RaiseHintWithEvidence(ctx, memory_home,
+                                            HintReason::kInvariantMismatch, evidence);
+    return base::BadRemoteData();
+  }
   Pfdat* first = nullptr;
   for (uint64_t i = 0; i < count; ++i) {
     const PhysAddr frame = reply.w[1 + i];
@@ -116,7 +126,10 @@ base::Result<Pfdat*> PageAllocator::BorrowFrom(Ctx& ctx, CellId memory_home) {
     // the memory home's range (inputs from other cells are never trusted).
     if (frame % cell_->machine().mem().page_size() != 0 ||
         !cell_->system()->cell(memory_home).OwnsAddr(frame)) {
-      cell_->detector().RaiseHint(ctx, memory_home, HintReason::kCarefulCheckFailed);
+      HintEvidence evidence;
+      evidence.structure = EvidenceStructure::kRpcReply;
+      cell_->detector().RaiseHintWithEvidence(ctx, memory_home,
+                                              HintReason::kInvariantMismatch, evidence);
       continue;
     }
     Pfdat* pfdat = cell_->pfdats().AddExtended(frame);

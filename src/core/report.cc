@@ -1,9 +1,12 @@
 #include "src/core/report.h"
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/base/table.h"
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
 #include "src/core/filesystem.h"
 #include "src/core/hive_system.h"
 #include "src/core/pageout.h"
@@ -124,6 +127,27 @@ std::string RenderRpcTransport(HiveSystem& system) {
                   base::Table::I64(static_cast<int64_t>(stats.at_most_once_violations))});
   }
   return table.Render("RPC transport (per cell)");
+}
+
+std::string RenderFailureDetection(HiveSystem& system) {
+  std::vector<std::string> header = {"Cell", "Hints"};
+  for (HintReason reason : kAllHintReasons) {
+    header.push_back(HintReasonName(reason));
+  }
+  header.push_back("Max-hops");
+  base::Table table(header);
+  for (CellId c = 0; c < system.num_cells(); ++c) {
+    FailureDetector& detector = system.cell(c).detector();
+    std::vector<std::string> row = {
+        "cell " + base::Table::I64(c),
+        base::Table::I64(static_cast<int64_t>(detector.hints_raised()))};
+    for (HintReason reason : kAllHintReasons) {
+      row.push_back(base::Table::I64(static_cast<int64_t>(detector.hints_for(reason))));
+    }
+    row.push_back(base::Table::I64(detector.max_traversal_hops()));
+    table.AddRow(row);
+  }
+  return table.Render("Failure detection (per cell, hints by reason)");
 }
 
 std::string RenderCellSharing(HiveSystem& system, CellId cell_id) {

@@ -25,6 +25,12 @@ std::string RenderCellSharing(HiveSystem& system, CellId cell_id);
 // mutation accounting. The health view of the reliable transport layer.
 std::string RenderRpcTransport(HiveSystem& system);
 
+// Per-cell failure-detection counters: one column per hint reason (rpc
+// timeouts, bus errors, stale/drifting clocks, careful-reference failures,
+// invariant mismatches, babbling) plus the traversal-hop high-water mark the
+// no-survivor-hang oracle bounds.
+std::string RenderFailureDetection(HiveSystem& system);
+
 }  // namespace hive
 
 #endif  // HIVE_SRC_CORE_REPORT_H_

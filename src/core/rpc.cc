@@ -217,6 +217,20 @@ bool RpcLayer::quarantined(CellId peer) const {
   return it != health_.end() && it->second.quarantined;
 }
 
+void RpcLayer::QuarantinePeer(Ctx& ctx, CellId peer) {
+  PeerHealth& health = health_[static_cast<int>(peer)];
+  // Suppress the redundant rpc-timeout hint: the caller (babble throttle)
+  // raises its own, more specific hint.
+  health.hint_outstanding = true;
+  health.quarantine_until =
+      std::max(health.quarantine_until, ctx.VirtualNow() + kQuarantineProbationNs);
+  if (!health.quarantined) {
+    health.quarantined = true;
+    ++stats_.quarantines_entered;
+    cell_->Trace(TraceEvent::kPeerQuarantined, static_cast<uint64_t>(peer));
+  }
+}
+
 base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
                             RpcReply* reply, const CallOptions& options) {
   ++stats_.calls;
@@ -305,6 +319,15 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
     // Request message delivery (plus any detour the fault model imposed).
     ctx.Charge(sips_hop + request.extra_delay);
 
+    if (tcell.rogue().rpc_silent) {
+      // Rogue silence: the request is delivered, but the Byzantine kernel
+      // drops it on the floor -- no handler runs and no reply is sent. Every
+      // attempt spins out, so the call exhausts its retries and the timeout
+      // path escalates exactly as for a lossy link.
+      ctx.Charge(costs_.rpc_client_spin_poll_ns + costs_.rpc_context_switch_ns);
+      continue;
+    }
+
     Ctx server_ctx;
     server_ctx.cell = &tcell;
     server_ctx.cpu = server_cpu;
@@ -313,13 +336,30 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
 
     server_ctx.Charge(costs_.rpc_dispatch_ns + costs_.rpc_server_stub_ns);
     base::Status status = base::OkStatus();
-    try {
-      status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply);
-      // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
-    } catch (const flash::BusError& e) {
-      // A bus error during kernel service outside a careful section means the
-      // serving kernel is corrupt: it panics, and the client times out.
-      tcell.Panic(std::string("bus error during RPC service: ") + e.what());
+    if (!tcell.detector().RecordIncomingRequest(server_ctx, cell_->id())) {
+      // Babble throttle: the server rejects the request at the dispatch
+      // boundary -- O(1) for the victim, a full round trip for the babbler.
+      status = base::Unavailable();
+    } else {
+      try {
+        status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply);
+        // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
+      } catch (const flash::BusError& e) {
+        // A bus error during kernel service outside a careful section means the
+        // serving kernel is corrupt: it panics, and the client times out.
+        tcell.Panic(std::string("bus error during RPC service: ") + e.what());
+      }
+    }
+
+    if (tcell.rogue().rpc_garbage && status.ok() &&
+        (type == MsgType::kNull || type == MsgType::kBorrowFrames)) {
+      // Rogue garbage: the reply payload is scribbled but claims success.
+      // Scoped to the probe/borrow control plane; clients of kBorrowFrames
+      // validate the returned frame addresses against the lender's range
+      // and convert nonsense into a careful-check hint.
+      for (uint64_t& word : reply->w) {
+        word = tcell.NextRogueGarbage();
+      }
     }
 
     Time extra_occupancy = 0;

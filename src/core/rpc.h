@@ -201,6 +201,10 @@ class RpcLayer {
   // lazily on the next call, so this reflects the last transport decision.
   bool quarantined(CellId peer) const;
 
+  // Immediate quarantine escalation (failure-detector babble throttle): stop
+  // sending to `peer` now instead of waiting for retry exhaustions.
+  void QuarantinePeer(Ctx& ctx, CellId peer);
+
   const RpcCallStats& stats() const { return stats_; }
 
  private:

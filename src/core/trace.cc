@@ -42,6 +42,10 @@ const char* TraceEventName(TraceEvent event) {
       return "peer-quarantined";
     case TraceEvent::kPeerUnquarantined:
       return "peer-unquarantined";
+    case TraceEvent::kVoteCast:
+      return "vote-cast";
+    case TraceEvent::kCellExcised:
+      return "cell-excised";
   }
   return "?";
 }

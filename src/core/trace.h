@@ -36,6 +36,8 @@ enum class TraceEvent : uint8_t {
   kRpcDuplicateSuppressed,  // arg0 = client cell.
   kPeerQuarantined,   // arg0 = peer cell.
   kPeerUnquarantined, // arg0 = peer cell.
+  kVoteCast,          // arg0 = suspect, arg1 = vote (0=against, 1=for, 2=timeout).
+  kCellExcised,       // arg0 = excised cell.
 };
 
 const char* TraceEventName(TraceEvent event);

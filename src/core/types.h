@@ -74,6 +74,8 @@ enum KernelTypeTag : uint32_t {
   kTagAddrMapEntry = 0x414D4531,  // "AME1"
   kTagRpcBuffer = 0x52504331,     // "RPC1"
   kTagGeneric = 0x47454E31,       // "GEN1"
+  kTagChainNode = 0x43484E31,     // "CHN1" -- rogue-probe pointer chain node.
+  kTagSeqBlock = 0x53514231,      // "SQB1" -- rogue-probe seqlock block.
 };
 
 }  // namespace hive

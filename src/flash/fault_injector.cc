@@ -52,6 +52,22 @@ void FaultInjector::CorruptBytes(PhysAddr addr, uint64_t len) {
   }
 }
 
+void FaultInjector::WriteWord(PhysAddr addr, uint64_t value) {
+  LOG(kInfo) << "fault injection: word at 0x" << std::hex << addr << " <- 0x" << value
+             << std::dec;
+  machine_->mem().RawWrite(addr, std::span<const uint8_t>(
+                                     reinterpret_cast<const uint8_t*>(&value),
+                                     sizeof(value)));
+}
+
+void FaultInjector::CorruptTypeTag(PhysAddr tag_addr, uint32_t bad_tag) {
+  LOG(kInfo) << "fault injection: type tag at 0x" << std::hex << tag_addr << " <- 0x"
+             << bad_tag << std::dec;
+  machine_->mem().RawWrite(tag_addr, std::span<const uint8_t>(
+                                         reinterpret_cast<const uint8_t*>(&bad_tag),
+                                         sizeof(bad_tag)));
+}
+
 const char* MessageFaultKindName(MessageFaultKind kind) {
   switch (kind) {
     case MessageFaultKind::kNone:

@@ -55,6 +55,17 @@ class FaultInjector {
   // Overwrites `len` bytes at addr with pseudo-random garbage (raw path).
   void CorruptBytes(PhysAddr addr, uint64_t len);
 
+  // Writes one 8-byte word at `addr` (raw path). The rogue-cell fault family
+  // uses this for targeted corruption: planting out-of-range or cyclic next
+  // pointers in a victim's published chain, or tearing a seqlock block.
+  void WriteWord(PhysAddr addr, uint64_t value);
+
+  // Overwrites the 4-byte kernel-heap type tag at `tag_addr` with `bad_tag`
+  // (raw path; the caller locates the tag inside the allocation header, this
+  // layer knows nothing of heap layout): the careful reference protocol's
+  // step-4 check must catch the mismatch on the next remote read.
+  void CorruptTypeTag(PhysAddr tag_addr, uint32_t bad_tag);
+
   base::Rng& rng() { return rng_; }
 
  private:

@@ -96,6 +96,11 @@ TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
           EXPECT_LE(fault.drop_pm + fault.corrupt_pm, 76u);
           EXPECT_GT(fault.drop_pm + fault.dup_pm + fault.delay_pm + fault.corrupt_pm, 0u);
           break;
+        case FaultKind::kRogueCell:
+          // Rogue plans only come from the dedicated --faults=rogue modes,
+          // never the default sweep (they need the 4-cell voting geometry).
+          ADD_FAILURE() << "default sweep generated a rogue-cell plan";
+          break;
       }
     }
     EXPECT_LE(accusations, 1);
@@ -297,6 +302,163 @@ TEST(ScenarioRunnerTest, FirewallOnStopsTheSameWildWrite) {
   spec.disable_firewall = false;
   const ScenarioResult result = RunScenario(spec);
   EXPECT_FALSE(result.violated()) << result.ViolationReport();
+}
+
+// --- Rogue-cell family (Byzantine survivors). ---
+
+TEST(FaultKindNameTest, RoundTripsEveryKind) {
+  for (FaultKind kind : kAllFaultKinds) {
+    FaultKind parsed;
+    ASSERT_TRUE(FaultKindFromName(FaultKindName(kind), &parsed)) << FaultKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind parsed;
+  EXPECT_FALSE(FaultKindFromName("not-a-fault", &parsed));
+  EXPECT_FALSE(FaultKindFromName("", &parsed));
+}
+
+TEST(ScenarioGeneratorTest, RogueSweepModeGeneratesOneRoguePlan) {
+  GeneratorOptions options;
+  options.rogue_only = true;
+  std::set<uint32_t> axes_seen;
+  for (uint64_t index = 0; index < 60; ++index) {
+    const ScenarioSpec spec = GenerateScenario(19, index, options);
+    SCOPED_TRACE(spec.ToString());
+    EXPECT_TRUE(spec.rogue_only);
+    EXPECT_EQ(spec.num_cells, 4);  // Three honest cells outvote one rogue.
+    EXPECT_EQ(spec.agreement_mode, hive::AgreementMode::kVoting);
+    EXPECT_FALSE(spec.auto_reintegrate);
+    ASSERT_EQ(spec.faults.size(), 1u);
+    const FaultSpec& fault = spec.faults[0];
+    EXPECT_EQ(fault.kind, FaultKind::kRogueCell);
+    EXPECT_GE(fault.victim, 0);
+    EXPECT_LT(fault.victim, spec.num_cells);
+    EXPECT_NE(fault.rogue_axes, 0u);
+    axes_seen.insert(fault.rogue_axes);
+    if (fault.rogue_axes & kRogueVoteAccuse) {
+      EXPECT_GE(fault.target, 0);
+      EXPECT_LT(fault.target, spec.num_cells);
+      EXPECT_NE(fault.target, fault.victim);
+    }
+    // Babble and silence are same-category and can never combine.
+    EXPECT_FALSE((fault.rogue_axes & kRogueRpcBabble) != 0 &&
+                 (fault.rogue_axes & kRogueRpcSilence) != 0);
+    EXPECT_NE(spec.ReproLine().find("--faults=rogue"), std::string::npos);
+  }
+  EXPECT_GE(axes_seen.size(), 10u);  // The sweep explores the axis space.
+}
+
+TEST(ScenarioGeneratorTest, HealthyBaselineGeneratesZeroFaults) {
+  GeneratorOptions options;
+  options.healthy_baseline = true;
+  for (uint64_t index = 0; index < 20; ++index) {
+    const ScenarioSpec spec = GenerateScenario(19, index, options);
+    EXPECT_TRUE(spec.healthy_baseline);
+    EXPECT_EQ(spec.num_cells, 4);
+    EXPECT_EQ(spec.agreement_mode, hive::AgreementMode::kVoting);
+    EXPECT_TRUE(spec.faults.empty());
+    EXPECT_NE(spec.ReproLine().find("--faults=none"), std::string::npos);
+  }
+}
+
+TEST(ScenarioGeneratorTest, NoHopBoundFixtureForcesCyclicChain) {
+  GeneratorOptions options;
+  options.no_hop_bound_fixture = true;
+  for (uint64_t index = 0; index < 20; ++index) {
+    const ScenarioSpec spec = GenerateScenario(19, index, options);
+    EXPECT_TRUE(spec.disable_hop_bound);
+    ASSERT_EQ(spec.faults.size(), 1u);
+    EXPECT_EQ(spec.faults[0].kind, FaultKind::kRogueCell);
+    EXPECT_NE(spec.faults[0].rogue_axes & kRogueHeapCycle, 0u);
+    EXPECT_NE(spec.ReproLine().find("--fixture=no_hop_bound"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRunnerTest, RogueScenariosExciseTheRogueAndNobodyElse) {
+  GeneratorOptions options;
+  options.rogue_only = true;
+  const uint64_t master = hivetest::TestSeed(19);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 8; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index, options);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult result = RunScenario(spec);
+    EXPECT_FALSE(result.violated()) << result.ViolationReport();
+    // Exactly the rogue is excised: detection fired, and no healthy cell
+    // was voted out alongside it.
+    EXPECT_EQ(result.excisions, 1);
+  }
+}
+
+TEST(ScenarioRunnerTest, RogueScenarioRunsAreByteDeterministic) {
+  GeneratorOptions options;
+  options.rogue_only = true;
+  const uint64_t master = hivetest::TestSeed(23);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 4; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index, options);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult first = RunScenario(spec);
+    const ScenarioResult second = RunScenario(spec);
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.end_time, second.end_time);
+    EXPECT_EQ(first.excisions, second.excisions);
+    EXPECT_EQ(first.Summary(), second.Summary());
+  }
+}
+
+TEST(ScenarioRunnerTest, HealthyBaselineSeesZeroExcisions) {
+  // The sensitivity baseline: identical geometry and probe drivers, zero
+  // faults. Any excision is a detector false positive.
+  GeneratorOptions options;
+  options.healthy_baseline = true;
+  const uint64_t master = hivetest::TestSeed(29);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t index = 0; index < 6; ++index) {
+    const ScenarioSpec spec = GenerateScenario(master, index, options);
+    SCOPED_TRACE(spec.ToString());
+    const ScenarioResult result = RunScenario(spec);
+    EXPECT_FALSE(result.violated()) << result.ViolationReport();
+    EXPECT_EQ(result.excisions, 0);
+  }
+}
+
+TEST(ScenarioRunnerTest, NoHopBoundFixtureTripsNoSurvivorHangOracleReproducibly) {
+  GeneratorOptions options;
+  options.no_hop_bound_fixture = true;
+  const uint64_t master = hivetest::TestSeed(19);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  const ScenarioSpec spec = GenerateScenario(master, 0, options);
+  const ScenarioResult result = RunScenario(spec);
+  ASSERT_TRUE(result.violated()) << "unbounded chain walk went undetected";
+  bool hang_flagged = false;
+  for (const OracleViolation& violation : result.violations) {
+    hang_flagged = hang_flagged || violation.oracle == "no-survivor-hang";
+  }
+  EXPECT_TRUE(hang_flagged) << result.ViolationReport();
+
+  // The printed `--seed=N --scenario=K --fixture=no_hop_bound` line must
+  // reproduce byte-identically.
+  const ScenarioSpec again = GenerateScenario(spec.master_seed, spec.index, options);
+  EXPECT_EQ(again.ToString(), spec.ToString());
+  const ScenarioResult rerun = RunScenario(again);
+  EXPECT_EQ(rerun.fingerprint, result.fingerprint);
+  ASSERT_EQ(rerun.violations.size(), result.violations.size());
+  for (size_t v = 0; v < result.violations.size(); ++v) {
+    EXPECT_EQ(rerun.violations[v].ToString(), result.violations[v].ToString());
+  }
+}
+
+TEST(ScenarioRunnerTest, HopBoundOnRidesOutTheSameCyclicChain) {
+  GeneratorOptions options;
+  options.no_hop_bound_fixture = true;
+  ScenarioSpec spec = GenerateScenario(19, 0, options);
+  // Same rogue cyclic-chain plan, hop bound restored: the walk fails fast,
+  // the rogue is still excised, and every oracle passes.
+  spec.disable_hop_bound = false;
+  const ScenarioResult result = RunScenario(spec);
+  EXPECT_FALSE(result.violated()) << result.ViolationReport();
+  EXPECT_EQ(result.excisions, 1);
 }
 
 // --- Minimization. ---

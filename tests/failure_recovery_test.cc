@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/agreement.h"
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
 #include "src/core/filesystem.h"
+#include "src/core/rpc.h"
 #include "src/flash/fault_injector.h"
 #include "src/workloads/workload.h"
 #include "tests/test_util.h"
@@ -389,6 +392,171 @@ TEST_F(FailureRecoveryTest, SmpModeHasNoDetection) {
   smp.machine->events().RunUntil(300 * kMillisecond);
   // A shared-everything kernel has no containment story: no recovery runs.
   EXPECT_EQ(smp.hive->recovery().recoveries_run(), 0);
+}
+
+// --------------------------------------------------------------------------
+// Byzantine survivors (DESIGN.md section 9): live-but-erroneous cells.
+// --------------------------------------------------------------------------
+
+TEST_F(FailureRecoveryTest, HintReasonNameRoundTrips) {
+  for (HintReason reason : kAllHintReasons) {
+    HintReason parsed;
+    ASSERT_TRUE(HintReasonFromName(HintReasonName(reason), &parsed))
+        << HintReasonName(reason);
+    EXPECT_EQ(parsed, reason);
+  }
+  HintReason parsed;
+  EXPECT_FALSE(HintReasonFromName("not-a-reason", &parsed));
+  EXPECT_FALSE(HintReasonFromName("", &parsed));
+}
+
+TEST_F(FailureRecoveryTest, RogueFrozenClockIsExcised) {
+  // The cell stays kRunning and answers RPCs, but its clock word freezes.
+  // The stale check attaches the frozen value as evidence; every voter
+  // re-reads the word and sees it pinned, so the live rogue is confirmed.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  RogueBehavior rogue;
+  rogue.active = true;
+  rogue.clock_freeze = true;
+  ts_.cell(2).SetRogueBehavior(rogue);
+  ts_.machine->events().RunUntil(300 * kMillisecond);
+
+  ASSERT_GE(ts_.hive->recovery().recoveries_run(), 1);
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_FALSE(ts_.cell(2).alive());
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(1).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+}
+
+TEST_F(FailureRecoveryTest, RogueDriftingClockIsExcised) {
+  // Half-rate drift never trips the stale check (the word does move); the
+  // drift window catches the below-rate advance and voters corroborate it.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  RogueBehavior rogue;
+  rogue.active = true;
+  rogue.clock_drift = true;
+  rogue.clock_drift_divisor = 2;
+  ts_.cell(1).SetRogueBehavior(rogue);
+  ts_.machine->events().RunUntil(400 * kMillisecond);
+
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(1));
+  EXPECT_FALSE(ts_.cell(1).alive());
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+}
+
+TEST_F(FailureRecoveryTest, MuteVoterTimesOutInsteadOfStallingTheRound) {
+  // Cell 3 goes globally silent; a real node failure of cell 2 must still be
+  // confirmed by the remaining voters, with cell 3 recorded as a timeout
+  // rather than stalling the round forever.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  RogueBehavior rogue;
+  rogue.active = true;
+  rogue.rpc_silent = true;
+  ts_.cell(3).SetRogueBehavior(rogue);
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  ts_.machine->events().RunUntil(300 * kMillisecond);
+
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_GE(ts_.hive->agreement().vote_timeouts(), 1u);
+  // Bounded rounds: the mute voter cost one vote timeout, not a hang.
+  EXPECT_LT(ts_.hive->agreement().max_round_cost_ns(), 100 * kMillisecond);
+}
+
+TEST_F(FailureRecoveryTest, ContrarianVoterCannotBlockConfirmation) {
+  // Cell 1 inverts its votes. Three voters probe a genuinely dead cell 2:
+  // the two honest ones outvote the contrarian.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  RogueBehavior rogue;
+  rogue.active = true;
+  rogue.vote_contrarian = true;
+  ts_.cell(1).SetRogueBehavior(rogue);
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  ts_.machine->events().RunUntil(300 * kMillisecond);
+
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_TRUE(ts_.cell(3).alive());
+}
+
+TEST_F(FailureRecoveryTest, GarbageRepliesCorroboratedByVotersOwnNullRpc) {
+  // The rogue answers pings, so a classic probe would vote the accuser down.
+  // With kRpcReply evidence every voter issues its own null RPC, sees the
+  // scribbled payload, and the live rogue is confirmed -- no strikes accrue
+  // against the healthy accuser.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  RogueBehavior rogue;
+  rogue.active = true;
+  rogue.rpc_garbage = true;
+  rogue.garbage_seed = 0x5EED;
+  ts_.cell(2).SetRogueBehavior(rogue);
+
+  Cell& accuser = ts_.cell(0);
+  Ctx ctx = accuser.MakeCtx();
+  RpcArgs args;
+  RpcReply reply;
+  ASSERT_TRUE(accuser.rpc().Call(ctx, 2, MsgType::kNull, args, &reply).ok());
+  bool garbage = false;
+  for (uint64_t word : reply.w) {
+    garbage = garbage || word != 0;
+  }
+  ASSERT_TRUE(garbage) << "rogue null reply was clean";
+
+  HintEvidence evidence;
+  evidence.structure = EvidenceStructure::kRpcReply;
+  accuser.detector().RaiseHintWithEvidence(ctx, 2, HintReason::kInvariantMismatch,
+                                           evidence);
+  EXPECT_TRUE(ts_.hive->CellConfirmedFailed(2));
+  EXPECT_TRUE(ts_.cell(0).alive());
+  EXPECT_EQ(ts_.hive->agreement().false_alerts(), 0u);
+}
+
+TEST_F(FailureRecoveryTest, UncorroboratedEvidenceIsVotedDownAndCleared) {
+  // Cell 0 claims cell 1's clock froze at a bogus value. Voters re-read the
+  // healthy clock, fail to corroborate, and vote the accusation down; the
+  // single-use evidence is cleared so it cannot back a later hint.
+  ts_.hive->agreement().set_mode(AgreementMode::kVoting);
+  Cell& accuser = ts_.cell(0);
+  Ctx ctx = accuser.MakeCtx();
+  HintEvidence evidence;
+  evidence.structure = EvidenceStructure::kClockWord;
+  evidence.clock_value = 0xDEAD;  // Not the suspect's actual clock value.
+  accuser.detector().RaiseHintWithEvidence(ctx, 1, HintReason::kClockStale, evidence);
+
+  EXPECT_TRUE(ts_.cell(1).alive());
+  EXPECT_FALSE(ts_.hive->CellConfirmedFailed(1));
+  EXPECT_GE(ts_.hive->agreement().false_alerts(), 1u);
+  EXPECT_FALSE(accuser.detector().EvidenceAgainst(1).valid);
+}
+
+TEST_F(FailureRecoveryTest, BabbleThrottleMarksFloodingPeer) {
+  // A flood of incoming requests from one peer crosses the throttle: the
+  // peer is marked a babbler, further requests are rejected, and a
+  // kBabbling hint is raised.
+  Cell& victim = ts_.cell(0);
+  Ctx ctx = victim.MakeCtx();
+  FailureDetector& detector = victim.detector();
+  ASSERT_FALSE(detector.IsBabbler(1));
+  bool rejected = false;
+  for (int i = 0; i < FailureDetector::kBabbleThreshold + 10 && !rejected; ++i) {
+    rejected = !detector.RecordIncomingRequest(ctx, 1);
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_TRUE(detector.IsBabbler(1));
+  EXPECT_GE(detector.IncomingCount(1), FailureDetector::kBabbleThreshold);
+  EXPECT_GE(detector.hints_for(HintReason::kBabbling), 1u);
+}
+
+TEST_F(FailureRecoveryTest, TraversalHighWaterMarkTracksWorstWalk) {
+  FailureDetector& detector = ts_.cell(0).detector();
+  const int before = detector.max_traversal_hops();
+  detector.NoteTraversal(7);
+  detector.NoteTraversal(3);
+  EXPECT_GE(detector.max_traversal_hops(), 7);
+  EXPECT_GE(detector.max_traversal_hops(), before);
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// Fixture: R7 violations. Never compiled.
+#include "src/core/careful_ref.h"
+
+namespace hive {
+
+uint64_t BadChase(CarefulRef& careful, PhysAddr head) {
+  uint64_t sum = 0;
+  PhysAddr node = head;
+  // Unbounded remote pointer chase: the cursor comes from remote data, the
+  // loop has no hop cap, so a cyclic chain spins forever. Must be flagged (R7).
+  while (node != 0) {
+    auto value = careful.ReadTagged<uint64_t>(node, 0x43484E31u);
+    if (!value.ok()) {
+      break;
+    }
+    sum += *value;
+    auto next = careful.Read<uint64_t>(node + 8);
+    node = next.ok() ? *next : 0;
+  }
+  return sum;
+}
+
+void BadTagPoll(CarefulRef& careful, PhysAddr block) {
+  // Per-iteration tag re-check with no visible cap: must be flagged (R7).
+  for (;;) {
+    if (careful.CheckTag(block, 0x53514231u).ok()) {
+      return;
+    }
+  }
+}
+
+uint64_t SuppressedChase(CarefulRef& careful, PhysAddr head) {
+  uint64_t sum = 0;
+  PhysAddr node = head;
+  // properly suppressed: must NOT be reported.
+  // hive-lint: allow(R7): fixture exercising the suppression path; this chain is boot-built with exactly two nodes and never republished.
+  while (node != 0) {
+    auto value = careful.ReadTagged<uint64_t>(node, 0x43484E31u);
+    if (!value.ok()) {
+      break;
+    }
+    sum += *value;
+    auto next = careful.Read<uint64_t>(node + 8);
+    node = next.ok() ? *next : 0;
+  }
+  return sum;
+}
+
+}  // namespace hive

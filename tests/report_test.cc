@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/cell.h"
+#include "src/core/failure_detection.h"
 #include "src/core/filesystem.h"
 #include "src/flash/fault_injector.h"
 #include "src/workloads/workload.h"
@@ -88,6 +89,34 @@ TEST_F(ReportTest, SharingViewOfDeadCellSaysSo) {
   ts_.machine->events().RunUntil(100 * kMillisecond);
   const std::string view = RenderCellSharing(*ts_.hive, 3);
   EXPECT_NE(view.find("DEAD"), std::string::npos);
+}
+
+TEST_F(ReportTest, FailureDetectionTableListsEveryHintReason) {
+  // The table carries one column per HintReason so a rogue's footprint is
+  // visible at a glance.
+  const std::string report = RenderFailureDetection(*ts_.hive);
+  for (HintReason reason : kAllHintReasons) {
+    EXPECT_NE(report.find(HintReasonName(reason)), std::string::npos)
+        << HintReasonName(reason);
+  }
+  EXPECT_NE(report.find("Max-hops"), std::string::npos);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(report.find("cell " + std::to_string(c)), std::string::npos) << c;
+  }
+}
+
+TEST_F(ReportTest, FailureDetectionTableCountsHintsByReason) {
+  // A node failure raises bus-error/stale hints at the monitoring cell; the
+  // per-reason counters must be non-zero afterwards.
+  ts_.machine->FailNode(2);
+  ts_.machine->events().RunUntil(150 * kMillisecond);
+  uint64_t total = 0;
+  for (CellId c = 0; c < ts_.hive->num_cells(); ++c) {
+    total += ts_.cell(c).detector().hints_raised();
+  }
+  ASSERT_GE(total, 1u);
+  const std::string report = RenderFailureDetection(*ts_.hive);
+  EXPECT_NE(report.find("Failure detection"), std::string::npos);
 }
 
 }  // namespace

@@ -30,7 +30,10 @@ struct Args {
   uint64_t scenario = 0;
   bool wild_write_fixture = false;
   bool no_dedup_fixture = false;
+  bool no_hop_bound_fixture = false;
   bool message_faults_only = false;
+  bool rogue_only = false;
+  bool healthy_baseline = false;
   bool minimize = true;
   bool verbose = false;
 };
@@ -38,8 +41,10 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: hive_campaign [--seed=N] [--scenarios=N] [--workers=N]\n"
-               "                     [--scenario=K] [--fixture=wild_write|no_dedup]\n"
-               "                     [--faults=message] [--no-minimize] [--verbose]\n"
+               "                     [--scenario=K]\n"
+               "                     [--fixture=wild_write|no_dedup|no_hop_bound]\n"
+               "                     [--faults=message|rogue|none] [--no-minimize]\n"
+               "                     [--verbose]\n"
                "\n"
                "  --seed=N             campaign master seed (default: $HIVE_TEST_SEED or 1)\n"
                "  --scenarios=N        number of scenarios to sweep (default 200)\n"
@@ -51,9 +56,18 @@ void Usage() {
                "                       duplication-heavy message-fault plan; every\n"
                "                       scenario is expected to trip the at-most-once\n"
                "                       oracle\n"
+               "  --fixture=no_hop_bound rogue cyclic-chain scenarios with the\n"
+               "                       survivors' chain-chase hop bound removed; every\n"
+               "                       scenario is expected to trip the\n"
+               "                       no-survivor-hang oracle\n"
                "  --faults=message     restrict fault plans to SIPS message faults\n"
                "                       (drop/duplicate/delay/corrupt); the reliable\n"
                "                       transport must pass every oracle\n"
+               "  --faults=rogue       restrict fault plans to one rogue-cell fault\n"
+               "                       each (a live Byzantine cell); the survivors\n"
+               "                       must excise the rogue and nobody else\n"
+               "  --faults=none        rogue-sweep geometry with zero faults; the\n"
+               "                       sensitivity baseline must see zero excisions\n"
                "  --no-minimize        skip minimization of violating scenarios\n"
                "  --verbose            print a line per scenario\n");
 }
@@ -92,8 +106,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->wild_write_fixture = true;
     } else if (std::strcmp(arg, "--fixture=no_dedup") == 0) {
       args->no_dedup_fixture = true;
+    } else if (std::strcmp(arg, "--fixture=no_hop_bound") == 0) {
+      args->no_hop_bound_fixture = true;
     } else if (std::strcmp(arg, "--faults=message") == 0) {
       args->message_faults_only = true;
+    } else if (std::strcmp(arg, "--faults=rogue") == 0) {
+      args->rogue_only = true;
+    } else if (std::strcmp(arg, "--faults=none") == 0) {
+      args->healthy_baseline = true;
     } else if (std::strcmp(arg, "--no-minimize") == 0) {
       args->minimize = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -110,13 +130,17 @@ int RunSingle(const Args& args) {
   campaign::GeneratorOptions gen_options;
   gen_options.wild_write_fixture = args.wild_write_fixture;
   gen_options.no_dedup_fixture = args.no_dedup_fixture;
+  gen_options.no_hop_bound_fixture = args.no_hop_bound_fixture;
   gen_options.message_faults_only = args.message_faults_only;
+  gen_options.rogue_only = args.rogue_only;
+  gen_options.healthy_baseline = args.healthy_baseline;
   const campaign::ScenarioSpec spec =
       campaign::GenerateScenario(args.seed, args.scenario, gen_options);
   std::printf("%s\n", spec.ToString().c_str());
   const campaign::ScenarioResult result = campaign::RunScenario(spec);
-  std::printf("end_time=%" PRId64 "ms fingerprint=0x%016" PRIx64 "\n",
-              result.end_time / hive::kMillisecond, result.fingerprint);
+  std::printf("end_time=%" PRId64 "ms excisions=%d fingerprint=0x%016" PRIx64 "\n",
+              result.end_time / hive::kMillisecond, result.excisions,
+              result.fingerprint);
   if (!result.violated()) {
     std::printf("all oracles passed\n");
     return 0;
@@ -140,21 +164,29 @@ int RunSweep(const Args& args) {
   options.workers = args.workers;
   options.wild_write_fixture = args.wild_write_fixture;
   options.no_dedup_fixture = args.no_dedup_fixture;
+  options.no_hop_bound_fixture = args.no_hop_bound_fixture;
   options.message_faults_only = args.message_faults_only;
+  options.rogue_only = args.rogue_only;
+  options.healthy_baseline = args.healthy_baseline;
   options.minimize = args.minimize;
   if (args.verbose) {
     options.on_result = [](const campaign::ScenarioResult& result) {
       std::printf("%s\n", result.Summary().c_str());
     };
   }
-  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s\n",
+  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s%s%s%s\n",
               args.seed, args.scenarios, args.workers,
               args.wild_write_fixture ? " fixture=wild_write" : "",
               args.no_dedup_fixture ? " fixture=no_dedup" : "",
-              args.message_faults_only ? " faults=message" : "");
+              args.no_hop_bound_fixture ? " fixture=no_hop_bound" : "",
+              args.message_faults_only ? " faults=message" : "",
+              args.rogue_only ? " faults=rogue" : "",
+              args.healthy_baseline ? " faults=none" : "");
   const campaign::CampaignReport report = campaign::RunCampaign(options);
-  std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %zu violation(s)\n",
-              report.scenarios_run, report.faults_injected, report.failures.size());
+  std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %" PRIu64
+              " excision(s), %zu violation(s)\n",
+              report.scenarios_run, report.faults_injected, report.excisions,
+              report.failures.size());
   for (const campaign::CampaignFailure& failure : report.failures) {
     std::printf("%s", failure.Report().c_str());
   }

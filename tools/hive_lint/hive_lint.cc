@@ -25,6 +25,12 @@
 //       requests, so a plain registration would re-execute the mutation on a
 //       duplicate delivery. Idempotent-by-design handlers carry a justified
 //       suppression.
+//   R7  Remote pointer-chase loops must be hop-bounded. A for/while loop that
+//       performs per-node tagged remote reads (CheckTag / ReadTagged) with no
+//       visible traversal bound follows pointers a rogue peer controls: a
+//       cyclic or endlessly growing chain hangs the surviving reader
+//       (no-survivor-hang discipline). Use CarefulRef::ChaseChain /
+//       ReadSeqlocked, or carry the bound in the loop itself.
 //
 // Suppressions: `// hive-lint: allow(R1): <justification>` on the violating
 // line or the line directly above it. The justification is mandatory; a
@@ -446,6 +452,90 @@ void CheckR6(const SourceFile& file, std::vector<Diagnostic>* diags) {
   }
 }
 
+// R7: a loop that re-validates a remote type tag per iteration (CheckTag or
+// ReadTagged) is the token signature of a hand-rolled pointer chase: the
+// cursor comes from remote data the peer controls, so without a hop bound a
+// rogue peer that splices its chain into a cycle (or grows it forever) hangs
+// the surviving reader. Heuristic: the loop counts as bounded when its
+// condition or body mentions an identifier containing "hop", "max",
+// "attempt", "retr" or "bound" -- the codebase's bound-variable vocabulary
+// (max_hops, kMaxVisit, max_retries, attempt). The bounded traversal
+// primitives in careful_ref.cc pass on their own bound identifiers.
+void CheckR7(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (!StartsWith(file.rel_path, "src/")) {
+    return;  // Tests may exercise deliberately unbounded walks.
+  }
+  const std::vector<Token>& toks = file.tokens;
+  auto match_forward = [&](size_t open, const std::string& opener,
+                           const std::string& closer) -> size_t {
+    int depth = 0;
+    size_t j = open;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == opener) {
+        ++depth;
+      } else if (toks[j].text == closer && --depth == 0) {
+        break;
+      }
+    }
+    return j;  // toks.size() when unmatched.
+  };
+  auto is_bound_ident = [](const std::string& text) {
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text) {
+      lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    for (const char* marker : {"hop", "max", "attempt", "retr", "bound"}) {
+      if (lower.find(marker) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent ||
+        (toks[i].text != "for" && toks[i].text != "while") || toks[i + 1].text != "(") {
+      continue;
+    }
+    const size_t cond_open = i + 1;
+    const size_t cond_close = match_forward(cond_open, "(", ")");
+    if (cond_close >= toks.size()) {
+      continue;
+    }
+    size_t body_end;
+    const size_t body_begin = cond_close + 1;
+    if (body_begin < toks.size() && toks[body_begin].text == "{") {
+      body_end = match_forward(body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && toks[body_end].text != ";") {
+        ++body_end;
+      }
+    }
+    bool tagged_read = false;
+    bool bounded = false;
+    for (size_t j = cond_open; j <= body_end && j < toks.size(); ++j) {
+      if (toks[j].kind != Token::kIdent) {
+        continue;
+      }
+      if ((toks[j].text == "CheckTag" || toks[j].text == "ReadTagged") &&
+          j + 1 < toks.size() && (toks[j + 1].text == "(" || toks[j + 1].text == "<")) {
+        tagged_read = true;
+      } else if (is_bound_ident(toks[j].text)) {
+        bounded = true;
+      }
+    }
+    if (tagged_read && !bounded) {
+      diags->push_back(
+          {file.rel_path, toks[i].line, "R7",
+           "remote pointer-chase loop without a hop bound: per-node tagged reads "
+           "(CheckTag/ReadTagged) follow pointers the remote cell controls, so a "
+           "rogue peer can hang this reader; use CarefulRef::ChaseChain / "
+           "ReadSeqlocked or bound the walk (no-survivor-hang discipline)"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cross-file rules R4-R5.
 // ---------------------------------------------------------------------------
@@ -660,6 +750,7 @@ int Run(const fs::path& root, bool verbose) {
     CheckR2(file, &diags);
     CheckR3(file, &diags);
     CheckR6(file, &diags);
+    CheckR7(file, &diags);
   }
   CheckR4(files, &diags);
   CheckR5(files, &diags);
@@ -721,7 +812,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: hive_lint [--root DIR] [--verbose]\n"
                    "Scans DIR/src, DIR/tests, DIR/bench for violations of the Hive\n"
-                   "fault-containment coding rules R1-R6 (see DESIGN.md).\n";
+                   "fault-containment coding rules R1-R7 (see DESIGN.md).\n";
       return 0;
     } else {
       std::cerr << "hive_lint: unknown argument '" << arg << "' (try --help)\n";
