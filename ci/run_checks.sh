@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Repository check driver:
-#   1. hive_lint passes clean on the shipped tree;
+#   1. hive_lint passes clean on the shipped tree, its --format=json report
+#      diffs empty against ci/lint_baseline.json (fail on new diagnostics,
+#      warn on stale baseline entries), and the full-tree run stays under
+#      the 5-second budget;
 #   2. hive_lint flags every seeded violation in tests/lint_fixtures
-#      (including the R0 bad-suppression case) and honours the one properly
-#      suppressed site;
+#      (including the R0 bad-suppression case and the whole-program rules
+#      R8-R11) and honours the one properly suppressed site;
+#   2b. when clang-tidy is installed, the pinned .clang-tidy profile
+#      (bugprone-* + concurrency-*) runs clean over src/base/ using the
+#      compile_commands.json exported by the primary build;
 #   3. a message-fault campaign sweep (loss+duplication+reordering) passes
 #      every transport oracle, and the no_dedup fixture demonstrably trips
 #      the rpc-at-most-once oracle (the oracle can fail, not just pass);
@@ -45,16 +51,81 @@ fail() {
 echo "== hive_lint: shipped tree must be clean =="
 "$LINT" --root "$SOURCE_DIR" || fail "hive_lint found violations in the shipped tree"
 
+echo "== hive_lint: JSON report vs ci/lint_baseline.json =="
+lint_json="$BUILD_DIR/lint_report.json"
+lint_status=0
+"$LINT" --root "$SOURCE_DIR" --format=json >"$lint_json" || lint_status=$?
+[[ "$lint_status" -le 1 ]] || fail "hive_lint --format=json errored (exit $lint_status)"
+grep -q '"schema": "hive-lint-v2"' "$lint_json" || \
+  fail "lint report is not schema hive-lint-v2"
+BASELINE="$SOURCE_DIR/ci/lint_baseline.json"
+diag_keys() {
+  # Prints file:line:rule per diagnostic; jq when present, python3 otherwise.
+  if command -v jq >/dev/null 2>&1; then
+    jq -r '.diagnostics[] | "\(.file):\(.line):\(.rule)"' "$1"
+  else
+    python3 - "$1" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for d in doc["diagnostics"]:
+    print(f"{d['file']}:{d['line']}:{d['rule']}")
+PYEOF
+  fi
+}
+new_diags="$(comm -23 <(diag_keys "$lint_json" | sort) \
+                      <(diag_keys "$BASELINE" | sort))"
+stale_baseline="$(comm -13 <(diag_keys "$lint_json" | sort) \
+                           <(diag_keys "$BASELINE" | sort))"
+if [[ -n "$new_diags" ]]; then
+  echo "$new_diags"
+  fail "hive_lint diagnostics not present in ci/lint_baseline.json (fix or add a justified suppression)"
+fi
+if [[ -n "$stale_baseline" ]]; then
+  echo "run_checks: WARN: stale ci/lint_baseline.json entries (no longer reported):"
+  echo "$stale_baseline"
+fi
+
+echo "== hive_lint: full-tree run must stay under the 5s budget =="
+if command -v jq >/dev/null 2>&1; then
+  total_ms="$(jq '.stats.total_ms' "$lint_json")"
+else
+  total_ms="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["stats"]["total_ms"])' "$lint_json")"
+fi
+awk -v ms="$total_ms" 'BEGIN { exit !(ms + 0 < 5000) }' || \
+  fail "hive_lint full-tree run took ${total_ms} ms (budget: 5000 ms)"
+echo "hive_lint full-tree run: ${total_ms} ms"
+
 echo "== hive_lint: seeded fixtures must be flagged =="
 fixture_out="$("$LINT" --root "$SOURCE_DIR/tests/lint_fixtures" 2>&1)" && \
   fail "hive_lint exited 0 on the seeded fixture tree"
 echo "$fixture_out"
-for rule in R0 R1 R2 R3 R4 R5 R6 R7; do
-  grep -q ": $rule:" <<<"$fixture_out" || fail "fixture scan did not report $rule"
+for rule in R0 R1 R2 R3 R4 R5 R6 R7 R8 R9 R10 R11; do
+  grep -q "\[$rule\]" <<<"$fixture_out" || fail "fixture scan did not report $rule"
+done
+# Good twins of the whole-program rules must be completely silent.
+for good in good_lock_order.cc good_status_discard.cc good_nondeterminism.cc \
+            good_remote_deref.cc; do
+  grep -q "/$good:" <<<"$fixture_out" && \
+    fail "hive_lint reported diagnostics in good twin $good"
 done
 # The properly suppressed site (bad_direct_access.cc line 19) must be absent.
 grep -q "bad_direct_access.cc:19" <<<"$fixture_out" && \
   fail "hive_lint reported the properly suppressed fixture line"
+
+echo "== clang-tidy smoke: pinned profile over src/base/ =="
+# Uses the compile_commands.json exported by the primary build and the
+# checked-in .clang-tidy (bugprone-* + concurrency-*). The container used in
+# CI may not ship clang-tidy; warn-skip rather than fail so the lane degrades
+# gracefully -- the repo-specific rules above have no such dependency.
+if command -v clang-tidy >/dev/null 2>&1; then
+  [[ -f "$BUILD_DIR/compile_commands.json" ]] || \
+    fail "compile_commands.json missing from $BUILD_DIR (CMAKE_EXPORT_COMPILE_COMMANDS should be ON)"
+  clang-tidy -p "$BUILD_DIR" --quiet "$SOURCE_DIR"/src/base/*.cc || \
+    fail "clang-tidy reported warnings-as-errors in src/base/"
+else
+  echo "run_checks: WARN: clang-tidy not installed; skipping the src/base/ smoke"
+fi
 
 echo "== message-fault campaign: loss+duplication+reordering sweep =="
 CAMPAIGN="$BUILD_DIR/tools/hive_campaign/hive_campaign"
@@ -151,7 +222,7 @@ cmake -B "$ASAN_DIR" -S "$SOURCE_DIR" \
   -DHIVE_ENABLE_CHECKS_TEST=OFF >/dev/null
 cmake --build "$ASAN_DIR" --target hive_tests -j "$JOBS" >/dev/null
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
-  -E '^(hive_lint_clean|hive_lint_fixture)$' || fail "sanitizer test suite failed"
+  -E '^(hive_lint_clean|hive_lint_fixture)' || fail "sanitizer test suite failed"
 
 echo "== sanitizer build: TSan campaign thread pool =="
 # The campaign driver is the only multithreaded component (scenario worker

@@ -151,16 +151,27 @@ std::vector<Pfn> FirewallManager::RevokeAllFor(Ctx& ctx, CellId failed_cell) {
 
 int FirewallManager::RevokeAllRemote(Ctx& ctx) {
   int revoked = 0;
+  // Snapshot the grant set into (pfn, client) pairs and revoke in sorted
+  // order: the hash maps' iteration order must not leak into the mutation
+  // sequence (determinism purity, lint R10).
+  std::vector<std::pair<Pfn, CellId>> grants;
+  // hive-lint: allow(R10): collection loop only; the pairs are sorted below before any side effect.
   for (auto& [pfn, cells] : grants_by_page_) {
+    // hive-lint: allow(R10): collection loop only; the pairs are sorted below before any side effect.
     for (auto& [client, count] : cells) {
-      MutateVector(pfn, [&, page = pfn, target = client] {
-        cell_->machine().firewall().RevokeCpus(
-            page, cell_->system()->cell(target).CpuMask(), LocalCpuFor(page));
-      });
-      ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
-      ++revokes_;
-      ++revoked;
+      (void)count;
+      grants.emplace_back(pfn, client);
     }
+  }
+  std::sort(grants.begin(), grants.end());
+  for (const auto& [pfn, client] : grants) {
+    MutateVector(pfn, [&, page = pfn, target = client] {
+      cell_->machine().firewall().RevokeCpus(
+          page, cell_->system()->cell(target).CpuMask(), LocalCpuFor(page));
+    });
+    ctx.Charge(cell_->machine().config().latency.firewall_revoke_ns);
+    ++revokes_;
+    ++revoked;
   }
   grants_by_page_.clear();
   pages_by_cell_.clear();

@@ -382,12 +382,16 @@ void HiveSystem::NotifyExit(ProcId pid) {
 
 void HiveSystem::WakeOrphanedWaiters() {
   std::vector<ProcId> orphaned;
+  // hive-lint: allow(R10): collection loop only; orphaned is sorted below before waiters are woken.
   for (auto& [child, waiters] : exit_waiters_) {
     (void)waiters;
     if (ProcessFinished(child)) {
       orphaned.push_back(child);
     }
   }
+  // Wake in pid order: the hash map's iteration order must not decide which
+  // waiter becomes runnable first (determinism purity, lint R10).
+  std::sort(orphaned.begin(), orphaned.end());
   for (ProcId child : orphaned) {
     NotifyExit(child);
   }

@@ -263,6 +263,7 @@ int PageAllocator::DropBorrowsFrom(CellId failed_cell) {
 
 bool PageAllocator::IsLoanedFrame(const Pfdat* pfdat) const {
   Pfdat* key = const_cast<Pfdat*>(pfdat);
+  // hive-lint: allow(R10): pure membership predicate; the same bool falls out in any iteration order and nothing is mutated.
   for (const auto& [client, bucket] : loaned_) {
     if (bucket.count(key) > 0) {
       return true;

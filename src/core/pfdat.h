@@ -14,9 +14,11 @@
 #ifndef HIVE_SRC_CORE_PFDAT_H_
 #define HIVE_SRC_CORE_PFDAT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -83,10 +85,17 @@ class PfdatTable {
   void InsertHash(Pfdat* pfdat);
   void RemoveHash(Pfdat* pfdat);
 
-  // Enumeration for recovery scans.
+  // Enumeration for recovery scans. Visits pfdats in ascending frame order:
+  // several callers bound or order their side effects by visit order
+  // (pageout passes stop at max_pages, recovery scans build drop lists), so
+  // the hash map's iteration order must not leak into simulation outcomes
+  // (determinism purity, lint R10).
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (auto& [frame, pfdat] : by_frame_) {
+    std::vector<std::pair<PhysAddr, Pfdat*>> sorted(by_frame_.begin(), by_frame_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [frame, pfdat] : sorted) {
       fn(pfdat);
     }
   }

@@ -376,7 +376,9 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
       dup_ctx.Charge(costs_.rpc_dispatch_ns + costs_.rpc_server_stub_ns);
       RpcReply scratch;
       try {
-        tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
+        // The duplicate's status is deliberately dropped: the client already
+        // answered from the original; only the occupancy cost matters here.
+        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
         // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
       } catch (const flash::BusError& e) {
         tcell.Panic(std::string("bus error during RPC service: ") + e.what());
@@ -515,7 +517,9 @@ base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const Rp
       dup_ctx.start = server_ctx.VirtualNow();
       RpcReply scratch;
       try {
-        tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
+        // The duplicate's status is deliberately dropped: the client already
+        // answered from the original; only the occupancy cost matters here.
+        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
         // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
       } catch (const flash::BusError& e) {
         tcell.Panic(std::string("bus error during RPC service: ") + e.what());

@@ -1,5 +1,7 @@
 #include "src/core/scheduler.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 #include "src/core/cell.h"
 #include "src/core/cow_tree.h"
@@ -211,9 +213,14 @@ void Scheduler::KillProcess(Ctx& ctx, Process* proc, const std::string& reason) 
 std::vector<Process*> Scheduler::AllProcesses() {
   std::vector<Process*> all;
   all.reserve(processes_.size());
+  // hive-lint: allow(R10): collection loop only; the list is sorted by pid below.
   for (auto& [pid, proc] : processes_) {
     all.push_back(proc.get());
   }
+  // Pid order, not hash order: callers iterate this list with side effects
+  // (recovery kill sweeps), so the order must be reproducible (lint R10).
+  std::sort(all.begin(), all.end(),
+            [](const Process* a, const Process* b) { return a->pid() < b->pid(); });
   return all;
 }
 

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Asserts one lint rule's fixture pair: the bad fixture must trip the rule,
+# and its good twin(s) must stay completely silent. Run by the
+# hive_lint_fixture_r* ctest entries.
+#
+# usage: lint_fixture_pair_test.sh <hive_lint> <fixture_root> <rule>
+#            <bad_file> <good_file>...
+set -u
+
+LINT="$1"; ROOT="$2"; RULE="$3"; BAD="$4"
+shift 4
+
+OUT=$("$LINT" --root "$ROOT")
+STATUS=$?
+if [ "$STATUS" -ne 1 ]; then
+  echo "FAIL: expected exit 1 from the fixture scan, got $STATUS"
+  echo "$OUT"
+  exit 1
+fi
+
+if ! echo "$OUT" | grep -q "^${BAD}:[0-9]*: \[${RULE}\]"; then
+  echo "FAIL: expected a ${RULE} diagnostic in ${BAD}"
+  echo "$OUT"
+  exit 1
+fi
+
+for GOOD in "$@"; do
+  if echo "$OUT" | grep -q "^${GOOD}:"; then
+    echo "FAIL: good twin ${GOOD} produced diagnostics:"
+    echo "$OUT" | grep "^${GOOD}:"
+    exit 1
+  fi
+done
+
+echo "PASS: ${RULE} fires in ${BAD}; good twin(s) silent"
+exit 0

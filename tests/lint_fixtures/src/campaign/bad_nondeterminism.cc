@@ -1,0 +1,44 @@
+// Fixture: R10 nondeterminism reachable from a scenario runner. Never
+// compiled. This file defines a `RunScenario` -- the same simple name as the
+// real campaign entry point, so the fixture tree's reachability analysis
+// roots here -- and seeds every banned ingredient below it.
+#include <chrono>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace campaign {
+
+// Address-keyed ordered container: iteration follows ASLR'd addresses.
+// Must be flagged (R10) at the declaration.
+std::map<int*, int> g_fixture_by_addr;
+
+int FixtureEntropyJitter() {
+  // Hardware entropy in a helper two call hops below the root. Must be
+  // flagged (R10).
+  std::random_device entropy;
+  return static_cast<int>(entropy() % 7);
+}
+
+long FixtureWallClock() {
+  // Wall-clock read on a reachable path. Must be flagged (R10).
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int FixtureJitteredDelay() {
+  // Must be flagged (R10): rand() on a reachable path.
+  return FixtureEntropyJitter() + rand() % 3;
+}
+
+int RunScenario(unsigned seed) {
+  std::unordered_map<int, int> counts;
+  counts[static_cast<int>(seed)] = FixtureJitteredDelay();
+  long sum = FixtureWallClock();
+  // Must be flagged (R10): hash-order iteration feeding the result.
+  for (const auto& [key, count] : counts) {
+    sum += key * count;
+  }
+  return static_cast<int>(sum);
+}
+
+}  // namespace campaign

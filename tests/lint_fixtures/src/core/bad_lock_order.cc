@@ -1,0 +1,26 @@
+// Fixture: R8 lock-order cycle, half A. Never compiled.
+//
+// This TU takes g_fix_mu_a and then (through a call) g_fix_mu_b;
+// bad_lock_order_peer.cc takes them in the opposite order. Neither TU alone
+// shows the cycle -- that is the point: R8 must stitch the order graph
+// across translation units via the call-graph index.
+#include <mutex>
+
+namespace hive {
+
+extern std::mutex g_fix_mu_a;
+extern std::mutex g_fix_mu_b;
+
+void FixtureLockA();   // Defined in bad_lock_order_peer.cc.
+void FixtureLockB() {
+  std::lock_guard<std::mutex> guard(g_fix_mu_b);
+}
+
+// Edge g_fix_mu_a -> g_fix_mu_b: B is acquired (via the call) while A is
+// held. Must contribute half of the R8 cycle.
+void FixtureTakeAThenB() {
+  std::lock_guard<std::mutex> guard(g_fix_mu_a);
+  FixtureLockB();
+}
+
+}  // namespace hive

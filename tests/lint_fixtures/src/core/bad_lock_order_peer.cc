@@ -1,0 +1,23 @@
+// Fixture: R8 lock-order cycle, half B. Never compiled.
+// See bad_lock_order.cc: this TU acquires g_fix_mu_b then g_fix_mu_a,
+// closing the cross-TU cycle that R8 must report with both witness paths.
+#include <mutex>
+
+namespace hive {
+
+std::mutex g_fix_mu_a;
+std::mutex g_fix_mu_b;
+
+void FixtureLockA() {
+  std::lock_guard<std::mutex> guard(g_fix_mu_a);
+}
+
+// Edge g_fix_mu_b -> g_fix_mu_a, this time by direct nesting: must close the
+// cycle against bad_lock_order.cc's a-then-b path.
+void FixtureTakeBThenA() {
+  std::lock_guard<std::mutex> guard(g_fix_mu_b);
+  std::lock_guard<std::mutex> inner(g_fix_mu_a);
+  (void)inner;
+}
+
+}  // namespace hive

@@ -1,0 +1,33 @@
+// Fixture: R11 raw access to tagged remote structures. Never compiled.
+// RemoteChainNode models memory owned by ANOTHER cell; outside careful_ref
+// it may only be named by address, never held as a raw pointer.
+#include <cstdint>
+
+namespace hive {
+
+struct RemoteChainNode {
+  uint64_t tag;
+  uint64_t value;
+  uint64_t next_addr;
+};
+
+uint64_t BadCastPeek(uint64_t addr) {
+  // reinterpret_cast to a tagged remote structure. Must be flagged (R11).
+  const auto* node = reinterpret_cast<const RemoteChainNode*>(addr);
+  return node->value;
+}
+
+uint64_t BadRawPointerWalk(RemoteChainNode* head) {
+  // Raw pointer declaration over remote memory. Must be flagged (R11): a
+  // plain dereference turns a peer fault into a survivor crash.
+  RemoteChainNode* cursor = head;
+  return cursor->next_addr;
+}
+
+uint64_t SuppressedCast(uint64_t addr) {
+  // properly suppressed: must NOT be reported.
+  // hive-lint: allow(R11): fixture exercising the suppression path; the address is pinned local scratch, not another cell's memory.
+  return reinterpret_cast<const RemoteChainNode*>(addr)->tag;
+}
+
+}  // namespace hive

@@ -1,0 +1,28 @@
+// Fixture: R9 discarded Status. Never compiled.
+#include "src/base/status.h"
+
+namespace hive {
+
+base::Status FixtureRecoverHeap(int attempts);
+
+void BadBareDiscard(int attempts) {
+  // Bare expression statement: the Status evaporates. Must be flagged (R9).
+  FixtureRecoverHeap(attempts);
+}
+
+struct FixtureRecoverer {
+  base::Status Sweep();
+};
+
+void BadMemberDiscard(FixtureRecoverer* recoverer) {
+  // Member-call receiver chain, same discard. Must be flagged (R9).
+  recoverer->Sweep();
+}
+
+void SuppressedDiscard(int attempts) {
+  // properly suppressed: must NOT be reported.
+  // hive-lint: allow(R9): fixture exercising the suppression path; the caller's retry loop re-checks the heap.
+  FixtureRecoverHeap(attempts);
+}
+
+}  // namespace hive

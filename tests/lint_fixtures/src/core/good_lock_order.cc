@@ -1,0 +1,33 @@
+// Fixture: R8 good twin. Never compiled. Must produce no diagnostics.
+//
+// Same shape as the bad pair -- two mutexes, nesting, a cross-function
+// acquisition -- but every path agrees on the order (ord_a before ord_b), and
+// the one both-at-once site uses std::scoped_lock, which acquires its
+// arguments deadlock-free as a unit (no order edge between same-site keys).
+#include <mutex>
+
+namespace hive {
+
+std::mutex g_fix_ord_a;
+std::mutex g_fix_ord_b;
+
+void FixtureOrderedInner() {
+  std::lock_guard<std::mutex> guard(g_fix_ord_b);
+}
+
+void FixtureOrderedOuter() {
+  std::lock_guard<std::mutex> guard(g_fix_ord_a);
+  FixtureOrderedInner();
+}
+
+void FixtureOrderedNested() {
+  std::lock_guard<std::mutex> guard(g_fix_ord_a);
+  std::lock_guard<std::mutex> inner(g_fix_ord_b);
+  (void)inner;
+}
+
+void FixtureScopedBoth() {
+  std::scoped_lock both(g_fix_ord_b, g_fix_ord_a);
+}
+
+}  // namespace hive

@@ -1,0 +1,29 @@
+// Fixture: R11 good twin. Never compiled. Must produce no diagnostics.
+// The sanctioned idiom: remote structures are named by address (uint64_t)
+// and read through the CarefulRef accessors, which bound the access,
+// validate the type tag, and convert bus errors to Status. Naming the type
+// as a template argument (no '*') is fine -- only raw pointers and
+// reinterpret_casts are dereferences-in-waiting.
+#include <cstdint>
+
+#include "src/base/status.h"
+
+namespace hive {
+
+struct RemoteSeqBlock;  // Tag-checked layout; defined in careful_ref.h.
+class CarefulRef;
+
+base::Result<uint64_t> GoodCarefulPeek(CarefulRef& careful, uint64_t addr);
+
+base::Result<uint64_t> GoodChainWalk(CarefulRef& careful, uint64_t head_addr,
+                                     int max_hops) {
+  uint64_t cursor_addr = head_addr;
+  for (int hop = 0; hop < max_hops && cursor_addr != 0; ++hop) {
+    auto value = GoodCarefulPeek(careful, cursor_addr);
+    RETURN_IF_ERROR_RESULT(value);
+    cursor_addr = *value;
+  }
+  return cursor_addr;
+}
+
+}  // namespace hive

@@ -1,0 +1,37 @@
+// Fixture: R9 good twin. Never compiled. Must produce no diagnostics.
+// Every way a Status may legitimately flow: bound, returned, tested,
+// propagated through RETURN_IF_ERROR, or explicitly (void)-discarded with a
+// justifying comment.
+#include "src/base/status.h"
+
+namespace hive {
+
+base::Status FixtureFlushQueue(int depth);
+
+base::Status GoodReturned(int depth) {
+  return FixtureFlushQueue(depth);
+}
+
+base::Status GoodBound(int depth) {
+  base::Status status = FixtureFlushQueue(depth);
+  return status;
+}
+
+base::Status GoodPropagated(int depth) {
+  RETURN_IF_ERROR(FixtureFlushQueue(depth));
+  return base::Status::Ok();
+}
+
+bool GoodTested(int depth) {
+  if (!FixtureFlushQueue(depth).ok()) {
+    return false;
+  }
+  return true;
+}
+
+void GoodVoidCast(int depth) {
+  // Best-effort flush on the shutdown path; failure only delays reclaim.
+  (void)FixtureFlushQueue(depth);
+}
+
+}  // namespace hive

@@ -1,0 +1,197 @@
+// Unit tests for the hive_lint tokenizer -- specifically the hardening
+// against the three constructs that made v1 misfire: raw string literals
+// (whose bodies can contain anything, including fake rule triggers),
+// backslash-spliced line comments (whose tails must not tokenize as code),
+// and `#if 0` regions (disabled code must not produce diagnostics).
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/hive_lint/lexer.h"
+
+namespace lint {
+namespace {
+
+SourceFile Lex(const std::string& text) {
+  SourceFile file;
+  file.rel_path = "src/core/test_input.cc";
+  Tokenize(text, &file);
+  return file;
+}
+
+std::vector<std::string> Texts(const SourceFile& file) {
+  std::vector<std::string> out;
+  out.reserve(file.tokens.size());
+  for (const Token& tok : file.tokens) {
+    out.push_back(tok.text);
+  }
+  return out;
+}
+
+bool HasIdent(const SourceFile& file, const std::string& name) {
+  for (const Token& tok : file.tokens) {
+    if (tok.kind == Token::kIdent && tok.text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LexerTest, BasicTokensAndLines) {
+  SourceFile file = Lex("int x = 42;\nfoo->bar(x);\n");
+  const std::vector<std::string> texts = Texts(file);
+  EXPECT_EQ(texts, (std::vector<std::string>{"int", "x", "=", "42", ";", "foo",
+                                             "->", "bar", "(", "x", ")", ";"}));
+  EXPECT_EQ(file.tokens.front().line, 1);
+  EXPECT_EQ(file.tokens.back().line, 2);
+}
+
+TEST(LexerTest, RawStringBodyIsNotTokenized) {
+  // A raw string whose body contains quotes, a fake RawWrite call, and a
+  // paren imbalance. None of that may leak into the token stream.
+  SourceFile file = Lex(
+      "const char* kDoc = R\"(call RawWrite(\"x\") ) ( })\";\n"
+      "int after = 1;\n");
+  EXPECT_FALSE(HasIdent(file, "RawWrite"));
+  EXPECT_TRUE(HasIdent(file, "after"));
+  // The literal collapses to a single placeholder string token.
+  int strings = 0;
+  for (const Token& tok : file.tokens) {
+    strings += tok.kind == Token::kString ? 1 : 0;
+  }
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LexerTest, RawStringCustomDelimiterAndNewlines) {
+  // )x" inside the body must not close a delim)-guarded literal, and the
+  // embedded newlines must keep later line numbers accurate.
+  SourceFile file = Lex(
+      "auto s = R\"delim(line one )\" still inside\nline two)delim\";\n"
+      "int marker = 2;\n");
+  EXPECT_TRUE(HasIdent(file, "marker"));
+  for (const Token& tok : file.tokens) {
+    if (tok.text == "marker") {
+      EXPECT_EQ(tok.line, 3);
+    }
+  }
+}
+
+TEST(LexerTest, RawStringEncodingPrefixes) {
+  for (const std::string prefix : {"u8R", "uR", "LR", "UR"}) {
+    SourceFile file = Lex("auto s = " + prefix + "\"(hidden RawRead())\";\nint tail = 0;\n");
+    EXPECT_FALSE(HasIdent(file, "RawRead")) << prefix;
+    EXPECT_TRUE(HasIdent(file, "tail")) << prefix;
+  }
+  // An identifier merely ending in R (not a prefix) stays an identifier.
+  SourceFile file = Lex("int VAR = 1; auto t = VAR\"s\";\n");
+  EXPECT_TRUE(HasIdent(file, "VAR"));
+}
+
+TEST(LexerTest, SplicedLineCommentSwallowsContinuation) {
+  // The backslash splices the second physical line into the comment: the
+  // RawWrite there is commentary, not code.
+  SourceFile file = Lex(
+      "int a = 1; // comment continues \\\n"
+      "RawWrite(0x10); still comment\n"
+      "int b = 2;\n");
+  EXPECT_FALSE(HasIdent(file, "RawWrite"));
+  EXPECT_TRUE(HasIdent(file, "b"));
+  for (const Token& tok : file.tokens) {
+    if (tok.text == "b") {
+      EXPECT_EQ(tok.line, 3);  // Line counting survives the splice.
+    }
+  }
+  // The spliced tail is part of the comment body (suppressions keep working).
+  ASSERT_EQ(file.comments.size(), 1u);
+  EXPECT_NE(file.comments[0].text.find("RawWrite"), std::string::npos);
+}
+
+TEST(LexerTest, SplicedSuppressionCommentParses) {
+  SourceFile file = Lex(
+      "// hive-lint: allow(R2): justification split \\\n"
+      "across physical lines for the test\n"
+      "RawWrite(0);\n");
+  ASSERT_EQ(file.comments.size(), 1u);
+  EXPECT_NE(file.comments[0].text.find("allow(R2)"), std::string::npos);
+  // The comment ends on line 2; the marker line is where the splice ends.
+  EXPECT_EQ(file.comments[0].line, 2);
+}
+
+TEST(LexerTest, IfZeroRegionIsSkipped) {
+  SourceFile file = Lex(
+      "int before = 1;\n"
+      "#if 0\n"
+      "RawWrite(0xdead);  // disabled code must not tokenize\n"
+      "#endif\n"
+      "int after = 2;\n");
+  EXPECT_FALSE(HasIdent(file, "RawWrite"));
+  EXPECT_TRUE(HasIdent(file, "before"));
+  EXPECT_TRUE(HasIdent(file, "after"));
+  for (const Token& tok : file.tokens) {
+    if (tok.text == "after") {
+      EXPECT_EQ(tok.line, 5);  // Lines inside the dead region still count.
+    }
+  }
+}
+
+TEST(LexerTest, IfZeroElseArmIsLive) {
+  // Only the 0-arm is dead; the #else arm is what the compiler builds.
+  SourceFile file = Lex(
+      "#if 0\n"
+      "int dead = 1;\n"
+      "#else\n"
+      "int live = 2;\n"
+      "#endif\n");
+  EXPECT_FALSE(HasIdent(file, "dead"));
+  EXPECT_TRUE(HasIdent(file, "live"));
+}
+
+TEST(LexerTest, IfZeroTracksNestedConditionals) {
+  // The inner #ifdef/#endif must not terminate the outer dead region.
+  SourceFile file = Lex(
+      "#if 0\n"
+      "#ifdef SOMETHING\n"
+      "int dead_inner = 1;\n"
+      "#endif\n"
+      "int dead_outer = 2;\n"
+      "#endif\n"
+      "int live = 3;\n");
+  EXPECT_FALSE(HasIdent(file, "dead_inner"));
+  EXPECT_FALSE(HasIdent(file, "dead_outer"));
+  EXPECT_TRUE(HasIdent(file, "live"));
+}
+
+TEST(LexerTest, OtherDirectivesStillTokenize) {
+  // #if 1, #ifdef, #include: their lines flow through (the rules need to see
+  // include tokens), and a '#' mid-line is plain punctuation.
+  SourceFile file = Lex(
+      "#if 1\n"
+      "int kept = 1;\n"
+      "#endif\n"
+      "#define STR(x) #x\n");
+  EXPECT_TRUE(HasIdent(file, "kept"));
+  EXPECT_TRUE(HasIdent(file, "define"));
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  SourceFile file = Lex("const char* s = \"RawWrite(1)\"; char c = ')';\n");
+  EXPECT_FALSE(HasIdent(file, "RawWrite"));
+  ASSERT_GE(file.tokens.size(), 2u);
+  int char_lits = 0;
+  for (const Token& tok : file.tokens) {
+    char_lits += tok.kind == Token::kCharLit ? 1 : 0;
+  }
+  EXPECT_EQ(char_lits, 1);
+}
+
+TEST(LexerTest, BlockCommentsCollectedWithEndLine) {
+  SourceFile file = Lex("/* spans\nlines */ int x = 1;\n");
+  ASSERT_EQ(file.comments.size(), 1u);
+  EXPECT_EQ(file.comments[0].line, 2);
+  EXPECT_TRUE(HasIdent(file, "x"));
+  EXPECT_EQ(file.tokens.front().line, 2);
+}
+
+}  // namespace
+}  // namespace lint

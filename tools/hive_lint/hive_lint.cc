@@ -1,828 +1,323 @@
-// hive_lint: a repo-specific safety checker for the Hive fault-containment
-// disciplines. The containment guarantees of the paper rest on coding rules,
-// not on the type system; this tool makes the rules machine-checked so a
-// future change cannot silently violate them.
+// hive_lint v2 driver.
 //
-// Rules (see DESIGN.md "Verification layers"):
-//   R1  No direct PhysMem access (ReadValue/WriteValue, or Read/Write on a
-//       `mem`/`mem_` receiver) from src/core/ outside the allowlisted files.
-//       Intercell reads must flow through CarefulRef; local page-data copies
-//       that legitimately use the checked path carry a justified suppression.
-//   R2  The RawWrite/RawRead firewall backdoors are only used by the fault
-//       injector (src/flash/fault_injector.cc), PhysMem itself, and tests/.
-//   R3  flash::BusError is thrown/caught only inside src/flash/ and
-//       src/core/careful_ref.*. Kernel code converts bus errors to
-//       base::Status at the careful-reference boundary; the few legitimate
-//       kernel-boundary handlers carry justified suppressions. tests/ may
-//       observe the raw trap directly.
-//   R4  Every TraceEvent enumerator is handled in the TraceEventName switch
-//       (the post-mortem renderer must never print "?" for a real event).
-//   R5  KernelTypeTag values are unique: the careful reference protocol's
-//       type-tag check is only as strong as tag uniqueness.
-//   R6  Non-idempotent RPC handlers (mutating message types) must register
-//       through the replay-cache path (RegisterInterruptAtMostOnce /
-//       RegisterQueuedAtMostOnce); the reliable transport retries timed-out
-//       requests, so a plain registration would re-execute the mutation on a
-//       duplicate delivery. Idempotent-by-design handlers carry a justified
-//       suppression.
-//   R7  Remote pointer-chase loops must be hop-bounded. A for/while loop that
-//       performs per-node tagged remote reads (CheckTag / ReadTagged) with no
-//       visible traversal bound follows pointers a rogue peer controls: a
-//       cyclic or endlessly growing chain hangs the surviving reader
-//       (no-survivor-hang discipline). Use CarefulRef::ChaseChain /
-//       ReadSeqlocked, or carry the bound in the loop itself.
+// Pass 1: tokenize every .h/.cc under <root>/{src,tests,bench} (skipping
+// tests/lint_fixtures, which holds deliberate violations) and build the
+// whole-program index. Pass 2: run the registered rules (R1-R11; R0 falls
+// out of suppression parsing), apply `hive-lint: allow(Rn): why` markers
+// (same line or the line above; R0 itself is unsuppressible), sort, render.
 //
-// Suppressions: `// hive-lint: allow(R1): <justification>` on the violating
-// line or the line directly above it. The justification is mandatory; a
-// suppression without one is itself reported (rule R0).
+//   hive_lint [--root <dir>] [--format=text|json] [--stats] [--verbose]
 //
-// No libclang: a small C++ tokenizer (comments, strings, raw strings, char
-// literals) plus token-pattern rules. This trades soundness for zero
-// dependencies; the receiver heuristics are documented next to each rule.
+// Exit codes: 0 clean, 1 diagnostics remain, 2 usage/IO error. JSON output
+// (schema "hive-lint-v2") always embeds the stats block so CI can assert the
+// time budget from the same artifact it diffs against the baseline.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <optional>
-#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "tools/hive_lint/index.h"
+#include "tools/hive_lint/lexer.h"
+#include "tools/hive_lint/rules.h"
 
+namespace lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer.
-// ---------------------------------------------------------------------------
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
 
-struct Token {
-  enum Kind { kIdent, kNumber, kString, kCharLit, kPunct };
-  Kind kind;
-  std::string text;
-  int line;
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct RuleStat {
+  std::string id;
+  std::string title;
+  double ms = 0.0;
+  size_t raw_diags = 0;  // Before suppression.
 };
 
-struct Comment {
-  std::string text;
-  int line;  // Line the comment ends on.
+struct RunStats {
+  size_t files = 0;
+  size_t tokens = 0;
+  size_t functions = 0;
+  size_t suppressions = 0;
+  double read_ms = 0.0;   // Read + tokenize + suppression parse.
+  double index_ms = 0.0;  // Pass 1.
+  std::vector<RuleStat> rules;
+  double total_ms = 0.0;
 };
 
-struct SourceFile {
-  std::string rel_path;  // Relative to the scan root, '/' separators.
-  std::vector<Token> tokens;
-  std::vector<Comment> comments;
-};
-
-bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-// Tokenizes `text`. Comments are collected separately (for suppression
-// parsing) and never appear in the token stream, so commented-out code can
-// not trigger rules.
-void Tokenize(const std::string& text, SourceFile* out) {
-  size_t i = 0;
-  int line = 1;
-  const size_t n = text.size();
-  auto peek = [&](size_t ahead) -> char { return i + ahead < n ? text[i + ahead] : '\0'; };
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && peek(1) == '/') {
-      size_t start = i + 2;
-      while (i < n && text[i] != '\n') {
-        ++i;
-      }
-      out->comments.push_back({text.substr(start, i - start), line});
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && peek(1) == '*') {
-      size_t start = i + 2;
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          ++line;
-        }
-        ++i;
-      }
-      const size_t end = std::min(i, n);
-      out->comments.push_back({text.substr(start, end - start), line});
-      i = std::min(i + 2, n);
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && text[j] != '(') {
-        delim.push_back(text[j++]);
-      }
-      const std::string closer = ")" + delim + "\"";
-      size_t end = text.find(closer, j);
-      if (end == std::string::npos) {
-        end = n;
-      } else {
-        end += closer.size();
-      }
-      for (size_t k = i; k < end; ++k) {
-        if (text[k] == '\n') {
-          ++line;
-        }
-      }
-      out->tokens.push_back({Token::kString, "R\"...\"", line});
-      i = end;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      size_t j = i + 1;
-      while (j < n && text[j] != quote) {
-        if (text[j] == '\\') {
-          ++j;
-        }
-        ++j;
-      }
-      out->tokens.push_back(
-          {quote == '"' ? Token::kString : Token::kCharLit, text.substr(i, j + 1 - i), line});
-      i = j + 1;
-      continue;
-    }
-    // Identifier / keyword.
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(text[j])) {
-        ++j;
-      }
-      out->tokens.push_back({Token::kIdent, text.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Number (decimal, hex, binary; digit separators and suffixes included).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i;
-      while (j < n && (IsIdentChar(text[j]) || text[j] == '\'')) {
-        ++j;
-      }
-      out->tokens.push_back({Token::kNumber, text.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Multi-char punctuation the rules care about; everything else single.
-    if (c == '-' && peek(1) == '>') {
-      out->tokens.push_back({Token::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    if (c == ':' && peek(1) == ':') {
-      out->tokens.push_back({Token::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    out->tokens.push_back({Token::kPunct, std::string(1, c), line});
-    ++i;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Diagnostics and suppressions.
-// ---------------------------------------------------------------------------
-
-struct Diagnostic {
-  std::string rel_path;
-  int line;
-  std::string rule;
-  std::string message;
-};
-
-struct Suppression {
-  std::string rule;
-  int line;
-};
-
-// Parses `hive-lint: allow(R1): justification` (also `allow(R1,R3)`; the
-// separator after the ')' may be ':' or '-'). Returns suppressions; emits an
-// R0 diagnostic when the marker is present but malformed or unjustified.
-std::vector<Suppression> ParseSuppressions(const SourceFile& file,
-                                           std::vector<Diagnostic>* diags) {
-  std::vector<Suppression> sups;
-  for (const Comment& comment : file.comments) {
-    const size_t marker = comment.text.find("hive-lint:");
-    if (marker == std::string::npos) {
-      continue;
-    }
-    const size_t allow = comment.text.find("allow(", marker);
-    const size_t close = allow == std::string::npos ? std::string::npos
-                                                    : comment.text.find(')', allow);
-    if (close == std::string::npos) {
-      diags->push_back({file.rel_path, comment.line, "R0",
-                        "malformed hive-lint comment: expected 'allow(<rule>)'"});
-      continue;
-    }
-    // Justification: non-empty text after the closing ')' and a separator.
-    std::string rest = comment.text.substr(close + 1);
-    while (!rest.empty() && (rest.front() == ':' || rest.front() == '-' ||
-                             std::isspace(static_cast<unsigned char>(rest.front())))) {
-      rest.erase(rest.begin());
-    }
-    if (rest.size() < 8) {  // A real reason, not "ok" or empty.
-      diags->push_back({file.rel_path, comment.line, "R0",
-                        "hive-lint suppression requires a justification after the rule "
-                        "('// hive-lint: allow(Rn): <why this is safe>')"});
-      continue;
-    }
-    std::string rules = comment.text.substr(allow + 6, close - allow - 6);
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                [](char c) { return std::isspace(static_cast<unsigned char>(c)); }),
-                 rule.end());
-      if (!rule.empty()) {
-        sups.push_back({rule, comment.line});
-      }
-    }
-  }
-  return sups;
-}
-
-// ---------------------------------------------------------------------------
-// Per-file rules R1-R3.
-// ---------------------------------------------------------------------------
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-// Receiver name of a member call at token index `access` (the '.' or '->'
-// token): the identifier directly before it, or, for a call-chain receiver
-// like `machine().mem().Write`, the identifier naming the innermost call
-// (`mem`). Returns "" when the receiver is not a simple name or call.
-std::string ReceiverName(const std::vector<Token>& toks, size_t access) {
-  if (access == 0) {
-    return "";
-  }
-  size_t i = access - 1;
-  if (toks[i].kind == Token::kIdent) {
-    return toks[i].text;
-  }
-  if (toks[i].text == ")") {
-    int depth = 1;
-    while (i > 0 && depth > 0) {
-      --i;
-      if (toks[i].text == ")") {
-        ++depth;
-      } else if (toks[i].text == "(") {
-        --depth;
-      }
-    }
-    if (depth == 0 && i > 0 && toks[i - 1].kind == Token::kIdent) {
-      return toks[i - 1].text;
-    }
-  }
-  return "";
-}
-
-// R1: direct PhysMem access from src/core/. `ReadValue`/`WriteValue` exist
-// only on PhysMem, so any member call to them is flagged. Plain `Read`/
-// `Write` are common method names (CarefulRef, KernelHeap, FileSystem...), so
-// they are flagged only when the receiver is named `mem`/`mem_` -- the
-// codebase-wide convention for the PhysMem instance (`machine().mem()`,
-// member `mem_`).
-void CheckR1(const SourceFile& file, std::vector<Diagnostic>* diags) {
-  static const std::set<std::string> kAllowlist = {
-      // The careful-reference boundary itself (steps 2-4 wrap raw access).
-      "src/core/careful_ref.h", "src/core/careful_ref.cc",
-      // The allocator that writes the type tags the protocol checks.
-      "src/core/kernel_heap.h", "src/core/kernel_heap.cc",
-      // Address maps are published data; their accessor owns its discipline.
-      "src/core/address_space.cc",
-      // The unified page cache: page-content copies on the checked store
-      // path (firewall + fault model apply); never careful-reference
-      // structure reads.
-      "src/core/filesystem.cc",
-  };
-  if (!StartsWith(file.rel_path, "src/core/") || kAllowlist.count(file.rel_path) > 0) {
-    return;
-  }
-  const std::vector<Token>& toks = file.tokens;
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].text != "." && toks[i].text != "->") {
-      continue;
-    }
-    const Token& method = toks[i + 1];
-    if (method.kind != Token::kIdent) {
-      continue;
-    }
-    if (method.text == "ReadValue" || method.text == "WriteValue") {
-      diags->push_back({file.rel_path, method.line, "R1",
-                        "direct PhysMem::" + method.text +
-                            " from core kernel code; intercell reads must go through "
-                            "CarefulRef (paper 4.1)"});
-      continue;
-    }
-    if ((method.text == "Read" || method.text == "Write")) {
-      const std::string receiver = ReceiverName(toks, i);
-      if (receiver == "mem" || receiver == "mem_") {
-        diags->push_back({file.rel_path, method.line, "R1",
-                          "direct PhysMem::" + method.text +
-                              " from core kernel code; intercell reads must go through "
-                              "CarefulRef (paper 4.1)"});
-      }
-    }
-  }
-}
-
-// R2: RawWrite/RawRead bypass the firewall and the fault flags; only the
-// fault injector (modelling a cell's own bug), PhysMem itself, and test
-// assertions may use them.
-void CheckR2(const SourceFile& file, std::vector<Diagnostic>* diags) {
-  if (file.rel_path == "src/flash/fault_injector.cc" ||
-      file.rel_path == "src/flash/phys_mem.h" || file.rel_path == "src/flash/phys_mem.cc" ||
-      StartsWith(file.rel_path, "tests/")) {
-    return;
-  }
-  for (const Token& tok : file.tokens) {
-    if (tok.kind == Token::kIdent && (tok.text == "RawWrite" || tok.text == "RawRead")) {
-      diags->push_back({file.rel_path, tok.line, "R2",
-                        tok.text + " bypasses the firewall; only the fault injector and "
-                                   "tests may use the backdoor (paper 4.2)"});
-    }
-  }
-}
-
-// R3: BusError must be converted to base::Status at the careful-reference
-// boundary. src/flash/ raises it; careful_ref.* catches it; tests/ observe
-// the raw trap when testing the substrate itself.
-void CheckR3(const SourceFile& file, std::vector<Diagnostic>* diags) {
-  if (StartsWith(file.rel_path, "src/flash/") || StartsWith(file.rel_path, "tests/") ||
-      file.rel_path == "src/core/careful_ref.h" ||
-      file.rel_path == "src/core/careful_ref.cc") {
-    return;
-  }
-  const std::vector<Token>& toks = file.tokens;
-  for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != Token::kIdent) {
-      continue;
-    }
-    if (toks[i].text == "throw") {
-      for (size_t j = i + 1; j < toks.size() && j < i + 8 && toks[j].text != ";"; ++j) {
-        if (toks[j].kind == Token::kIdent && toks[j].text == "BusError") {
-          diags->push_back({file.rel_path, toks[i].line, "R3",
-                            "BusError thrown outside src/flash/; the simulated trap is "
-                            "raised only by the substrate"});
-          break;
-        }
-      }
-    } else if (toks[i].text == "catch" && i + 1 < toks.size() && toks[i + 1].text == "(") {
-      int depth = 0;
-      for (size_t j = i + 1; j < toks.size(); ++j) {
-        if (toks[j].text == "(") {
-          ++depth;
-        } else if (toks[j].text == ")") {
-          if (--depth == 0) {
-            break;
-          }
-        } else if (toks[j].kind == Token::kIdent && toks[j].text == "BusError") {
-          diags->push_back({file.rel_path, toks[i].line, "R3",
-                            "BusError caught outside careful_ref; bus errors must become "
-                            "base::Status at the careful-reference boundary (paper 4.1)"});
-          break;
-        }
-      }
-    }
-  }
-}
-
-// R6: the reliable transport retries timed-out requests, so a handler for a
-// mutating message type that is registered through the plain
-// RegisterInterrupt/RegisterQueued path would re-execute its side effect when
-// a retry races a delayed original. Mutating types must use the AtMostOnce
-// registration (server-side replay cache) or carry a justified suppression
-// explaining why the handler is idempotent by design. Heuristic: a
-// RegisterInterrupt/RegisterQueued call site whose argument tokens (next few
-// tokens after the call) name a mutating MsgType enumerator. The
-// ...AtMostOnce identifiers are distinct tokens and never match.
-void CheckR6(const SourceFile& file, std::vector<Diagnostic>* diags) {
-  if (!StartsWith(file.rel_path, "src/")) {
-    return;  // Tests may register intentionally unsafe handlers.
-  }
-  static const std::set<std::string> kMutatingTypes = {
-      "kForkRemote", "kCreate",      "kUnlink",
-      "kBorrowFrames", "kReturnFrame", "kGrantFirewall",
-  };
-  const std::vector<Token>& toks = file.tokens;
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != Token::kIdent ||
-        (toks[i].text != "RegisterInterrupt" && toks[i].text != "RegisterQueued")) {
-      continue;
-    }
-    if (toks[i + 1].text != "(") {
-      continue;  // Mention in a declaration list or comment-adjacent token.
-    }
-    // The MsgType argument is within the first few tokens of the call
-    // (`MsgType :: kFoo` or a bare enumerator); the handler lambda follows.
-    for (size_t j = i + 2; j < toks.size() && j < i + 8; ++j) {
-      if (toks[j].kind == Token::kIdent && kMutatingTypes.count(toks[j].text) > 0) {
-        diags->push_back(
-            {file.rel_path, toks[i].line, "R6",
-             "non-idempotent RPC handler for MsgType::" + toks[j].text +
-                 " registered without the replay cache; use Register" +
-                 (toks[i].text == "RegisterInterrupt" ? "Interrupt" : "Queued") +
-                 std::string("AtMostOnce so a transport retry cannot re-execute "
-                             "the mutation (at-most-once contract, rpc.h)")});
-        break;
-      }
-    }
-  }
-}
-
-// R7: a loop that re-validates a remote type tag per iteration (CheckTag or
-// ReadTagged) is the token signature of a hand-rolled pointer chase: the
-// cursor comes from remote data the peer controls, so without a hop bound a
-// rogue peer that splices its chain into a cycle (or grows it forever) hangs
-// the surviving reader. Heuristic: the loop counts as bounded when its
-// condition or body mentions an identifier containing "hop", "max",
-// "attempt", "retr" or "bound" -- the codebase's bound-variable vocabulary
-// (max_hops, kMaxVisit, max_retries, attempt). The bounded traversal
-// primitives in careful_ref.cc pass on their own bound identifiers.
-void CheckR7(const SourceFile& file, std::vector<Diagnostic>* diags) {
-  if (!StartsWith(file.rel_path, "src/")) {
-    return;  // Tests may exercise deliberately unbounded walks.
-  }
-  const std::vector<Token>& toks = file.tokens;
-  auto match_forward = [&](size_t open, const std::string& opener,
-                           const std::string& closer) -> size_t {
-    int depth = 0;
-    size_t j = open;
-    for (; j < toks.size(); ++j) {
-      if (toks[j].text == opener) {
-        ++depth;
-      } else if (toks[j].text == closer && --depth == 0) {
-        break;
-      }
-    }
-    return j;  // toks.size() when unmatched.
-  };
-  auto is_bound_ident = [](const std::string& text) {
-    std::string lower;
-    lower.reserve(text.size());
-    for (char c : text) {
-      lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    }
-    for (const char* marker : {"hop", "max", "attempt", "retr", "bound"}) {
-      if (lower.find(marker) != std::string::npos) {
-        return true;
-      }
-    }
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
     return false;
-  };
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != Token::kIdent ||
-        (toks[i].text != "for" && toks[i].text != "while") || toks[i + 1].text != "(") {
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Collects the files to scan, sorted for deterministic output.
+std::vector<fs::path> CollectFiles(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tests", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
       continue;
     }
-    const size_t cond_open = i + 1;
-    const size_t cond_close = match_forward(cond_open, "(", ")");
-    if (cond_close >= toks.size()) {
-      continue;
-    }
-    size_t body_end;
-    const size_t body_begin = cond_close + 1;
-    if (body_begin < toks.size() && toks[body_begin].text == "{") {
-      body_end = match_forward(body_begin, "{", "}");
-    } else {
-      body_end = body_begin;
-      while (body_end < toks.size() && toks[body_end].text != ";") {
-        ++body_end;
-      }
-    }
-    bool tagged_read = false;
-    bool bounded = false;
-    for (size_t j = cond_open; j <= body_end && j < toks.size(); ++j) {
-      if (toks[j].kind != Token::kIdent) {
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();  // Deliberate violations live there.
         continue;
       }
-      if ((toks[j].text == "CheckTag" || toks[j].text == "ReadTagged") &&
-          j + 1 < toks.size() && (toks[j + 1].text == "(" || toks[j + 1].text == "<")) {
-        tagged_read = true;
-      } else if (is_bound_ident(toks[j].text)) {
-        bounded = true;
+      if (!it->is_regular_file()) {
+        continue;
       }
-    }
-    if (tagged_read && !bounded) {
-      diags->push_back(
-          {file.rel_path, toks[i].line, "R7",
-           "remote pointer-chase loop without a hop bound: per-node tagged reads "
-           "(CheckTag/ReadTagged) follow pointers the remote cell controls, so a "
-           "rogue peer can hang this reader; use CarefulRef::ChaseChain / "
-           "ReadSeqlocked or bound the walk (no-survivor-hang discipline)"});
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cc" || ext == ".h") {
+        files.push_back(it->path());
+      }
     }
   }
+  std::sort(files.begin(), files.end());
+  return files;
 }
 
-// ---------------------------------------------------------------------------
-// Cross-file rules R4-R5.
-// ---------------------------------------------------------------------------
+bool DiagLess(const Diagnostic& a, const Diagnostic& b) {
+  if (a.rel_path != b.rel_path) {
+    return a.rel_path < b.rel_path;
+  }
+  if (a.line != b.line) {
+    return a.line < b.line;
+  }
+  if (a.rule != b.rule) {
+    return a.rule < b.rule;
+  }
+  return a.message < b.message;
+}
 
-struct Enumerator {
-  std::string name;
-  uint64_t value;
-  int line;
-};
-
-// Parses the body of an enum starting at the '{' token at `open`, resolving
-// implicit values. Only literal values are resolved; expressions stop value
-// tracking for R5 (none exist in this codebase).
-std::vector<Enumerator> ParseEnumBody(const std::vector<Token>& toks, size_t open) {
-  std::vector<Enumerator> out;
-  uint64_t next_value = 0;
-  bool value_known = true;
-  for (size_t i = open + 1; i < toks.size() && toks[i].text != "}";) {
-    if (toks[i].kind != Token::kIdent) {
-      ++i;
-      continue;
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
-    Enumerator e{toks[i].text, 0, toks[i].line};
-    size_t j = i + 1;
-    if (j < toks.size() && toks[j].text == "=") {
-      ++j;
-      if (j < toks.size() && toks[j].kind == Token::kNumber) {
-        e.value = std::stoull(toks[j].text, nullptr, 0);
-        next_value = e.value + 1;
-        value_known = true;
-        ++j;
-      } else {
-        value_known = false;  // Expression initializer: skip value tracking.
-      }
-      // Skip to the ',' or '}'.
-      while (j < toks.size() && toks[j].text != "," && toks[j].text != "}") {
-        ++j;
-      }
-    } else {
-      e.value = next_value++;
-    }
-    if (value_known) {
-      out.push_back(e);
-    }
-    i = (j < toks.size() && toks[j].text == ",") ? j + 1 : j;
   }
   return out;
 }
 
-// Finds `enum [class] <name> [ : type ] {` and returns the index of the '{'.
-std::optional<size_t> FindEnum(const std::vector<Token>& toks, const std::string& name) {
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind == Token::kIdent && toks[i].text == "enum") {
-      size_t j = i + 1;
-      if (j < toks.size() && toks[j].text == "class") {
-        ++j;
-      }
-      if (j < toks.size() && toks[j].kind == Token::kIdent && toks[j].text == name) {
-        while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
-          ++j;
-        }
-        if (j < toks.size() && toks[j].text == "{") {
-          return j;
-        }
-      }
-    }
+void PrintJson(const std::vector<Diagnostic>& diags, const RunStats& stats,
+               const std::string& root) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"hive-lint-v2\",\n";
+  out << "  \"root\": \"" << JsonEscape(root) << "\",\n";
+  out << "  \"diagnostics\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << JsonEscape(diags[i].rel_path)
+        << "\", \"line\": " << diags[i].line << ", \"rule\": \""
+        << JsonEscape(diags[i].rule) << "\", \"message\": \""
+        << JsonEscape(diags[i].message) << "\"}";
   }
-  return std::nullopt;
+  out << (diags.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"stats\": {\n";
+  out << "    \"files\": " << stats.files << ",\n";
+  out << "    \"tokens\": " << stats.tokens << ",\n";
+  out << "    \"functions\": " << stats.functions << ",\n";
+  out << "    \"suppressions\": " << stats.suppressions << ",\n";
+  out << "    \"read_ms\": " << stats.read_ms << ",\n";
+  out << "    \"index_ms\": " << stats.index_ms << ",\n";
+  out << "    \"rules\": [";
+  for (size_t i = 0; i < stats.rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "      {\"id\": \"" << stats.rules[i].id << "\", \"ms\": "
+        << stats.rules[i].ms << ", \"diagnostics\": " << stats.rules[i].raw_diags
+        << "}";
+  }
+  out << (stats.rules.empty() ? "],\n" : "\n    ],\n");
+  out << "    \"total_ms\": " << stats.total_ms << "\n  }\n}\n";
+  std::cout << out.str();
 }
 
-// R4: every TraceEvent enumerator appears as `TraceEvent::<name>` inside the
-// body of the TraceEventName function definition.
-void CheckR4(const std::vector<SourceFile>& files, std::vector<Diagnostic>* diags) {
-  const SourceFile* enum_file = nullptr;
-  std::vector<Enumerator> events;
-  for (const SourceFile& file : files) {
-    if (auto open = FindEnum(file.tokens, "TraceEvent")) {
-      enum_file = &file;
-      events = ParseEnumBody(file.tokens, *open);
-      break;
-    }
+void PrintStatsText(const RunStats& stats) {
+  std::fprintf(stderr,
+               "hive_lint: %zu files, %zu tokens, %zu functions, %zu suppressions\n",
+               stats.files, stats.tokens, stats.functions, stats.suppressions);
+  std::fprintf(stderr, "  read+tokenize %8.2f ms\n", stats.read_ms);
+  std::fprintf(stderr, "  index         %8.2f ms\n", stats.index_ms);
+  for (const RuleStat& r : stats.rules) {
+    std::fprintf(stderr, "  %-4s          %8.2f ms  %4zu diag(s)  %s\n", r.id.c_str(),
+                 r.ms, r.raw_diags, r.title.c_str());
   }
-  if (enum_file == nullptr) {
-    return;  // Nothing to check in this tree.
-  }
-  // Locate the TraceEventName definition: identifier followed by '(',
-  // a ')' and then '{' (a declaration ends with ';').
-  for (const SourceFile& file : files) {
-    const std::vector<Token>& toks = file.tokens;
-    for (size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Token::kIdent || toks[i].text != "TraceEventName" ||
-          toks[i + 1].text != "(") {
-        continue;
-      }
-      size_t j = i + 1;
-      int depth = 0;
-      while (j < toks.size()) {
-        if (toks[j].text == "(") {
-          ++depth;
-        } else if (toks[j].text == ")") {
-          if (--depth == 0) {
-            break;
-          }
-        }
-        ++j;
-      }
-      ++j;
-      if (j >= toks.size() || toks[j].text != "{") {
-        continue;  // Declaration, not definition.
-      }
-      // Collect TraceEvent::<name> references in the function body.
-      std::set<std::string> handled;
-      int body_depth = 0;
-      const int fn_line = toks[i].line;
-      for (; j < toks.size(); ++j) {
-        if (toks[j].text == "{") {
-          ++body_depth;
-        } else if (toks[j].text == "}") {
-          if (--body_depth == 0) {
-            break;
-          }
-        } else if (toks[j].kind == Token::kIdent && toks[j].text == "TraceEvent" &&
-                   j + 2 < toks.size() && toks[j + 1].text == "::") {
-          handled.insert(toks[j + 2].text);
-        }
-      }
-      for (const Enumerator& e : events) {
-        if (handled.count(e.name) == 0) {
-          diags->push_back({file.rel_path, fn_line, "R4",
-                            "TraceEvent::" + e.name +
-                                " is not handled in the TraceEventName switch; the "
-                                "post-mortem trace would print '?'"});
-        }
-      }
-      return;
-    }
-  }
-  diags->push_back({enum_file->rel_path, 1, "R4",
-                    "enum TraceEvent is defined but no TraceEventName definition was found "
-                    "in the scanned tree"});
+  std::fprintf(stderr, "  total         %8.2f ms\n", stats.total_ms);
 }
 
-// R5: KernelTypeTag values must be unique; a duplicate tag would let the
-// careful reference protocol validate a pointer against the wrong type.
-void CheckR5(const std::vector<SourceFile>& files, std::vector<Diagnostic>* diags) {
-  for (const SourceFile& file : files) {
-    auto open = FindEnum(file.tokens, "KernelTypeTag");
-    if (!open) {
-      continue;
-    }
-    std::map<uint64_t, std::string> seen;
-    for (const Enumerator& e : ParseEnumBody(file.tokens, *open)) {
-      auto [it, inserted] = seen.emplace(e.value, e.name);
-      if (!inserted) {
-        std::ostringstream msg;
-        msg << "duplicate kernel type tag 0x" << std::hex << std::uppercase << e.value
-            << std::dec << ": " << e.name << " collides with " << it->second
-            << "; the type-tag defense (paper 4.1 step 4) requires unique tags";
-        diags->push_back({file.rel_path, e.line, "R5", msg.str()});
-      }
-    }
+int Run(const std::string& root_arg, const std::string& format, bool stats_flag,
+        bool verbose) {
+  const auto t0 = Clock::now();
+  const fs::path root(root_arg);
+  if (!fs::exists(root)) {
+    std::cerr << "hive_lint: root does not exist: " << root_arg << "\n";
+    return 2;
   }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-// ---------------------------------------------------------------------------
-
-bool ShouldScan(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
-}
-
-int Run(const fs::path& root, bool verbose) {
+  RunStats stats;
   std::vector<SourceFile> files;
-  for (const char* dir : {"src", "tests", "bench"}) {
-    const fs::path base = root / dir;
-    if (!fs::exists(base)) {
-      continue;
-    }
-    for (auto it = fs::recursive_directory_iterator(base);
-         it != fs::recursive_directory_iterator(); ++it) {
-      if (it->is_directory() && it->path().filename() == "lint_fixtures") {
-        // The seeded-violation fixtures are scanned only when the fixture
-        // tree itself is the root (the negative test).
-        it.disable_recursion_pending();
-        continue;
-      }
-      if (!it->is_regular_file() || !ShouldScan(it->path())) {
-        continue;
-      }
-      std::ifstream in(it->path(), std::ios::binary);
-      std::stringstream buffer;
-      buffer << in.rdbuf();
-      SourceFile file;
-      file.rel_path = fs::relative(it->path(), root).generic_string();
-      Tokenize(buffer.str(), &file);
-      files.push_back(std::move(file));
-    }
-  }
-  std::sort(files.begin(), files.end(),
-            [](const SourceFile& a, const SourceFile& b) { return a.rel_path < b.rel_path; });
-  if (verbose) {
-    std::cerr << "hive_lint: scanning " << files.size() << " files under " << root << "\n";
-  }
-
   std::vector<Diagnostic> diags;
-  std::map<std::string, std::vector<Suppression>> suppressions;
-  for (const SourceFile& file : files) {
-    suppressions[file.rel_path] = ParseSuppressions(file, &diags);
-    CheckR1(file, &diags);
-    CheckR2(file, &diags);
-    CheckR3(file, &diags);
-    CheckR6(file, &diags);
-    CheckR7(file, &diags);
-  }
-  CheckR4(files, &diags);
-  CheckR5(files, &diags);
+  std::vector<std::pair<std::string, Suppression>> sups;  // (rel_path, marker).
 
-  // Apply suppressions: a justified allow(Rn) on the violating line or the
-  // line directly above it. R0 (bad suppression) is never suppressible.
+  const auto t_read = Clock::now();
+  for (const fs::path& path : CollectFiles(root)) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << "hive_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    SourceFile file;
+    file.rel_path = fs::relative(path, root).generic_string();
+    Tokenize(text, &file);
+    stats.tokens += file.tokens.size();
+    files.push_back(std::move(file));
+  }
+  stats.files = files.size();
+  for (const SourceFile& file : files) {
+    for (const Suppression& sup : ParseSuppressions(file, &diags)) {
+      sups.emplace_back(file.rel_path, sup);
+    }
+  }
+  stats.suppressions = sups.size();
+  stats.read_ms = MsSince(t_read);
+
+  const auto t_index = Clock::now();
+  ProgramIndex index;
+  for (const SourceFile& file : files) {
+    IndexFile(file, &index);
+  }
+  stats.functions = index.functions.size();
+  stats.index_ms = MsSince(t_index);
+
+  RuleContext ctx{&files, &index, &diags};
+  for (const RuleInfo& rule : AllRules()) {
+    const auto t_rule = Clock::now();
+    const size_t before = diags.size();
+    rule.fn(ctx);
+    stats.rules.push_back({rule.id, rule.title, MsSince(t_rule), diags.size() - before});
+  }
+
+  // Apply suppressions: same file, same rule, marker on the diagnostic's
+  // line or the line above. R0 (suppression hygiene) is unsuppressible.
   std::vector<Diagnostic> active;
+  size_t suppressed = 0;
   for (const Diagnostic& diag : diags) {
-    bool suppressed = false;
+    bool keep = true;
     if (diag.rule != "R0") {
-      for (const Suppression& sup : suppressions[diag.rel_path]) {
-        if (sup.rule == diag.rule &&
+      for (const auto& [rel_path, sup] : sups) {
+        if (rel_path == diag.rel_path && sup.rule == diag.rule &&
             (sup.line == diag.line || sup.line == diag.line - 1)) {
-          suppressed = true;
+          keep = false;
+          ++suppressed;
           break;
         }
       }
     }
-    if (!suppressed) {
+    if (keep) {
       active.push_back(diag);
     }
   }
+  std::sort(active.begin(), active.end(), DiagLess);
+  stats.total_ms = MsSince(t0);
 
-  std::sort(active.begin(), active.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    if (a.rel_path != b.rel_path) {
-      return a.rel_path < b.rel_path;
+  if (format == "json") {
+    PrintJson(active, stats, root_arg);
+  } else {
+    for (const Diagnostic& diag : active) {
+      std::cout << diag.rel_path << ":" << diag.line << ": [" << diag.rule << "] "
+                << diag.message << "\n";
     }
-    if (a.line != b.line) {
-      return a.line < b.line;
+    if (verbose || !active.empty()) {
+      std::cout << "hive_lint: " << active.size() << " diagnostic(s), " << suppressed
+                << " suppressed, " << stats.files << " file(s) scanned\n";
     }
-    return a.rule < b.rule;
-  });
-  for (const Diagnostic& diag : active) {
-    std::cout << diag.rel_path << ":" << diag.line << ": " << diag.rule << ": "
-              << diag.message << "\n";
   }
-  if (!active.empty()) {
-    std::cout << "hive_lint: " << active.size() << " violation"
-              << (active.size() == 1 ? "" : "s") << "\n";
-    return 1;
+  if (stats_flag && format != "json") {
+    PrintStatsText(stats);
   }
-  if (verbose) {
-    std::cerr << "hive_lint: clean\n";
+  return active.empty() ? 0 : 1;
+}
+
+int Usage(int code) {
+  std::cout <<
+      "usage: hive_lint [--root <dir>] [--format=text|json] [--stats] [--verbose]\n"
+      "\n"
+      "Whole-program lint for the Hive fault-containment discipline.\n"
+      "Scans <root>/{src,tests,bench} (skipping tests/lint_fixtures).\n"
+      "\n"
+      "Rules:\n"
+      "  R0   suppression hygiene: allow(Rn) markers must carry a justification\n";
+  for (const RuleInfo& rule : AllRules()) {
+    std::cout << "  " << rule.id << (std::string(rule.id).size() < 3 ? "   " : "  ")
+              << rule.title << "\n";
   }
-  return 0;
+  std::cout <<
+      "\n"
+      "Suppress with '// hive-lint: allow(Rn): <justification>' on the flagged\n"
+      "line or the line above. Exit: 0 clean, 1 diagnostics, 2 usage/IO error.\n";
+  return code;
 }
 
 }  // namespace
+}  // namespace lint
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  std::string root = ".";
+  std::string format = "text";
+  bool stats = false;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "hive_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: hive_lint [--root DIR] [--verbose]\n"
-                   "Scans DIR/src, DIR/tests, DIR/bench for violations of the Hive\n"
-                   "fault-containment coding rules R1-R7 (see DESIGN.md).\n";
-      return 0;
+      return lint::Usage(0);
     } else {
-      std::cerr << "hive_lint: unknown argument '" << arg << "' (try --help)\n";
-      return 2;
+      std::cerr << "hive_lint: unknown argument '" << arg << "'\n";
+      return lint::Usage(2);
     }
   }
-  std::error_code ec;
-  if (!fs::exists(root, ec)) {
-    std::cerr << "hive_lint: root '" << root.string() << "' does not exist\n";
-    return 2;
-  }
-  return Run(root, verbose);
+  return lint::Run(root, format, stats, verbose);
 }
