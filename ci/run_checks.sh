@@ -186,6 +186,79 @@ grep -q "no-survivor-hang" "$nohop_log" || {
   fail "no_hop_bound fixture failed without a no-survivor-hang diagnostic"
 }
 
+echo "== guided campaign: budgeted coverage-guided run =="
+# A coverage-guided sweep over healthy code must still pass every oracle, and
+# must actually exercise the corpus/mutation machinery (corpus line present).
+# HIVE_CAMPAIGN_SCENARIOS scales the budget for nightly lanes.
+GUIDED_SCENARIOS="${HIVE_CAMPAIGN_SCENARIOS:-64}"
+guided_log="$BUILD_DIR/guided_campaign.log"
+rm -rf "$BUILD_DIR/ci_corpus"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios="$GUIDED_SCENARIOS" \
+  --workers="$JOBS" --guided --corpus="$BUILD_DIR/ci_corpus" \
+  >"$guided_log" 2>&1 || {
+  cat "$guided_log"
+  fail "guided campaign sweep reported containment violations"
+}
+grep -q "^corpus: " "$guided_log" || {
+  cat "$guided_log"
+  fail "guided sweep did not report a corpus (mutation machinery inactive?)"
+}
+grep -q "^draws: " "$guided_log" || {
+  cat "$guided_log"
+  fail "guided sweep did not report its fresh/mutant draw mix"
+}
+
+echo "== guided vs random: seeded-bug discovery cost =="
+# The coverage-guided loop must *earn* its complexity: with duplicate
+# suppression silently broken on one cell (--bug=no_dedup) and every
+# duplicate-delivery channel thinned to trace levels, the guided mode must
+# rediscover the bug in strictly fewer scenarios (median discovery cost over
+# 10 master seeds) than the random sweep. Budget 160 scenarios; a run that
+# never trips scores budget+1.
+BUG_BUDGET=160
+discovery_cost() {
+  # $1 = extra flags; prints one cost per seed. The campaign exits non-zero
+  # when it finds the bug, so capture first and grep after.
+  local bug_seed out cost
+  for bug_seed in 1 2 3 4 5 6 7 8 9 10; do
+    # shellcheck disable=SC2086
+    out="$("$CAMPAIGN" --seed="$bug_seed" --scenarios="$BUG_BUDGET" \
+        --workers="$JOBS" --bug=no_dedup --stop-on-violation --no-minimize \
+        $1 2>&1 || true)"
+    cost="$(grep -o 'first violation at scenario [0-9]*' <<<"$out" | \
+            grep -o '[0-9]*$' || true)"
+    echo "${cost:-$((BUG_BUDGET + 1))}"
+  done
+}
+median() {
+  sort -n | awk '{ v[NR] = $1 } END {
+    if (NR % 2) { print v[(NR + 1) / 2] }
+    else { print int((v[NR / 2] + v[NR / 2 + 1]) / 2) }
+  }'
+}
+random_costs="$(discovery_cost "")"
+guided_costs="$(discovery_cost "--guided --batch=16")"
+random_median="$(median <<<"$random_costs")"
+guided_median="$(median <<<"$guided_costs")"
+echo "random discovery costs: $(tr '\n' ' ' <<<"$random_costs")(median $random_median)"
+echo "guided discovery costs: $(tr '\n' ' ' <<<"$guided_costs")(median $guided_median)"
+[[ "$guided_median" -lt "$random_median" ]] || \
+  fail "guided median discovery cost ($guided_median) is not below random ($random_median)"
+
+# The discovered bug must be the planted one: a guided bug run's failure
+# report names the rpc-at-most-once oracle.
+bug_log="$BUILD_DIR/guided_bug.log"
+if "$CAMPAIGN" --seed=1 --scenarios="$BUG_BUDGET" --workers="$JOBS" \
+     --bug=no_dedup --stop-on-violation --guided --batch=16 \
+     >"$bug_log" 2>&1; then
+  cat "$bug_log"
+  fail "guided --bug=no_dedup run passed; the seeded bug was never exposed"
+fi
+grep -q "rpc-at-most-once" "$bug_log" || {
+  cat "$bug_log"
+  fail "guided --bug=no_dedup failure does not name the rpc-at-most-once oracle"
+}
+
 echo "== hive_bench smoke: throughput harness emits valid JSON =="
 BENCH="$BUILD_DIR/tools/hive_bench/hive_bench"
 [[ -x "$BENCH" ]] || fail "hive_bench not built at $BENCH"

@@ -5,10 +5,11 @@
 namespace campaign {
 namespace {
 
-// Test oracle for the search: does this candidate spec still violate?
+// Budgeted wrapper around the caller's violation predicate.
 class Budget {
  public:
-  explicit Budget(int max_runs) : remaining_(max_runs) {}
+  Budget(int max_runs, const ViolationPredicate& violates)
+      : remaining_(max_runs), violates_(violates) {}
 
   bool Violates(const ScenarioSpec& spec) {
     if (remaining_ <= 0) {
@@ -16,7 +17,7 @@ class Budget {
     }
     --remaining_;
     ++runs_;
-    return RunScenario(spec).violated();
+    return violates_(spec);
   }
 
   bool exhausted() const { return remaining_ <= 0; }
@@ -25,6 +26,7 @@ class Budget {
  private:
   int remaining_;
   int runs_ = 0;
+  const ViolationPredicate& violates_;
 };
 
 ScenarioSpec WithFaults(const ScenarioSpec& base, const std::vector<FaultSpec>& faults) {
@@ -71,8 +73,9 @@ std::vector<FaultSpec> DdminFaults(const ScenarioSpec& base, Budget& budget) {
 
 }  // namespace
 
-MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs) {
-  Budget budget(max_runs);
+MinimizationResult MinimizeScenarioWith(const ScenarioSpec& original, int max_runs,
+                                        const ViolationPredicate& violates) {
+  Budget budget(max_runs, violates);
   MinimizationResult result;
   result.minimized = original;
 
@@ -105,6 +108,23 @@ MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs) 
                    result.minimized.workload != original.workload ||
                    result.minimized.workload_scale != original.workload_scale;
   return result;
+}
+
+MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs,
+                                    const std::string& target_oracle) {
+  ViolationPredicate violates = [&target_oracle](const ScenarioSpec& spec) {
+    const ScenarioResult run = RunScenario(spec);
+    if (target_oracle.empty()) {
+      return run.violated();
+    }
+    for (const OracleViolation& violation : run.violations) {
+      if (violation.oracle == target_oracle) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return MinimizeScenarioWith(original, max_runs, violates);
 }
 
 }  // namespace campaign

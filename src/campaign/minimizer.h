@@ -11,6 +11,9 @@
 #ifndef HIVE_SRC_CAMPAIGN_MINIMIZER_H_
 #define HIVE_SRC_CAMPAIGN_MINIMIZER_H_
 
+#include <functional>
+#include <string>
+
 #include "src/campaign/runner.h"
 #include "src/campaign/scenario.h"
 
@@ -18,13 +21,28 @@ namespace campaign {
 
 struct MinimizationResult {
   ScenarioSpec minimized;
-  int runs = 0;        // Scenario executions the search spent.
+  int runs = 0;        // Predicate evaluations the search spent.
   bool reduced = false;  // True if anything was dropped from the original.
 };
 
-// Shrinks `original` (which must currently violate an oracle) to a smaller
-// spec that still violates. Runs at most `max_runs` scenario executions.
-MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs = 64);
+// The property the minimizer preserves: "this candidate still violates".
+using ViolationPredicate = std::function<bool(const ScenarioSpec&)>;
+
+// Core search: shrinks `original` (for which `violates` must currently hold)
+// to a smaller spec for which it still holds, evaluating the predicate at
+// most `max_runs` times. Deterministic: the same (original, predicate
+// behaviour, max_runs) always yields the same result. Exposed so unit tests
+// can drive the search with synthetic predicates instead of full simulator
+// runs.
+MinimizationResult MinimizeScenarioWith(const ScenarioSpec& original, int max_runs,
+                                        const ViolationPredicate& violates);
+
+// Production wrapper: the predicate is a real scenario execution. When
+// `target_oracle` is non-empty, a candidate only counts as violating if that
+// specific oracle trips -- triage uses this so a bucket's minimized repro
+// cannot drift to a different oracle's (smaller) violation.
+MinimizationResult MinimizeScenario(const ScenarioSpec& original, int max_runs = 64,
+                                    const std::string& target_oracle = "");
 
 }  // namespace campaign
 

@@ -44,6 +44,8 @@ Time LastDeathTime(Cell& cell) {
   return when;
 }
 
+}  // namespace
+
 void CheckContainmentAndDetection(const OracleInput& input,
                                   std::vector<OracleViolation>* out) {
   const ScenarioSpec& spec = *input.spec;
@@ -557,8 +559,6 @@ void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation
     }
   }
 }
-
-}  // namespace
 
 std::vector<OracleViolation> CheckAllOracles(const OracleInput& input) {
   std::vector<OracleViolation> violations;

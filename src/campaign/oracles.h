@@ -76,6 +76,28 @@ struct OracleInput {
 //   trace-consistency     every survivor's trace shows balanced recovery events
 std::vector<OracleViolation> CheckAllOracles(const OracleInput& input);
 
+// The individual oracles behind CheckAllOracles, exposed so oracles_test can
+// drive each one against a hand-built violating state and its healthy twin.
+// Each appends its violations (if any) to `out`.
+void CheckContainmentAndDetection(const OracleInput& input,
+                                  std::vector<OracleViolation>* out);
+void CheckRecoveryBarriers(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckFirewallInvariants(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckNoStaleExports(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckCanaries(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckSurvivorsFunctional(const OracleInput& input,
+                              std::vector<OracleViolation>* out);
+void CheckOutputs(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckRpcAtMostOnce(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckRpcNoLostAck(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckRpcLiveness(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckQuarantineImpliesHint(const OracleInput& input,
+                                std::vector<OracleViolation>* out);
+void CheckRogueDetection(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckNoSurvivorHang(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckNoFalseExcision(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation>* out);
+
 }  // namespace campaign
 
 #endif  // HIVE_SRC_CAMPAIGN_ORACLES_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/base/rng.h"
+#include "src/campaign/coverage.h"
 #include "src/core/address_space.h"
 #include "src/core/careful_ref.h"
 #include "src/core/cell.h"
@@ -589,7 +590,13 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   if (spec.disable_firewall) {
     machine.firewall().set_checking_enabled(false);
   }
-  if (spec.disable_rpc_dedup) {
+  if (spec.bug_no_dedup) {
+    // Seeded-bug mode: suppression is broken on exactly one cell, so only
+    // duplicates landing on that cell's non-idempotent traffic are symptoms.
+    if (spec.num_cells > kBugNoDedupCell) {
+      sys.cell(kBugNoDedupCell).rpc().set_duplicate_suppression(false);
+    }
+  } else if (spec.disable_rpc_dedup) {
     for (CellId c = 0; c < spec.num_cells; ++c) {
       sys.cell(c).rpc().set_duplicate_suppression(false);
     }
@@ -728,6 +735,8 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   result.violations = CheckAllOracles(input);
 
   result.fingerprint = ComputeFingerprint(result, sys);
+  result.trace_signature = ComputeTraceSignature(sys);
+  result.coverage = ExtractCoverage(sys, result.violations);
   return result;
 }
 

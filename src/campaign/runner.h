@@ -30,6 +30,12 @@ struct ScenarioResult {
   // scenario -- on any thread, in any batch -- must produce equal
   // fingerprints; campaign_test and the repro flow rely on this.
   uint64_t fingerprint = 0;
+  // Coverage feature set (sorted, deduplicated; see coverage.h). Drives
+  // corpus admission in the guided campaign driver.
+  std::vector<uint64_t> coverage;
+  // Order-sensitive digest of the per-cell trace-event kind sequences; triage
+  // buckets failures by (oracle, trace_signature).
+  uint64_t trace_signature = 0;
 
   bool violated() const { return !violations.empty(); }
   // One-line outcome summary (used by the CLI's verbose mode).

@@ -274,6 +274,9 @@ std::string ScenarioSpec::ToString() const {
   if (disable_hop_bound) {
     out << " HOP-BOUND-OFF";
   }
+  if (bug_no_dedup) {
+    out << " BUG-NO-DEDUP";
+  }
   if (healthy_baseline) {
     out << " baseline";
   }
@@ -291,7 +294,7 @@ std::string ScenarioSpec::ReproLine() const {
   if (disable_firewall) {
     out << " --fixture=wild_write";
   }
-  if (disable_rpc_dedup) {
+  if (disable_rpc_dedup && !bug_no_dedup) {
     out << " --fixture=no_dedup";
   } else if (disable_hop_bound) {
     out << " --fixture=no_hop_bound";
@@ -301,6 +304,12 @@ std::string ScenarioSpec::ReproLine() const {
     out << " --faults=rogue";
   } else if (healthy_baseline) {
     out << " --faults=none";
+  }
+  if (bug_no_dedup) {
+    out << " --bug=no_dedup";
+  }
+  if (!mutation_chain.empty()) {
+    out << " --mutate=" << FormatMutationChain(mutation_chain);
   }
   return out.str();
 }
@@ -343,6 +352,19 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
     spec.workload = WorkloadKind::kMixed;
   }
   spec.workload_scale = 1 + static_cast<int>(rng.Below(2));
+
+  if (options.bug_no_dedup) {
+    // Seeded-bug discovery mode: one cell's duplicate suppression is silently
+    // broken, but the fault plan still comes from the default distribution
+    // (with duplication thinned below, after the plan is drawn). Only a
+    // scenario that lands duplicates on non-idempotent traffic served by the
+    // buggy cell trips the at-most-once oracle. Reintegration is forced off:
+    // a reboot would recreate the buggy cell's RPC layer and wipe the
+    // violation counters the oracle reads.
+    spec.bug_no_dedup = true;
+    spec.disable_rpc_dedup = true;
+    spec.auto_reintegrate = false;
+  }
 
   if (options.wild_write_fixture) {
     // Fixture: exactly one wild write that actually lands (firewall checking
@@ -480,7 +502,308 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
   }
   std::sort(spec.faults.begin(), spec.faults.end(),
             [](const FaultSpec& a, const FaultSpec& b) { return a.inject_at < b.inject_at; });
+  if (spec.bug_no_dedup) {
+    // Thin every duplicate-delivery channel to trace levels. Duplication is
+    // the obvious one, but loss is just as dangerous: a lost *reply* makes
+    // the client retransmit a request the server already executed, which is
+    // a duplicate delivery too (and corruption degrades into loss). With
+    // 10..50 per mille thinned to 0..2, a random draw rarely re-delivers a
+    // non-idempotent request to the buggy cell, so exposing the seeded bug
+    // takes the sustained duplicate pressure only the mutation stage builds
+    // up (RedrawMessageRates pushes duplication to 45%, far past the
+    // generator's envelope).
+    for (FaultSpec& fault : spec.faults) {
+      if (fault.kind == FaultKind::kMessageFaults) {
+        fault.drop_pm = fault.drop_pm / 25;
+        fault.corrupt_pm = fault.corrupt_pm / 25;
+        fault.dup_pm = fault.dup_pm / 25;
+      }
+    }
+  }
   return spec;
+}
+
+namespace {
+
+// Structure-preserving mutation operators (see MutateScenario in the header).
+enum class MutationOp {
+  kJitterTime,      // Redraw one fault's injection time.
+  kRetarget,        // Redraw one fault's victim (and target / route).
+  kDuplicateFault,  // Copy a fault to a fresh injection time (plan grows).
+  kDropFault,       // Remove one fault (plan shrinks).
+  kWorkloadKind,    // Swap the workload for a different kind.
+  kWorkloadScale,   // Toggle workload scale 1 <-> 2.
+  kMessageRates,    // Redraw a message window's rates and duration.
+  kCorruptionMode,  // Redraw an addr-map corruption mode.
+  kGeometry,        // Flip 2 <-> 4 cells, re-fitting the fault plan.
+};
+
+bool HasFaultKind(const ScenarioSpec& spec, FaultKind kind) {
+  for (const FaultSpec& fault : spec.faults) {
+    if (fault.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> FaultsOfKind(const ScenarioSpec& spec, FaultKind kind) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < spec.faults.size(); ++i) {
+    if (spec.faults[i].kind == kind) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+// Node failures, accusations and rogues are never duplicated: re-killing a
+// dead cell is a no-op, a second accusation is the two-strike path the
+// generator excludes by design, and rogue sweeps expect exactly one rogue.
+bool CanDuplicate(FaultKind kind) {
+  return kind != FaultKind::kNodeFailure && kind != FaultKind::kFalseAccusation &&
+         kind != FaultKind::kRogueCell;
+}
+
+Time DrawInjectTime(base::Rng& rng) {
+  return (5 + static_cast<Time>(rng.Below(595))) * hive::kMillisecond;
+}
+
+void RetargetFault(base::Rng& rng, ScenarioSpec& spec, size_t index) {
+  FaultSpec& fault = spec.faults[index];
+  const auto n = static_cast<uint64_t>(spec.num_cells);
+  switch (fault.kind) {
+    case FaultKind::kNodeFailure: {
+      // Redraw among cells not already taken by another node failure, so
+      // victims stay distinct.
+      std::vector<CellId> free_cells;
+      for (CellId c = 0; c < spec.num_cells; ++c) {
+        bool taken = false;
+        for (size_t j = 0; j < spec.faults.size(); ++j) {
+          taken = taken || (j != index && spec.faults[j].kind == FaultKind::kNodeFailure &&
+                            spec.faults[j].victim == c);
+        }
+        if (!taken) {
+          free_cells.push_back(c);
+        }
+      }
+      fault.victim = free_cells[rng.Below(free_cells.size())];
+      break;
+    }
+    case FaultKind::kAddrMapCorruption:
+      fault.victim = static_cast<CellId>(rng.Below(n));
+      break;
+    case FaultKind::kMessageFaults:
+      if (rng.OneIn(3)) {
+        fault.victim = static_cast<CellId>(rng.Below(n));
+        fault.target =
+            static_cast<CellId>((fault.victim + 1 + rng.Below(n - 1)) % spec.num_cells);
+      } else {
+        fault.victim = -1;
+        fault.target = -1;
+      }
+      break;
+    case FaultKind::kWildWrite:
+    case FaultKind::kFalseAccusation:
+    case FaultKind::kRogueCell:
+      fault.victim = static_cast<CellId>(rng.Below(n));
+      fault.target =
+          static_cast<CellId>((fault.victim + 1 + rng.Below(n - 1)) % spec.num_cells);
+      break;
+  }
+}
+
+// Redraws a message window's rates. The loss envelope matches the generator
+// (drop + corrupt capped at 7.5% per hop, so the transport must survive), but
+// duplication may climb to 45% -- an order beyond the generator's 5%.
+// Duplicate pressure is the strongest gradient for transport bugs, which is
+// why this operator carries double weight in the operator list.
+void RedrawMessageRates(base::Rng& rng, FaultSpec& fault) {
+  fault.drop_pm = static_cast<uint32_t>(rng.Below(51));
+  fault.corrupt_pm = static_cast<uint32_t>(rng.Below(26));
+  fault.delay_pm = 20 + static_cast<uint32_t>(rng.Below(81));
+  fault.dup_pm = 10 + static_cast<uint32_t>(rng.Below(441));
+  fault.duration = (50 + static_cast<Time>(rng.Below(301))) * hive::kMillisecond;
+}
+
+// Flips the cell count 2 <-> 4 and re-fits the fault plan: victims and
+// targets are folded into range, targets are kept distinct from victims, and
+// node failures keep distinct victims capped at half the cells (extras are
+// dropped, exactly the invariant the generator maintains).
+void FlipGeometry(ScenarioSpec& spec) {
+  spec.num_cells = spec.num_cells == 2 ? 4 : 2;
+  const auto n = static_cast<CellId>(spec.num_cells);
+  std::vector<FaultSpec> kept;
+  std::vector<CellId> node_victims;
+  for (FaultSpec fault : spec.faults) {
+    if (fault.victim >= n) {
+      fault.victim = fault.victim % n;
+    }
+    if (fault.target >= n) {
+      fault.target = fault.target % n;
+    }
+    const bool distinct_target = fault.kind == FaultKind::kWildWrite ||
+                                 fault.kind == FaultKind::kFalseAccusation ||
+                                 fault.kind == FaultKind::kRogueCell;
+    if (distinct_target && fault.target == fault.victim) {
+      fault.target = static_cast<CellId>((fault.victim + 1) % n);
+    }
+    if (fault.kind == FaultKind::kNodeFailure) {
+      const bool duplicate = std::find(node_victims.begin(), node_victims.end(),
+                                       fault.victim) != node_victims.end();
+      if (duplicate || static_cast<int>(node_victims.size()) >= spec.num_cells / 2) {
+        continue;
+      }
+      node_victims.push_back(fault.victim);
+    }
+    kept.push_back(fault);
+  }
+  spec.faults = kept;
+}
+
+}  // namespace
+
+ScenarioSpec MutateScenario(const ScenarioSpec& base, uint64_t mutation_seed) {
+  ScenarioSpec spec = base;
+  spec.mutation_chain.push_back(mutation_seed);
+  spec.seed = DeriveScenarioSeed(base.seed, mutation_seed);
+  base::Rng rng(spec.seed ^ 0x6D757461746Full);
+
+  // Applicable operators for this spec. kMessageRates appears twice when a
+  // message window exists (see RedrawMessageRates).
+  const bool fixed_geometry =
+      spec.rogue_only || spec.healthy_baseline || spec.disable_hop_bound;
+  bool can_duplicate = false;
+  if (spec.faults.size() < 4) {
+    for (const FaultSpec& fault : spec.faults) {
+      can_duplicate = can_duplicate || CanDuplicate(fault.kind);
+    }
+  }
+  std::vector<MutationOp> ops;
+  if (!spec.faults.empty()) {
+    ops.push_back(MutationOp::kJitterTime);
+    ops.push_back(MutationOp::kRetarget);
+  }
+  if (spec.faults.size() >= 2) {
+    ops.push_back(MutationOp::kDropFault);
+  }
+  if (can_duplicate) {
+    ops.push_back(MutationOp::kDuplicateFault);
+  }
+  ops.push_back(MutationOp::kWorkloadKind);
+  ops.push_back(MutationOp::kWorkloadScale);
+  if (HasFaultKind(spec, FaultKind::kMessageFaults)) {
+    ops.push_back(MutationOp::kMessageRates);
+    ops.push_back(MutationOp::kMessageRates);
+  }
+  if (HasFaultKind(spec, FaultKind::kAddrMapCorruption)) {
+    ops.push_back(MutationOp::kCorruptionMode);
+  }
+  if (!fixed_geometry) {
+    ops.push_back(MutationOp::kGeometry);
+  }
+
+  switch (ops[rng.Below(ops.size())]) {
+    case MutationOp::kJitterTime:
+      spec.faults[rng.Below(spec.faults.size())].inject_at = DrawInjectTime(rng);
+      break;
+    case MutationOp::kRetarget:
+      RetargetFault(rng, spec, rng.Below(spec.faults.size()));
+      break;
+    case MutationOp::kDuplicateFault: {
+      std::vector<size_t> eligible;
+      for (size_t i = 0; i < spec.faults.size(); ++i) {
+        if (CanDuplicate(spec.faults[i].kind)) {
+          eligible.push_back(i);
+        }
+      }
+      FaultSpec copy = spec.faults[eligible[rng.Below(eligible.size())]];
+      copy.inject_at = DrawInjectTime(rng);
+      spec.faults.push_back(copy);
+      break;
+    }
+    case MutationOp::kDropFault:
+      spec.faults.erase(spec.faults.begin() +
+                        static_cast<ptrdiff_t>(rng.Below(spec.faults.size())));
+      break;
+    case MutationOp::kWorkloadKind: {
+      const WorkloadKind kinds[] = {WorkloadKind::kPmake, WorkloadKind::kRaytrace,
+                                    WorkloadKind::kOcean, WorkloadKind::kMixed};
+      WorkloadKind pick;
+      do {
+        pick = kinds[rng.Below(4)];
+      } while (pick == spec.workload);
+      spec.workload = pick;
+      break;
+    }
+    case MutationOp::kWorkloadScale:
+      spec.workload_scale = spec.workload_scale == 1 ? 2 : 1;
+      break;
+    case MutationOp::kMessageRates: {
+      const std::vector<size_t> windows = FaultsOfKind(spec, FaultKind::kMessageFaults);
+      RedrawMessageRates(rng, spec.faults[windows[rng.Below(windows.size())]]);
+      break;
+    }
+    case MutationOp::kCorruptionMode: {
+      const std::vector<size_t> maps = FaultsOfKind(spec, FaultKind::kAddrMapCorruption);
+      spec.faults[maps[rng.Below(maps.size())]].mode = PickCorruptionMode(rng);
+      break;
+    }
+    case MutationOp::kGeometry:
+      FlipGeometry(spec);
+      break;
+  }
+
+  // Stable sort: equal injection times keep their pre-mutation order, so the
+  // mutant is fully determined by (base, mutation_seed).
+  std::stable_sort(spec.faults.begin(), spec.faults.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.inject_at < b.inject_at;
+                   });
+  return spec;
+}
+
+ScenarioSpec ApplyMutationChain(const ScenarioSpec& root,
+                                const std::vector<uint64_t>& chain) {
+  ScenarioSpec spec = root;
+  for (uint64_t mutation_seed : chain) {
+    spec = MutateScenario(spec, mutation_seed);
+  }
+  return spec;
+}
+
+std::string FormatMutationChain(const std::vector<uint64_t>& chain) {
+  std::ostringstream out;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    out << (i > 0 ? "," : "") << chain[i];
+  }
+  return out.str();
+}
+
+bool ParseMutationChain(std::string_view text, std::vector<uint64_t>* out) {
+  out->clear();
+  uint64_t value = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c == ',') {
+      if (!have_digit) {
+        return false;
+      }
+      out->push_back(value);
+      value = 0;
+      have_digit = false;
+    } else if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      have_digit = true;
+    } else {
+      return false;
+    }
+  }
+  if (!have_digit) {
+    return false;
+  }
+  out->push_back(value);
+  return true;
 }
 
 }  // namespace campaign

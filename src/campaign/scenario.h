@@ -147,6 +147,21 @@ struct ScenarioSpec {
   // effectively removed and cycle detection off, so a cyclic rogue chain
   // must trip the no-survivor-hang oracle.
   bool disable_hop_bound = false;
+  // Seeded-bug discovery mode (--bug=no_dedup): duplicate suppression is
+  // silently broken on one cell (kBugNoDedupCell) while fault plans come from
+  // the *default* distribution with duplication thinned to trace levels.
+  // Unlike --fixture=no_dedup -- which forces a duplication-heavy plan so
+  // every scenario trips -- only the rare scenario whose plan lands a
+  // duplicate on non-idempotent traffic served by the buggy cell exposes the
+  // bug. This is the discovery problem the guided-vs-random CI check
+  // measures: the guided mode must find it in fewer scenarios.
+  bool bug_no_dedup = false;
+
+  // Mutation lineage: this scenario was derived from
+  // GenerateScenario(master_seed, index) by applying MutateScenario once per
+  // entry, in order. ReproLine() encodes the chain (--mutate=...), so replay
+  // is self-contained -- no corpus directory needed.
+  std::vector<uint64_t> mutation_chain;
 
   std::vector<FaultSpec> faults;  // Sorted by inject_at.
 
@@ -188,11 +203,43 @@ struct GeneratorOptions {
   // Rogue fixture: force a cyclic-chain rogue and disable the survivors' hop
   // bound, so the no-survivor-hang oracle must flag the scenario.
   bool no_hop_bound_fixture = false;
+  // Seeded-bug discovery mode: see ScenarioSpec::bug_no_dedup.
+  bool bug_no_dedup = false;
 };
 
 // Generates scenario `index` of the campaign rooted at `master_seed`.
 ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
                               const GeneratorOptions& options = {});
+
+// The cell whose duplicate suppression is broken in bug_no_dedup mode. Cell 1
+// exists in both 2- and 4-cell geometries, and is never the file-root home,
+// so the bug's only symptom is the at-most-once counter.
+inline constexpr CellId kBugNoDedupCell = 1;
+
+// Coverage-guided mutation: derives a new scenario from `base` by applying
+// one structure-preserving operator chosen from `mutation_seed` -- injection
+// time jitter, victim/target retargeting, fault duplication or removal,
+// workload kind/scale changes, message-rate redraws, corruption-mode changes,
+// or a 2<->4 cell geometry flip. The mutant keeps the base's mode flags and
+// appends `mutation_seed` to its mutation_chain; its scenario seed is derived
+// from the base seed and the mutation seed, so the mutant is fully determined
+// by (master_seed, index, mutation_chain).
+//
+// Mutants preserve the generator's plan invariants (distinct node-failure
+// victims capped at num_cells/2, at most one false accusation, message faults
+// and accusations never mixed, targets distinct from victims) so a mutant can
+// only trip an oracle by finding a real bug, never by violating a documented
+// scenario precondition.
+ScenarioSpec MutateScenario(const ScenarioSpec& base, uint64_t mutation_seed);
+
+// Replays a mutation chain against a freshly generated root scenario.
+ScenarioSpec ApplyMutationChain(const ScenarioSpec& root,
+                                const std::vector<uint64_t>& chain);
+
+// "12,7,3099" rendering of a mutation chain (decimal, comma-separated) and
+// its inverse. Used by repro lines and the corpus on-disk format.
+std::string FormatMutationChain(const std::vector<uint64_t>& chain);
+bool ParseMutationChain(std::string_view text, std::vector<uint64_t>* out);
 
 }  // namespace campaign
 

@@ -199,4 +199,22 @@ std::string RenderCellSharing(HiveSystem& system, CellId cell_id) {
   return out.str();
 }
 
+std::string RenderTriageBuckets(const std::vector<TriageBucketRow>& rows) {
+  if (rows.empty()) {
+    return "";
+  }
+  std::ostringstream out;
+  out << "triage: " << rows.size() << " bucket(s)\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TriageBucketRow& row = rows[i];
+    out << "  bucket " << (i + 1) << ": " << row.oracle << " x" << row.count
+        << " trace-sig=0x" << std::hex << row.trace_signature << std::dec << "\n";
+    out << "    repro: " << row.repro << "\n";
+    if (!row.minimized.empty()) {
+      out << "    minimized: " << row.minimized << "\n";
+    }
+  }
+  return out.str();
+}
+
 }  // namespace hive

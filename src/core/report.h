@@ -5,7 +5,9 @@
 #ifndef HIVE_SRC_CORE_REPORT_H_
 #define HIVE_SRC_CORE_REPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/types.h"
 
@@ -30,6 +32,22 @@ std::string RenderRpcTransport(HiveSystem& system);
 // invariant mismatches, babbling) plus the traversal-hop high-water mark the
 // no-survivor-hang oracle bounds.
 std::string RenderFailureDetection(HiveSystem& system);
+
+// One row of the fault-campaign triage table. The campaign layer converts
+// its buckets to these plain rows before rendering; core stays
+// campaign-agnostic.
+struct TriageBucketRow {
+  std::string oracle;          // Stable oracle identifier that tripped.
+  uint64_t trace_signature = 0;
+  uint64_t count = 0;          // Failures bucketed together.
+  std::string repro;           // Representative's self-contained repro line.
+  std::string minimized;       // Representative's minimized spec, "" if none.
+};
+
+// Renders the triage section of a campaign report: one block per bucket with
+// oracle, signature, failure count, repro line and minimized form. Empty
+// input renders an empty string.
+std::string RenderTriageBuckets(const std::vector<TriageBucketRow>& rows);
 
 }  // namespace hive
 

@@ -168,6 +168,12 @@ class RpcLayer {
   // directly. Bypasses the replay cache (no sequence number).
   base::Status Serve(Ctx& server_ctx, MsgType type, const RpcArgs& args, RpcReply* reply);
 
+  // Serves one sequenced request from `client`; consults the replay cache.
+  // Public so oracle tests can deliver literal duplicate sequence numbers
+  // without a fault model in the transport path.
+  base::Status ServeSequenced(Ctx& server_ctx, CellId client, uint64_t seq,
+                              MsgType type, const RpcArgs& args, RpcReply* reply);
+
   // True if a handler is registered for the message type.
   bool HasHandler(MsgType type) const {
     return handlers_.count(static_cast<uint32_t>(type)) > 0;
@@ -207,6 +213,11 @@ class RpcLayer {
 
   const RpcCallStats& stats() const { return stats_; }
 
+  // Test-only: oracles_test plants counter states (lost acks, quarantines
+  // without hints) that are impossible to reach through the public API
+  // without the very bug the oracle exists to catch.
+  RpcCallStats& mutable_stats_for_test() { return stats_; }
+
  private:
   struct Registration {
     RpcHandler handler;
@@ -223,10 +234,6 @@ class RpcLayer {
     base::Status status;
     RpcReply reply;
   };
-
-  // Serves one sequenced request from `client`; consults the replay cache.
-  base::Status ServeSequenced(Ctx& server_ctx, CellId client, uint64_t seq,
-                              MsgType type, const RpcArgs& args, RpcReply* reply);
 
   // Dead-peer / exhausted-retries epilogue: charges the spin + context
   // switch, counts the timeout, traces, and raises at most one hint per

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "src/campaign/campaign.h"
+#include "src/campaign/corpus.h"
+#include "src/campaign/coverage.h"
 #include "src/campaign/minimizer.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/scenario.h"
@@ -526,6 +530,233 @@ TEST(CampaignDriverTest, FixtureSweepReportsEveryViolationInOrder) {
     EXPECT_NE(report.failures[i].Report().find("repro: hive_campaign --seed=7"),
               std::string::npos);
   }
+}
+
+// --- Mutation engine. ---
+
+TEST(MutationTest, ChainFormatRoundTrips) {
+  const std::vector<uint64_t> chain = {12, 7, 3099, 0xFFFFFFFFFFFFFFFFull};
+  std::vector<uint64_t> parsed;
+  ASSERT_TRUE(ParseMutationChain(FormatMutationChain(chain), &parsed));
+  EXPECT_EQ(parsed, chain);
+
+  for (const char* bad : {"", "12,", ",12", "12,,7", "12,x", "abc"}) {
+    std::vector<uint64_t> out;
+    EXPECT_FALSE(ParseMutationChain(bad, &out)) << "input: " << bad;
+  }
+}
+
+TEST(MutationTest, MutantsAreDeterministicAndChainReplayable) {
+  const ScenarioSpec root = GenerateScenario(9, 4);
+  ScenarioSpec mutant = root;
+  for (uint64_t step : {11ull, 22ull, 33ull}) {
+    mutant = MutateScenario(mutant, step);
+  }
+  ASSERT_EQ(mutant.mutation_chain, (std::vector<uint64_t>{11, 22, 33}));
+  // The chain alone rebuilds the mutant from the freshly generated root.
+  const ScenarioSpec replayed = ApplyMutationChain(root, mutant.mutation_chain);
+  EXPECT_EQ(replayed.ToString(), mutant.ToString());
+  EXPECT_EQ(replayed.seed, mutant.seed);
+  // A mutant's repro line is self-contained: it encodes the chain.
+  EXPECT_NE(mutant.ReproLine().find("--mutate=11,22,33"), std::string::npos)
+      << mutant.ReproLine();
+}
+
+// Every plan invariant the generator documents must survive mutation, deep
+// chains included: a mutant may only trip an oracle by finding a real bug,
+// never by violating a scenario precondition.
+TEST(MutationTest, MutantsPreserveGeneratorInvariants) {
+  const uint64_t master = hivetest::TestSeed(9);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  for (uint64_t i = 0; i < 200; ++i) {
+    ScenarioSpec spec = GenerateScenario(master, i % 8);
+    for (uint64_t depth = 0; depth <= i % 3; ++depth) {
+      spec = MutateScenario(spec, i * 31 + depth);
+    }
+    SCOPED_TRACE("mutant " + std::to_string(i) + ": " + spec.ToString());
+    EXPECT_TRUE(spec.num_cells == 2 || spec.num_cells == 4);
+
+    int node_failures = 0;
+    int accusations = 0;
+    bool has_message_faults = false;
+    std::set<CellId> node_victims;
+    Time last_inject = 0;
+    for (const FaultSpec& fault : spec.faults) {
+      EXPECT_GE(fault.inject_at, last_inject);  // Sorted by injection time.
+      last_inject = fault.inject_at;
+      EXPECT_GE(fault.victim, fault.kind == FaultKind::kMessageFaults ? -1 : 0);
+      EXPECT_LT(fault.victim, spec.num_cells);
+      switch (fault.kind) {
+        case FaultKind::kNodeFailure:
+          ++node_failures;
+          EXPECT_TRUE(node_victims.insert(fault.victim).second)
+              << "duplicate node-failure victim " << fault.victim;
+          break;
+        case FaultKind::kFalseAccusation:
+          ++accusations;
+          EXPECT_NE(fault.target, fault.victim);
+          EXPECT_GE(fault.target, 0);
+          EXPECT_LT(fault.target, spec.num_cells);
+          break;
+        case FaultKind::kMessageFaults:
+          has_message_faults = true;
+          EXPECT_LT(fault.target, spec.num_cells);
+          break;
+        case FaultKind::kWildWrite:
+        case FaultKind::kRogueCell:
+          EXPECT_NE(fault.target, fault.victim);
+          EXPECT_GE(fault.target, 0);
+          EXPECT_LT(fault.target, spec.num_cells);
+          break;
+        case FaultKind::kAddrMapCorruption:
+          break;
+      }
+    }
+    EXPECT_LE(node_failures, spec.num_cells / 2);
+    EXPECT_LE(accusations, 1);
+    if (accusations > 0) {
+      EXPECT_FALSE(has_message_faults)
+          << "message faults mixed with a false accusation";
+    }
+  }
+}
+
+// --- Coverage extraction. ---
+
+TEST(CoverageTest, ExtractionIsDeterministicAndNonEmpty) {
+  const ScenarioSpec spec = GenerateScenario(3, 0);
+  const ScenarioResult a = RunScenario(spec);
+  const ScenarioResult b = RunScenario(spec);
+  EXPECT_FALSE(a.coverage.empty());
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.trace_signature, b.trace_signature);
+  EXPECT_NE(a.trace_signature, 0u);
+  // The feature vector is sorted and duplicate-free (set semantics).
+  EXPECT_TRUE(std::is_sorted(a.coverage.begin(), a.coverage.end()));
+  EXPECT_TRUE(std::adjacent_find(a.coverage.begin(), a.coverage.end()) ==
+              a.coverage.end());
+}
+
+TEST(CoverageTest, MapMergeCountsNovelFeaturesOnly) {
+  CoverageMap map;
+  EXPECT_EQ(map.Merge({1, 2, 3}), 3u);
+  EXPECT_EQ(map.Merge({2, 3, 4}), 1u);
+  EXPECT_EQ(map.size(), 4u);
+  const uint64_t hash = map.Hash();
+  EXPECT_EQ(map.Merge({1, 4}), 0u);
+  EXPECT_EQ(map.Hash(), hash);  // No new features, digest unchanged.
+}
+
+// --- Corpus persistence. ---
+
+TEST(CorpusTest, EntriesRoundTripThroughTextAndDisk) {
+  CorpusEntry entry;
+  entry.master_seed = 7;
+  entry.index = 3;
+  entry.options.message_faults_only = true;
+  entry.mutation_chain = {11, 22};
+
+  CorpusEntry parsed;
+  ASSERT_TRUE(ParseCorpusEntry(SerializeCorpusEntry(entry), &parsed));
+  EXPECT_EQ(parsed.master_seed, entry.master_seed);
+  EXPECT_EQ(parsed.index, entry.index);
+  EXPECT_STREQ(GeneratorModeName(parsed.options), GeneratorModeName(entry.options));
+  EXPECT_EQ(parsed.mutation_chain, entry.mutation_chain);
+
+  const std::string dir = testing::TempDir() + "hive_corpus_roundtrip";
+  ASSERT_TRUE(SaveCorpusEntry(dir, entry));
+  // Content-addressed names: re-saving the same recipe is idempotent.
+  ASSERT_TRUE(SaveCorpusEntry(dir, entry));
+  const std::vector<CorpusEntry> loaded = LoadCorpusDir(dir);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].master_seed, entry.master_seed);
+  EXPECT_EQ(loaded[0].index, entry.index);
+  EXPECT_EQ(loaded[0].mutation_chain, entry.mutation_chain);
+
+  // Regeneration rebuilds exactly the scenario the recipe describes.
+  GeneratorOptions options;
+  options.message_faults_only = true;
+  const ScenarioSpec expected =
+      ApplyMutationChain(GenerateScenario(7, 3, options), entry.mutation_chain);
+  EXPECT_EQ(RegenerateScenario(loaded[0]).ToString(), expected.ToString());
+}
+
+TEST(CorpusTest, ModeNamesRoundTripEveryGeneratorMode) {
+  for (const char* name : {"default", "wild_write", "no_dedup", "message",
+                           "rogue", "none", "no_hop_bound", "bug_no_dedup"}) {
+    GeneratorOptions options;
+    ASSERT_TRUE(GeneratorModeFromName(name, &options)) << name;
+    EXPECT_STREQ(GeneratorModeName(options), name);
+  }
+  GeneratorOptions options;
+  EXPECT_FALSE(GeneratorModeFromName("bogus", &options));
+}
+
+// --- Guided mode. ---
+
+TEST(CampaignDriverTest, GuidedRunIsWorkerCountIndependent) {
+  const uint64_t master = hivetest::TestSeed(5);
+  SCOPED_TRACE(hivetest::SeedTrace(master));
+  auto sweep = [master](int workers) {
+    CampaignOptions options;
+    options.master_seed = master;
+    options.num_scenarios = 24;
+    options.workers = workers;
+    options.guided = true;
+    options.batch_size = 8;
+    options.minimize = false;
+    return RunCampaign(options);
+  };
+  const CampaignReport serial = sweep(1);
+  const CampaignReport parallel = sweep(4);
+  EXPECT_EQ(serial.scenarios_run, 24u);
+  EXPECT_EQ(serial.scenarios_run, parallel.scenarios_run);
+  EXPECT_EQ(serial.coverage_features, parallel.coverage_features);
+  EXPECT_EQ(serial.coverage_hash, parallel.coverage_hash);
+  EXPECT_EQ(serial.merged_fingerprint, parallel.merged_fingerprint);
+  EXPECT_EQ(serial.corpus_size, parallel.corpus_size);
+  EXPECT_EQ(serial.fresh_run, parallel.fresh_run);
+  EXPECT_EQ(serial.mutants_run, parallel.mutants_run);
+  EXPECT_EQ(serial.first_violation_order, parallel.first_violation_order);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].result.spec.ToString(),
+              parallel.failures[i].result.spec.ToString());
+    EXPECT_EQ(serial.failures[i].order, parallel.failures[i].order);
+  }
+  ASSERT_EQ(serial.buckets.size(), parallel.buckets.size());
+  for (size_t i = 0; i < serial.buckets.size(); ++i) {
+    EXPECT_EQ(serial.buckets[i].oracle, parallel.buckets[i].oracle);
+    EXPECT_EQ(serial.buckets[i].trace_signature, parallel.buckets[i].trace_signature);
+    EXPECT_EQ(serial.buckets[i].count, parallel.buckets[i].count);
+    EXPECT_EQ(serial.buckets[i].repro, parallel.buckets[i].repro);
+  }
+  // Guided mode actually exercised the mutation stage.
+  EXPECT_GT(serial.mutants_run, 0u);
+  EXPECT_GT(serial.fresh_run, 0u);
+  EXPECT_GT(serial.corpus_size, 0u);
+}
+
+TEST(CampaignDriverTest, TriageBucketsPartitionTheFailures) {
+  CampaignOptions options;
+  options.master_seed = 7;
+  options.num_scenarios = 4;
+  options.workers = 4;
+  options.wild_write_fixture = true;
+  options.minimize = false;
+  const CampaignReport report = RunCampaign(options);
+  ASSERT_EQ(report.failures.size(), 4u);
+  ASSERT_FALSE(report.buckets.empty());
+  uint64_t bucketed = 0;
+  std::set<std::pair<std::string, uint64_t>> keys;
+  for (const TriageBucket& bucket : report.buckets) {
+    bucketed += bucket.count;
+    EXPECT_TRUE(keys.insert({bucket.oracle, bucket.trace_signature}).second)
+        << "duplicate bucket key " << bucket.oracle;
+    EXPECT_FALSE(bucket.repro.empty());
+    EXPECT_GE(bucket.first_order, 1u);
+  }
+  EXPECT_EQ(bucketed, report.failures.size());
 }
 
 }  // namespace

@@ -17,8 +17,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/campaign/campaign.h"
+#include "src/campaign/corpus.h"
+#include "src/core/report.h"
 
 namespace {
 
@@ -34,6 +37,13 @@ struct Args {
   bool message_faults_only = false;
   bool rogue_only = false;
   bool healthy_baseline = false;
+  bool bug_no_dedup = false;
+  bool guided = false;
+  int batch_size = 16;
+  std::string corpus_dir;
+  bool replay_corpus = false;
+  bool stop_on_violation = false;
+  std::vector<uint64_t> mutation_chain;
   bool minimize = true;
   bool verbose = false;
 };
@@ -41,10 +51,12 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: hive_campaign [--seed=N] [--scenarios=N] [--workers=N]\n"
-               "                     [--scenario=K]\n"
+               "                     [--scenario=K] [--mutate=CHAIN]\n"
                "                     [--fixture=wild_write|no_dedup|no_hop_bound]\n"
-               "                     [--faults=message|rogue|none] [--no-minimize]\n"
-               "                     [--verbose]\n"
+               "                     [--faults=message|rogue|none] [--bug=no_dedup]\n"
+               "                     [--guided] [--batch=N] [--corpus=DIR]\n"
+               "                     [--replay-corpus] [--stop-on-violation]\n"
+               "                     [--no-minimize] [--verbose]\n"
                "\n"
                "  --seed=N             campaign master seed (default: $HIVE_TEST_SEED or 1)\n"
                "  --scenarios=N        number of scenarios to sweep (default 200)\n"
@@ -68,6 +80,23 @@ void Usage() {
                "                       must excise the rogue and nobody else\n"
                "  --faults=none        rogue-sweep geometry with zero faults; the\n"
                "                       sensitivity baseline must see zero excisions\n"
+               "  --bug=no_dedup       seeded-bug discovery mode: duplicate\n"
+               "                       suppression silently broken on one cell under\n"
+               "                       default fault plans with thinned duplication;\n"
+               "                       only a rare scenario exposes it\n"
+               "  --guided             coverage-guided mode: mutate coverage-novel\n"
+               "                       corpus entries instead of only drawing fresh\n"
+               "                       scenarios\n"
+               "  --batch=N            scenarios per guided batch (1..1024, default 16)\n"
+               "  --corpus=DIR         load corpus entries from DIR before the run and\n"
+               "                       persist newly admitted entries into it\n"
+               "  --replay-corpus      run exactly the corpus entries in --corpus=DIR\n"
+               "                       (regression replay; no mutation, no admission)\n"
+               "  --stop-on-violation  stop at the first batch boundary after a\n"
+               "                       violation and report its discovery cost\n"
+               "  --mutate=CHAIN       with --scenario=K: apply this comma-separated\n"
+               "                       mutation chain to the generated scenario (the\n"
+               "                       self-contained repro form of a guided mutant)\n"
                "  --no-minimize        skip minimization of violating scenarios\n"
                "  --verbose            print a line per scenario\n");
 }
@@ -114,6 +143,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->rogue_only = true;
     } else if (std::strcmp(arg, "--faults=none") == 0) {
       args->healthy_baseline = true;
+    } else if (std::strcmp(arg, "--bug=no_dedup") == 0) {
+      args->bug_no_dedup = true;
+    } else if (std::strcmp(arg, "--guided") == 0) {
+      args->guided = true;
+    } else if (std::strncmp(arg, "--batch=", 8) == 0 && ParseU64(arg + 8, &value) &&
+               value >= 1 && value <= 1024) {
+      args->batch_size = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--corpus=", 9) == 0 && arg[9] != '\0') {
+      args->corpus_dir = arg + 9;
+    } else if (std::strcmp(arg, "--replay-corpus") == 0) {
+      args->replay_corpus = true;
+    } else if (std::strcmp(arg, "--stop-on-violation") == 0) {
+      args->stop_on_violation = true;
+    } else if (std::strncmp(arg, "--mutate=", 9) == 0 &&
+               campaign::ParseMutationChain(arg + 9, &args->mutation_chain)) {
+      // Chain applied in RunSingle; requires --scenario=K.
     } else if (std::strcmp(arg, "--no-minimize") == 0) {
       args->minimize = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -134,8 +179,11 @@ int RunSingle(const Args& args) {
   gen_options.message_faults_only = args.message_faults_only;
   gen_options.rogue_only = args.rogue_only;
   gen_options.healthy_baseline = args.healthy_baseline;
-  const campaign::ScenarioSpec spec =
+  gen_options.bug_no_dedup = args.bug_no_dedup;
+  const campaign::ScenarioSpec root =
       campaign::GenerateScenario(args.seed, args.scenario, gen_options);
+  const campaign::ScenarioSpec spec =
+      campaign::ApplyMutationChain(root, args.mutation_chain);
   std::printf("%s\n", spec.ToString().c_str());
   const campaign::ScenarioResult result = campaign::RunScenario(spec);
   std::printf("end_time=%" PRId64 "ms excisions=%d fingerprint=0x%016" PRIx64 "\n",
@@ -168,27 +216,66 @@ int RunSweep(const Args& args) {
   options.message_faults_only = args.message_faults_only;
   options.rogue_only = args.rogue_only;
   options.healthy_baseline = args.healthy_baseline;
+  options.bug_no_dedup = args.bug_no_dedup;
+  options.guided = args.guided;
+  options.batch_size = args.batch_size;
+  options.corpus_dir = args.corpus_dir;
+  options.corpus_replay_only = args.replay_corpus;
+  options.stop_on_violation = args.stop_on_violation;
   options.minimize = args.minimize;
   if (args.verbose) {
     options.on_result = [](const campaign::ScenarioResult& result) {
       std::printf("%s\n", result.Summary().c_str());
     };
   }
-  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s%s%s%s\n",
+  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s%s%s%s%s%s\n",
               args.seed, args.scenarios, args.workers,
               args.wild_write_fixture ? " fixture=wild_write" : "",
               args.no_dedup_fixture ? " fixture=no_dedup" : "",
               args.no_hop_bound_fixture ? " fixture=no_hop_bound" : "",
               args.message_faults_only ? " faults=message" : "",
               args.rogue_only ? " faults=rogue" : "",
-              args.healthy_baseline ? " faults=none" : "");
+              args.healthy_baseline ? " faults=none" : "",
+              args.bug_no_dedup ? " bug=no_dedup" : "",
+              args.guided ? " guided" : args.replay_corpus ? " replay" : "");
   const campaign::CampaignReport report = campaign::RunCampaign(options);
   std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %" PRIu64
               " excision(s), %zu violation(s)\n",
               report.scenarios_run, report.faults_injected, report.excisions,
               report.failures.size());
+  std::printf("coverage: %" PRIu64 " feature(s) hash=0x%016" PRIx64
+              " merged-fingerprint=0x%016" PRIx64 "\n",
+              report.coverage_features, report.coverage_hash,
+              report.merged_fingerprint);
+  if (!args.corpus_dir.empty() || args.guided) {
+    std::printf("corpus: %" PRIu64 " entr%s (%" PRIu64 " loaded)\n",
+                report.corpus_size, report.corpus_size == 1 ? "y" : "ies",
+                report.corpus_loaded);
+  }
+  if (args.guided) {
+    std::printf("draws: %" PRIu64 " fresh, %" PRIu64 " mutant(s)\n",
+                report.fresh_run, report.mutants_run);
+  }
+  if (report.first_violation_order != 0) {
+    std::printf("first violation at scenario %" PRIu64 "\n",
+                report.first_violation_order);
+  }
   for (const campaign::CampaignFailure& failure : report.failures) {
     std::printf("%s", failure.Report().c_str());
+  }
+  if (!report.buckets.empty()) {
+    std::vector<hive::TriageBucketRow> rows;
+    rows.reserve(report.buckets.size());
+    for (const campaign::TriageBucket& bucket : report.buckets) {
+      hive::TriageBucketRow row;
+      row.oracle = bucket.oracle;
+      row.trace_signature = bucket.trace_signature;
+      row.count = bucket.count;
+      row.repro = bucket.repro;
+      row.minimized = args.minimize ? bucket.minimized : "";
+      rows.push_back(row);
+    }
+    std::printf("%s", hive::RenderTriageBuckets(rows).c_str());
   }
   if (report.ok()) {
     std::printf("all containment oracles passed\n");
@@ -203,6 +290,14 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
+    return 2;
+  }
+  if (!args.mutation_chain.empty() && !args.have_scenario) {
+    std::fprintf(stderr, "hive_campaign: --mutate requires --scenario=K\n");
+    return 2;
+  }
+  if (args.replay_corpus && args.corpus_dir.empty()) {
+    std::fprintf(stderr, "hive_campaign: --replay-corpus requires --corpus=DIR\n");
     return 2;
   }
   return args.have_scenario ? RunSingle(args) : RunSweep(args);
