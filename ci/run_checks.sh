@@ -17,6 +17,11 @@
 #      Byzantine-survivor oracle, the zero-fault baseline sees zero
 #      excisions, and the no_hop_bound fixture demonstrably trips the
 #      no-survivor-hang oracle;
+#   4b. a 200-scenario reboot-storm sweep (rotating kill/rejoin with page
+#      salvage + live rejoin) passes every oracle worker-count-independently,
+#      a salvage sweep adopts at least one page with zero violations, and
+#      the salvage_unchecked fixture demonstrably trips the
+#      no-corrupt-adoption oracle with byte-identical repro output;
 #   5. the full test suite builds and passes under ASan+UBSan;
 #   6. the campaign thread pool -- including the RPC retry/quarantine state
 #      it exercises -- builds and runs clean under TSan;
@@ -186,6 +191,64 @@ grep -q "no-survivor-hang" "$nohop_log" || {
   fail "no_hop_bound fixture failed without a no-survivor-hang diagnostic"
 }
 
+echo "== reboot-storm campaign: rotating kill/rejoin sweep =="
+# Salvage + live rejoin under rotating kill/rejoin cycles (some kills land
+# inside a prior victim's warm-rejoin window). Every oracle must pass, and
+# the merged fingerprint must be independent of worker count.
+storm_log="$BUILD_DIR/storm_sweep.log"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=200 --workers="$JOBS" \
+  --faults=reboot-storm >"$storm_log" 2>&1 || {
+  cat "$storm_log"
+  fail "reboot-storm sweep reported salvage/reintegration oracle violations"
+}
+storm_log1="$BUILD_DIR/storm_sweep_w1.log"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=200 --workers=1 \
+  --faults=reboot-storm >"$storm_log1" 2>&1 || {
+  cat "$storm_log1"
+  fail "1-worker reboot-storm sweep reported oracle violations"
+}
+storm_fp="$(grep -o 'merged-fingerprint=0x[0-9a-f]*' "$storm_log")"
+storm_fp1="$(grep -o 'merged-fingerprint=0x[0-9a-f]*' "$storm_log1")"
+[[ -n "$storm_fp" && "$storm_fp" == "$storm_fp1" ]] || \
+  fail "reboot-storm merged fingerprint differs across worker counts ($storm_fp vs $storm_fp1)"
+
+echo "== salvage campaign: adoption must happen and stay clean =="
+# Node-failure sweep with page salvage enabled: at least one page must be
+# adopted by proof (the path is exercised, not vacuous) with zero violations
+# (notably zero no-corrupt-adoption trips).
+salvage_log="$BUILD_DIR/salvage_sweep.log"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=30 --workers="$JOBS" \
+  --salvage >"$salvage_log" 2>&1 || {
+  cat "$salvage_log"
+  fail "salvage sweep reported oracle violations"
+}
+salvaged="$(grep -o '[0-9]* page(s) salvaged' "$salvage_log" | grep -o '^[0-9]*')"
+[[ -n "$salvaged" && "$salvaged" -gt 0 ]] || {
+  cat "$salvage_log"
+  fail "salvage sweep adopted zero pages; the salvage path never fired"
+}
+
+echo "== salvage_unchecked fixture: blind adoption must trip =="
+# With the salvage proofs disabled (and the firewall down so the wild write
+# lands), recovery adopts a scribbled page; the sweep must fail AND name the
+# no-corrupt-adoption oracle, and the repro output must be byte-identical
+# across runs.
+unchecked_log="$BUILD_DIR/salvage_unchecked.log"
+if "$CAMPAIGN" --seed="$MSG_SEED" --scenarios=10 --workers="$JOBS" \
+     --bug=salvage_unchecked >"$unchecked_log" 2>&1; then
+  cat "$unchecked_log"
+  fail "salvage_unchecked sweep passed; the no-corrupt-adoption oracle never tripped"
+fi
+grep -q "no-corrupt-adoption" "$unchecked_log" || {
+  cat "$unchecked_log"
+  fail "salvage_unchecked failure does not name the no-corrupt-adoption oracle"
+}
+unchecked_log2="$BUILD_DIR/salvage_unchecked2.log"
+"$CAMPAIGN" --seed="$MSG_SEED" --scenarios=10 --workers="$JOBS" \
+  --bug=salvage_unchecked >"$unchecked_log2" 2>&1 || true
+diff "$unchecked_log" "$unchecked_log2" >/dev/null || \
+  fail "salvage_unchecked repro output is not byte-identical across runs"
+
 echo "== guided campaign: budgeted coverage-guided run =="
 # A coverage-guided sweep over healthy code must still pass every oracle, and
 # must actually exercise the corpus/mutation machinery (corpus line present).
@@ -315,6 +378,9 @@ cmake --build "$TSAN_DIR" --target campaign_test hive_campaign -j "$JOBS" >/dev/
 "$TSAN_DIR/tools/hive_campaign/hive_campaign" \
   --seed="$MSG_SEED" --scenarios=24 --workers=8 --faults=message || \
   fail "TSan message-fault sweep failed"
+"$TSAN_DIR/tools/hive_campaign/hive_campaign" \
+  --seed="$MSG_SEED" --scenarios=24 --workers=8 --faults=reboot-storm || \
+  fail "TSan reboot-storm sweep failed"
 
 if [[ "${HIVE_CAMPAIGN_SCENARIOS:-0}" -gt 0 ]]; then
   echo "== nightly-scale campaign: ${HIVE_CAMPAIGN_SCENARIOS} scenarios =="

@@ -52,6 +52,9 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
   gen_options.healthy_baseline = options.healthy_baseline;
   gen_options.no_hop_bound_fixture = options.no_hop_bound_fixture;
   gen_options.bug_no_dedup = options.bug_no_dedup;
+  gen_options.salvage = options.salvage;
+  gen_options.reboot_storm_only = options.reboot_storm_only;
+  gen_options.bug_salvage_unchecked = options.bug_salvage_unchecked;
 
   // Corpus pool: specs plus the recipe that regenerates each (parallel
   // vectors). Loaded entries become mutation bases; they are not re-run.
@@ -112,6 +115,7 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
       ++exec_order;
       report.faults_injected += CountLanded(result);
       report.excisions += static_cast<uint64_t>(result.excisions);
+      report.pages_salvaged += static_cast<uint64_t>(result.pages_salvaged);
       report.merged_fingerprint =
           FnvMix(report.merged_fingerprint, result.fingerprint);
       const size_t novel = coverage.Merge(result.coverage);

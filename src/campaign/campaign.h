@@ -54,6 +54,16 @@ struct CampaignOptions {
   // cell under default fault plans with thinned duplication. The target of
   // the guided-vs-random sensitivity check (see ScenarioSpec::bug_no_dedup).
   bool bug_no_dedup = false;
+  // Default fault plans with page salvage enabled on every cell (the CI
+  // salvage sweep; wild-write plans also pre-stage a writable canary import
+  // so recovery has a salvage candidate to adopt).
+  bool salvage = false;
+  // Restrict generated fault plans to one reboot-storm fault each (rotating
+  // kill/rejoin cycles with live rejoin and salvage enabled).
+  bool reboot_storm_only = false;
+  // Seeded-bug sensitivity mode: salvage with both adoption proofs disabled
+  // (blind adoption); every scenario must trip the salvage oracles.
+  bool bug_salvage_unchecked = false;
 
   // Coverage-guided mode: batch the run, mutate coverage-novel corpus entries
   // instead of always drawing fresh scenarios.
@@ -112,6 +122,7 @@ struct CampaignReport {
   uint64_t scenarios_run = 0;
   uint64_t faults_injected = 0;
   uint64_t excisions = 0;  // Cells confirmed failed by agreement, summed.
+  uint64_t pages_salvaged = 0;  // Pages adopted instead of discarded, summed.
   // Violating scenarios in execution order (deterministic across worker
   // counts and interleavings; in non-guided mode this is index order).
   std::vector<CampaignFailure> failures;

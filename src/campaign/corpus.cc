@@ -39,8 +39,17 @@ bool ParseU64(std::string_view text, uint64_t* out) {
 }  // namespace
 
 const char* GeneratorModeName(const GeneratorOptions& options) {
+  if (options.bug_salvage_unchecked) {
+    return "bug_salvage_unchecked";
+  }
   if (options.wild_write_fixture) {
     return "wild_write";
+  }
+  if (options.reboot_storm_only) {
+    return "reboot_storm";
+  }
+  if (options.salvage) {
+    return "salvage";
   }
   if (options.no_dedup_fixture) {
     return "no_dedup";
@@ -96,13 +105,30 @@ bool GeneratorModeFromName(std::string_view name, GeneratorOptions* out) {
     out->message_faults_only = true;
     return true;
   }
+  if (name == "reboot_storm") {
+    out->reboot_storm_only = true;
+    return true;
+  }
+  if (name == "salvage") {
+    out->salvage = true;
+    return true;
+  }
+  if (name == "bug_salvage_unchecked") {
+    out->bug_salvage_unchecked = true;
+    return true;
+  }
   return false;
 }
 
 GeneratorOptions OptionsFromSpec(const ScenarioSpec& spec) {
   GeneratorOptions options;
-  if (spec.disable_firewall) {
+  if (spec.bug_salvage_unchecked) {
+    // Before disable_firewall: the seeded salvage bug also turns checking off.
+    options.bug_salvage_unchecked = true;
+  } else if (spec.disable_firewall) {
     options.wild_write_fixture = true;
+  } else if (spec.reboot_storm_only) {
+    options.reboot_storm_only = true;
   } else if (spec.bug_no_dedup) {
     options.bug_no_dedup = true;
   } else if (spec.message_faults_only && spec.disable_rpc_dedup) {
@@ -115,6 +141,11 @@ GeneratorOptions OptionsFromSpec(const ScenarioSpec& spec) {
     options.healthy_baseline = true;
   } else if (spec.message_faults_only) {
     options.message_faults_only = true;
+  }
+  // Orthogonal to the plan distribution: the salvage sweep runs default
+  // plans with salvage on. Storm and seeded-bug modes imply it themselves.
+  if (spec.salvage && !options.reboot_storm_only && !options.bug_salvage_unchecked) {
+    options.salvage = true;
   }
   return options;
 }

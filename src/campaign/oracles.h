@@ -52,6 +52,9 @@ struct OracleInput {
   // Number of corrupt workload output files, -1 when not validated (no
   // validator for the workload, or the file server did not survive).
   int corrupt_outputs = -1;
+  // Frames where an injected wild write actually landed (firewall checking
+  // off). The salvage-containment oracle asserts none of them was adopted.
+  std::vector<hive::PhysAddr> wild_write_frames;
 };
 
 // Runs the full oracle library; returns every violation found (empty = the
@@ -74,6 +77,10 @@ struct OracleInput {
 //   no-false-excision     only the rogue may be confirmed failed; the healthy
 //                         baseline sees zero excisions
 //   trace-consistency     every survivor's trace shows balanced recovery events
+//   no-corrupt-adoption   salvaged canary pages still hold the canary pattern
+//   reintegration-converges every started reintegration finished, re-excised
+//                         the cell, or failed loudly within the bound
+//   salvage-containment   no frame a wild write landed in was ever salvaged
 std::vector<OracleViolation> CheckAllOracles(const OracleInput& input);
 
 // The individual oracles behind CheckAllOracles, exposed so oracles_test can
@@ -97,6 +104,11 @@ void CheckRogueDetection(const OracleInput& input, std::vector<OracleViolation>*
 void CheckNoSurvivorHang(const OracleInput& input, std::vector<OracleViolation>* out);
 void CheckNoFalseExcision(const OracleInput& input, std::vector<OracleViolation>* out);
 void CheckTraceConsistency(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckNoCorruptAdoption(const OracleInput& input, std::vector<OracleViolation>* out);
+void CheckReintegrationConverges(const OracleInput& input,
+                                 std::vector<OracleViolation>* out);
+void CheckSalvageContainment(const OracleInput& input,
+                             std::vector<OracleViolation>* out);
 
 }  // namespace campaign
 

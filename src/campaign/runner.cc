@@ -12,6 +12,7 @@
 #include "src/core/failure_detection.h"
 #include "src/core/kernel_heap.h"
 #include "src/core/process.h"
+#include "src/core/recovery.h"
 #include "src/core/rpc.h"
 #include "src/core/scheduler.h"
 #include "src/flash/fault_injector.h"
@@ -133,6 +134,9 @@ struct InjectionState {
   HiveSystem* sys = nullptr;
   const ScenarioSpec* spec = nullptr;
   std::vector<bool> injected;
+  // Frames where an injected wild write actually landed (firewall checking
+  // off). The salvage-containment oracle asserts none of them was salvaged.
+  std::vector<hive::PhysAddr> wild_write_frames;
 };
 
 void InjectNodeFailure(InjectionState& state, size_t fault_index) {
@@ -209,16 +213,98 @@ void InjectWildWrite(InjectionState& state, size_t fault_index) {
   for (uint8_t& byte : garbage) {
     byte = static_cast<uint8_t>(garbage_rng.Next());
   }
+  if (state.spec->salvage) {
+    // Salvage scenarios: the victim first takes a writable import of one
+    // canary page, so the target holds a write-exported page (a discard
+    // candidate with a checksum baseline) when the victim later dies. With
+    // the firewall on the import must cover a *different* page than the
+    // scribble below -- the grant would otherwise let the "wild" store land
+    // legitimately -- and recovery salvages it because the denied scribble
+    // never touched it. With checking off (--bug=salvage_unchecked) the
+    // import covers the scribbled page itself, so blind adoption keeps the
+    // corrupt bytes and checked adoption rejects them.
+    const uint64_t import_page = state.spec->disable_firewall ? 0 : 1;
+    Ctx wctx = writer.MakeCtx();
+    auto whandle = writer.fs().Open(wctx, CanaryPath(fault.target));
+    if (whandle.ok()) {
+      auto wpage = writer.fs().GetPage(wctx, *whandle, import_page, /*want_write=*/true,
+                                       hive::FileSystem::AccessPath::kSyscall);
+      if (wpage.ok()) {
+        writer.fs().ReleasePage(wctx, *wpage);
+      }
+    }
+  }
   const int writer_cpu = sys.machine().FirstCpuOfNode(writer.first_node());
   state.injected[fault_index] = true;
   try {
     sys.machine().mem().Write(writer_cpu, (*page)->frame + 128, garbage);
+    state.wild_write_frames.push_back((*page)->frame);
     // hive-lint: allow(R3): injected wild write from the fault harness; the firewall trap is converted into the victim kernel's panic, as section 4.1 prescribes.
   } catch (const flash::BusError&) {
     std::ostringstream reason;
     reason << "wild write into cell " << fault.target << " denied by firewall";
     writer.Panic(reason.str());
   }
+}
+
+// Seed-driven repeated kill/rejoin cycles of rotating victims. Each cycle
+// fails the current victim's node, then polls until auto-reintegration has
+// restored the node and rebooted the kernel, then draws the next victim and
+// inter-kill gap from the storm's own deterministic stream. One gap in three
+// is short enough (1 ms) to land the next kill inside the prior victim's
+// warm-rejoin window, exercising a membership change during live rejoin.
+void DriveRebootStorm(const std::shared_ptr<InjectionState>& state, size_t fault_index,
+                      uint32_t cycle, CellId victim, Time until);
+
+// Polls every 2 ms until the cycle's victim is a live, unconfirmed-failed,
+// not-in-recovery member again (or the storm window closes), then schedules
+// the next kill cycle.
+void WaitForStormRejoin(const std::shared_ptr<InjectionState>& state, size_t fault_index,
+                        uint32_t cycle, CellId victim, Time until) {
+  HiveSystem& sys = *state->sys;
+  if (sys.machine().Now() >= until) {
+    return;
+  }
+  if (!sys.CellReachable(victim) || sys.CellConfirmedFailed(victim) ||
+      sys.cell(victim).in_recovery()) {
+    sys.machine().events().ScheduleAfter(
+        2 * kMillisecond, [state, fault_index, cycle, victim, until] {
+          WaitForStormRejoin(state, fault_index, cycle, victim, until);
+        });
+    return;
+  }
+  base::Rng rng(state->spec->seed ^ (0x5706ull << 32) ^
+                (static_cast<uint64_t>(fault_index) << 8) ^ cycle);
+  const CellId n = static_cast<CellId>(sys.num_cells());
+  const CellId next = static_cast<CellId>(
+      (victim + 1 + static_cast<CellId>(rng.Below(static_cast<uint64_t>(n - 1)))) % n);
+  const Time gap =
+      rng.OneIn(3) ? 1 * kMillisecond : static_cast<Time>(20 + rng.Below(80)) * kMillisecond;
+  sys.machine().events().ScheduleAfter(gap, [state, fault_index, cycle, next, until] {
+    DriveRebootStorm(state, fault_index, cycle + 1, next, until);
+  });
+}
+
+void DriveRebootStorm(const std::shared_ptr<InjectionState>& state, size_t fault_index,
+                      uint32_t cycle, CellId victim, Time until) {
+  const FaultSpec& fault = state->spec->faults[fault_index];
+  HiveSystem& sys = *state->sys;
+  if (cycle >= fault.storm_cycles || sys.machine().Now() >= until) {
+    return;
+  }
+  // Hold the kill while the victim is unreachable or mid-recovery, and keep
+  // at least two survivors after the kill so a recovery master exists.
+  if (!sys.CellReachable(victim) || sys.cell(victim).in_recovery() ||
+      sys.LiveCells().size() < 3) {
+    sys.machine().events().ScheduleAfter(
+        2 * kMillisecond, [state, fault_index, cycle, victim, until] {
+          DriveRebootStorm(state, fault_index, cycle, victim, until);
+        });
+    return;
+  }
+  sys.machine().FailNode(sys.cell(victim).first_node());
+  state->injected[fault_index] = true;
+  WaitForStormRejoin(state, fault_index, cycle, victim, until);
 }
 
 // Installs one time-windowed message-fault plan on the SIPS substrate. Plans
@@ -585,6 +671,9 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   options.num_cells = spec.num_cells;
   options.agreement_mode = spec.agreement_mode;
   options.auto_reintegrate = spec.auto_reintegrate;
+  options.salvage_pages = spec.salvage;
+  options.salvage_verify = !spec.bug_salvage_unchecked;
+  options.live_rejoin = spec.reboot_storm_only;
   HiveSystem sys(&machine, options);
   sys.Boot();
   if (spec.disable_firewall) {
@@ -674,6 +763,15 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
         });
         break;
       }
+      case FaultKind::kRebootStorm: {
+        const Time storm_until = fault.inject_at + fault.duration;
+        const CellId first_victim = fault.victim;
+        machine.events().ScheduleAt(fault.inject_at, [state, i, first_victim, storm_until] {
+          DriveRebootStorm(state, i, /*cycle=*/0, first_victim, storm_until);
+        });
+        last_inject = std::max(last_inject, storm_until);
+        break;
+      }
     }
   }
   if (spec.rogue_only || spec.healthy_baseline) {
@@ -725,6 +823,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   for (CellId c = 0; c < spec.num_cells; ++c) {
     result.excisions += sys.CellConfirmedFailed(c) ? 1 : 0;
   }
+  result.pages_salvaged = static_cast<int>(sys.recovery().salvage_log().size());
 
   OracleInput input;
   input.spec = &spec;
@@ -732,6 +831,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   input.canaries = &canaries;
   input.injected = state->injected;
   input.corrupt_outputs = corrupt;
+  input.wild_write_frames = state->wild_write_frames;
   result.violations = CheckAllOracles(input);
 
   result.fingerprint = ComputeFingerprint(result, sys);

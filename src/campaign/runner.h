@@ -23,6 +23,7 @@ struct ScenarioResult {
   std::vector<OracleViolation> violations;
   int corrupt_outputs = -1;  // -1 = outputs not validated this run.
   int excisions = 0;         // Cells confirmed failed by agreement this run.
+  int pages_salvaged = 0;    // Pages adopted instead of discarded by recovery.
   Time end_time = 0;         // Simulated time when the scenario finished.
   uint64_t events_run = 0;   // Simulator events executed (throughput metric).
   // FNV-1a digest of the run's observable outcome (cell states, panic

@@ -177,6 +177,8 @@ const char* FaultKindName(FaultKind kind) {
       return "message-faults";
     case FaultKind::kRogueCell:
       return "rogue-cell";
+    case FaultKind::kRebootStorm:
+      return "reboot-storm";
   }
   std::abort();
 }
@@ -224,6 +226,11 @@ std::string FaultSpec::ToString() const {
     return out.str();
   }
   out << FaultKindName(kind) << " victim=" << victim;
+  if (kind == FaultKind::kRebootStorm) {
+    out << " cycles=" << storm_cycles << " t=" << inject_at / hive::kMillisecond << "ms+"
+        << duration / hive::kMillisecond << "ms";
+    return out.str();
+  }
   if (kind == FaultKind::kRogueCell) {
     out << " axes=" << RogueAxesToString(rogue_axes);
     if ((rogue_axes & kRogueVoteAccuse) != 0) {
@@ -277,6 +284,12 @@ std::string ScenarioSpec::ToString() const {
   if (bug_no_dedup) {
     out << " BUG-NO-DEDUP";
   }
+  if (salvage) {
+    out << " salvage";
+  }
+  if (bug_salvage_unchecked) {
+    out << " BUG-SALVAGE-UNCHECKED";
+  }
   if (healthy_baseline) {
     out << " baseline";
   }
@@ -291,7 +304,7 @@ std::string ScenarioSpec::ToString() const {
 std::string ScenarioSpec::ReproLine() const {
   std::ostringstream out;
   out << "hive_campaign --seed=" << master_seed << " --scenario=" << index;
-  if (disable_firewall) {
+  if (disable_firewall && !bug_salvage_unchecked) {
     out << " --fixture=wild_write";
   }
   if (disable_rpc_dedup && !bug_no_dedup) {
@@ -302,11 +315,18 @@ std::string ScenarioSpec::ReproLine() const {
     out << " --faults=message";
   } else if (rogue_only) {
     out << " --faults=rogue";
+  } else if (reboot_storm_only) {
+    out << " --faults=reboot-storm";
   } else if (healthy_baseline) {
     out << " --faults=none";
   }
   if (bug_no_dedup) {
     out << " --bug=no_dedup";
+  }
+  if (bug_salvage_unchecked) {
+    out << " --bug=salvage_unchecked";
+  } else if (salvage && !reboot_storm_only) {
+    out << " --salvage";
   }
   if (!mutation_chain.empty()) {
     out << " --mutate=" << FormatMutationChain(mutation_chain);
@@ -364,6 +384,59 @@ ScenarioSpec GenerateScenario(uint64_t master_seed, uint64_t index,
     spec.bug_no_dedup = true;
     spec.disable_rpc_dedup = true;
     spec.auto_reintegrate = false;
+  }
+
+  if (options.salvage) {
+    // Salvage sweep: the default fault distribution, but recoveries salvage
+    // provably-clean pages instead of discarding them. No extra RNG draws, so
+    // the plan is identical to the plain sweep's scenario at the same index.
+    spec.salvage = true;
+  }
+
+  if (options.reboot_storm_only) {
+    // Reboot-storm family: four cells, ground-truth agreement (the family
+    // stresses salvage and live rejoin, not Byzantine voting), automatic
+    // reintegration with live rejoin and salvage on, and exactly one storm.
+    spec.reboot_storm_only = true;
+    spec.salvage = true;
+    spec.num_cells = 4;
+    spec.agreement_mode = hive::AgreementMode::kOracle;
+    spec.auto_reintegrate = true;
+    FaultSpec fault;
+    fault.kind = FaultKind::kRebootStorm;
+    fault.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+    fault.inject_at = (30 + static_cast<Time>(rng.Below(90))) * hive::kMillisecond;
+    fault.storm_cycles = 3 + static_cast<uint32_t>(rng.Below(3));
+    fault.duration = 500 * hive::kMillisecond;
+    spec.faults.push_back(fault);
+    return spec;
+  }
+
+  if (options.bug_salvage_unchecked) {
+    // Sensitivity fixture: salvage runs blind (no checksum re-verification).
+    // The plan write-exports the target's canary page to the victim, lands a
+    // wild write on it (firewall checking off so the scribble sticks), then
+    // kills the victim. Blind salvage adopts the corrupt canary bytes and the
+    // no-corrupt-adoption oracle must flag the scenario; with verification on
+    // the same plan discards the page and stays silent.
+    spec.bug_salvage_unchecked = true;
+    spec.salvage = true;
+    spec.disable_firewall = true;
+    spec.auto_reintegrate = false;  // The corpse stays excised; the salvage log stands.
+    FaultSpec wild;
+    wild.kind = FaultKind::kWildWrite;
+    wild.victim = static_cast<CellId>(rng.Below(static_cast<uint64_t>(spec.num_cells)));
+    wild.target = static_cast<CellId>(
+        (wild.victim + 1 + rng.Below(static_cast<uint64_t>(spec.num_cells - 1))) %
+        spec.num_cells);
+    wild.inject_at = (40 + static_cast<Time>(rng.Below(60))) * hive::kMillisecond;
+    spec.faults.push_back(wild);
+    FaultSpec kill;
+    kill.kind = FaultKind::kNodeFailure;
+    kill.victim = wild.victim;
+    kill.inject_at = wild.inject_at + (30 + static_cast<Time>(rng.Below(40))) * hive::kMillisecond;
+    spec.faults.push_back(kill);
+    return spec;
   }
 
   if (options.wild_write_fixture) {
@@ -562,7 +635,7 @@ std::vector<size_t> FaultsOfKind(const ScenarioSpec& spec, FaultKind kind) {
 // generator excludes by design, and rogue sweeps expect exactly one rogue.
 bool CanDuplicate(FaultKind kind) {
   return kind != FaultKind::kNodeFailure && kind != FaultKind::kFalseAccusation &&
-         kind != FaultKind::kRogueCell;
+         kind != FaultKind::kRogueCell && kind != FaultKind::kRebootStorm;
 }
 
 Time DrawInjectTime(base::Rng& rng) {
@@ -591,6 +664,7 @@ void RetargetFault(base::Rng& rng, ScenarioSpec& spec, size_t index) {
       break;
     }
     case FaultKind::kAddrMapCorruption:
+    case FaultKind::kRebootStorm:
       fault.victim = static_cast<CellId>(rng.Below(n));
       break;
     case FaultKind::kMessageFaults:
@@ -671,8 +745,9 @@ ScenarioSpec MutateScenario(const ScenarioSpec& base, uint64_t mutation_seed) {
 
   // Applicable operators for this spec. kMessageRates appears twice when a
   // message window exists (see RedrawMessageRates).
-  const bool fixed_geometry =
-      spec.rogue_only || spec.healthy_baseline || spec.disable_hop_bound;
+  const bool fixed_geometry = spec.rogue_only || spec.healthy_baseline ||
+                              spec.disable_hop_bound || spec.reboot_storm_only ||
+                              spec.bug_salvage_unchecked;
   bool can_duplicate = false;
   if (spec.faults.size() < 4) {
     for (const FaultSpec& fault : spec.faults) {

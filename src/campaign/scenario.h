@@ -60,6 +60,12 @@ enum class FaultKind {
   // rogue within the detection bound without hanging and without excising any
   // healthy cell.
   kRogueCell,
+  // Seed-driven repeated kill/rejoin cycles of rotating victims under load
+  // (`storm_cycles` kills inside [inject_at, inject_at + duration)), with
+  // live rejoin and page salvage enabled. Some cycles re-kill a cell while a
+  // *prior* victim's reintegration is still in flight. The salvage,
+  // reintegration-convergence and containment oracles judge the aftermath.
+  kRebootStorm,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -71,6 +77,7 @@ inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kNodeFailure,     FaultKind::kAddrMapCorruption,
     FaultKind::kWildWrite,       FaultKind::kFalseAccusation,
     FaultKind::kMessageFaults,   FaultKind::kRogueCell,
+    FaultKind::kRebootStorm,
 };
 
 // Orthogonal misbehaviour axes for FaultKind::kRogueCell, combined as a
@@ -114,6 +121,10 @@ struct FaultSpec {
   // `target` names the healthy cell the rogue keeps accusing.
   uint32_t rogue_axes = 0;
 
+  // kRebootStorm only: number of kill/rejoin cycles. `victim` is the first
+  // victim (cycles rotate from there); `duration` bounds the storm window.
+  uint32_t storm_cycles = 0;
+
   std::string ToString() const;
 };
 
@@ -156,6 +167,21 @@ struct ScenarioSpec {
   // bug. This is the discovery problem the guided-vs-random CI check
   // measures: the guided mode must find it in fewer scenarios.
   bool bug_no_dedup = false;
+  // Page salvage during recovery (HiveOptions::salvage_pages). On for the
+  // salvage sweep (--salvage), the reboot-storm family and the
+  // salvage_unchecked bug mode; off elsewhere so the pre-salvage fault
+  // families keep their byte-identical fingerprints.
+  bool salvage = false;
+  // Generated by the reboot-storm sweep (--faults=reboot-storm): exactly one
+  // kRebootStorm fault, four cells, live rejoin + salvage enabled.
+  bool reboot_storm_only = false;
+  // Seeded-bug sensitivity mode (--bug=salvage_unchecked): salvage adopts
+  // pages without re-verifying their content checksum
+  // (HiveOptions::salvage_verify = false). The plan write-exports a canary
+  // page to the victim, lands a wild write on it (firewall checking off) and
+  // then kills the victim, so blind adoption keeps corrupt canary bytes and
+  // the no-corrupt-adoption oracle must trip.
+  bool bug_salvage_unchecked = false;
 
   // Mutation lineage: this scenario was derived from
   // GenerateScenario(master_seed, index) by applying MutateScenario once per
@@ -205,6 +231,15 @@ struct GeneratorOptions {
   bool no_hop_bound_fixture = false;
   // Seeded-bug discovery mode: see ScenarioSpec::bug_no_dedup.
   bool bug_no_dedup = false;
+  // Default-distribution plans with page salvage enabled (the CI salvage
+  // sweep: firewall-contained wild writes and node failures whose recoveries
+  // must salvage provably-clean pages instead of discarding them).
+  bool salvage = false;
+  // Restrict the fault plan to exactly one kRebootStorm fault (the CI
+  // reboot-storm sweep: rotating kill/rejoin cycles under load).
+  bool reboot_storm_only = false;
+  // Seeded-bug sensitivity mode: see ScenarioSpec::bug_salvage_unchecked.
+  bool bug_salvage_unchecked = false;
 };
 
 // Generates scenario `index` of the campaign rooted at `master_seed`.

@@ -60,6 +60,7 @@ uint64_t Cell::ReadOwnClock() const {
 
 void Cell::Boot() {
   state_ = CellState::kBooting;
+  ++incarnation_;
   panic_reason_.clear();
   in_recovery_ = false;
   user_suspended_until_ = 0;

@@ -95,6 +95,10 @@ class Cell {
 
   // --- State. ---
   CellState state() const { return state_; }
+  // Boot incarnation: 1 after the first Boot(), bumped by every reboot.
+  // Carried on outgoing RPCs so peers' replay caches can tell this kernel's
+  // fresh sequence numbers from a crashed predecessor's (see RpcLayer).
+  uint64_t incarnation() const { return incarnation_; }
   bool alive() const { return state_ == CellState::kRunning || state_ == CellState::kBooting; }
   bool in_recovery() const { return in_recovery_; }
   void set_in_recovery(bool v) { in_recovery_ = v; }
@@ -182,6 +186,7 @@ class Cell {
   uint64_t paged_frames_ = 0;
 
   CellState state_ = CellState::kBooting;
+  uint64_t incarnation_ = 0;
   bool in_recovery_ = false;
   Time user_suspended_until_ = 0;
   std::string panic_reason_;

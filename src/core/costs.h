@@ -118,6 +118,9 @@ struct KernelCosts {
   flash::Time recovery_per_page_scan_ns = 300;
   flash::Time recovery_barrier_round_ns = 500 * flash::kMicrosecond;
   flash::Time recovery_fs_cleanup_ns = 3 * flash::kMillisecond;
+  // Salvage (HiveOptions::salvage_pages): recomputing one page's content
+  // checksum during the discard walk (DMA read + hash of one frame).
+  flash::Time recovery_salvage_check_ns = 3 * flash::kMicrosecond;
 
   // Derived helpers.
   flash::Time NullRpcNs(const flash::LatencyParams& lat) const {

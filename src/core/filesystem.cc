@@ -215,6 +215,7 @@ base::Result<Pfdat*> FileSystem::GetPageLocal(Ctx& ctx, VnodeId vnode_id, uint64
     pfdat->refcount = 0;
     pfdat->lpid = lpid;
     pfdat->generation = vnode->generation;
+    pfdat->salvage_sum_valid = false;  // Fresh binding: no content baseline yet.
     cell_->pfdats().InsertHash(pfdat);
 
     if (fill_from_disk) {
@@ -294,6 +295,11 @@ base::Result<PhysAddr> FileSystem::ExportPage(Ctx& ctx, VnodeId vnode_id, uint64
       RETURN_IF_ERROR_RESULT(cell_->rpc().Call(ctx, pfdat->borrowed_from,
                                                MsgType::kGrantFirewall, args, &reply));
     }
+  }
+  if (writable) {
+    // Baseline snapshot at grant time: the recovery salvage walk compares
+    // against this to prove the client never scribbled the page.
+    RecordSalvageSum(pfdat);
   }
   // The export keeps a reference until every client releases.
   if (gen_out != nullptr) {
@@ -457,6 +463,9 @@ base::Result<Pfdat*> FileSystem::MigratePageNear(Ctx& ctx, Pfdat* pfdat, CellId 
   dest->generation = pfdat->generation;
   dest->dirty = pfdat->dirty;
   dest->refcount = pfdat->refcount;
+  dest->salvage_sum = pfdat->salvage_sum;
+  dest->salvage_gen = pfdat->salvage_gen;
+  dest->salvage_sum_valid = pfdat->salvage_sum_valid;
   cell_->pfdats().InsertHash(dest);
   pfdat->lpid = LogicalPageId{};
   pfdat->dirty = false;
@@ -609,6 +618,7 @@ base::Status FileSystem::Write(Ctx& ctx, const FileHandle& handle, uint64_t offs
       cell_->machine().mem().Write(ctx.cpu, pfdat->frame + in_page,
                                    data.subspan(done, chunk));
       vnode->size_bytes = std::max(vnode->size_bytes, byte + chunk);
+      RecordSalvageSum(pfdat);
       pfdat->refcount--;
       done += chunk;
     }
@@ -730,6 +740,45 @@ base::Status FileSystem::Sync(Ctx& ctx, VnodeId local_vnode) {
     }
   }
   return base::OkStatus();
+}
+
+bool FileSystem::PageChecksum(PhysAddr frame, uint64_t* sum_out) const {
+  const uint64_t page_size = cell_->machine().mem().page_size();
+  std::vector<uint8_t> buf(page_size);
+  try {
+    cell_->machine().mem().DmaRead(cell_->first_node(), frame, std::span<uint8_t>(buf));
+    // hive-lint: allow(R3): checksum DMA of a frame that may live in failed memory; converted to a bool result.
+  } catch (const flash::BusError&) {
+    return false;
+  }
+  // FNV-1a over the page bytes.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint8_t b : buf) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  *sum_out = h;
+  return true;
+}
+
+void FileSystem::RecordSalvageSum(Pfdat* pfdat) {
+  if (!cell_->system()->options().salvage_pages) {
+    return;
+  }
+  // Only pages another cell can scribble need a baseline: read-only exports
+  // keep their content by construction and are never discard candidates.
+  if (pfdat->exported_writable == 0) {
+    pfdat->salvage_sum_valid = false;
+    return;
+  }
+  uint64_t sum = 0;
+  if (!PageChecksum(pfdat->frame, &sum)) {
+    pfdat->salvage_sum_valid = false;
+    return;
+  }
+  pfdat->salvage_sum = sum;
+  pfdat->salvage_gen = pfdat->generation;
+  pfdat->salvage_sum_valid = true;
 }
 
 void FileSystem::NoteDirtyPageLost(VnodeId vnode_id) {
@@ -957,6 +1006,7 @@ void FileSystem::RegisterHandlers() {
             return base::IoError();
           }
           cell_->machine().mem().Write(sctx.cpu, pfdat->frame, std::span<const uint8_t>(buf));
+          RecordSalvageSum(pfdat);
           pfdat->refcount--;
         }
         vnode->size_bytes = std::max(vnode->size_bytes, (first_page + count) * page_size);
@@ -1015,6 +1065,7 @@ void FileSystem::RegisterHandlers() {
         cell_->machine().mem().Write(sctx.cpu, pfdat->frame + in_page,
                                      std::span<const uint8_t>(buf));
         vnode->size_bytes = std::max(vnode->size_bytes, page * page_size + in_page + chunk);
+        RecordSalvageSum(pfdat);
         pfdat->refcount--;
         return base::OkStatus();
       });

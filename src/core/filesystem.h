@@ -93,6 +93,11 @@ class FileSystem {
 
   // --- Recovery integration. ---
 
+  // Content checksum of one page frame (FNV-1a over the frame bytes, read by
+  // DMA). Returns false if the frame's memory is unreachable. Used by the
+  // salvage path to recompute a candidate's checksum during recovery.
+  bool PageChecksum(PhysAddr frame, uint64_t* sum_out) const;
+
   // A dirty page of `vnode_id` was discarded: bump the generation so handles
   // opened before the failure observe an error (paper section 4.2).
   void NoteDirtyPageLost(VnodeId vnode_id);
@@ -139,6 +144,11 @@ class FileSystem {
   // CC-NUMA page migration: rebinds the page onto a frame borrowed from
   // `client`'s memory (sections 5.5/5.6). Returns the new pfdat.
   base::Result<Pfdat*> MigratePageNear(Ctx& ctx, Pfdat* pfdat, CellId client);
+
+  // Salvage support (HiveOptions::salvage_pages): records the page's current
+  // content checksum and generation in the pfdat, so recovery can verify the
+  // page was not scribbled by the failed cell before adopting it.
+  void RecordSalvageSum(Pfdat* pfdat);
 
   Cell* cell_;
   std::unordered_map<VnodeId, Vnode> vnodes_;

@@ -39,6 +39,22 @@ struct HiveOptions {
   bool numa_placement = false;
   bool start_wax = true;
   bool auto_reintegrate = false;
+  // Page salvage (off by default; preemptive discard is the paper's
+  // behaviour): during recovery's discard walk, pages provably untouched by
+  // the failed cell -- no hardware write permission at failure time, or a
+  // matching content checksum recorded at the last checked write -- are kept
+  // instead of discarded.
+  bool salvage_pages = false;
+  // Salvage proof verification. Turning this off (while salvage_pages is on)
+  // is the seeded --bug=salvage_unchecked fixture: salvage adopts every
+  // candidate without recomputing its checksum, so a wild-written page can be
+  // adopted corrupt and the no-corrupt-adoption oracle must trip.
+  bool salvage_verify = true;
+  // Live rejoin (off by default; reintegration is otherwise a quiet reboot):
+  // a reintegrated cell re-enters the RPC transport and the frame economy
+  // under load -- null-pings every survivor under its new incarnation epoch
+  // and re-borrows/returns a frame batch -- before it counts as converged.
+  bool live_rejoin = false;
   // Debug-mode audit: after every recovery round, cross-check firewall
   // vectors against kernel bookkeeping (see invariant_checker.h).
   bool audit_invariants = true;

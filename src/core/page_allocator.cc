@@ -242,9 +242,20 @@ void PageAllocator::ReleaseToFreeList(Pfdat* pfdat) {
   pfdat->refcount = 0;
   pfdat->dirty = false;
   pfdat->lpid = LogicalPageId{};
+  pfdat->salvage_sum_valid = false;
   pfdat->exported_to = 0;
   pfdat->exported_writable = 0;
   free_list_.push_back(pfdat);
+}
+
+void PageAllocator::NoteSalvagedAdoption(Pfdat* pfdat) {
+  // Recovery adopted a bound page the discard walk would have freed. The
+  // frame must still be a live local cache page: not on the free list (it
+  // keeps its binding) and not loaned out (loaned frames are unbound).
+  CHECK(!pfdat->extended);
+  CHECK(pfdat->HasLogicalBinding());
+  CHECK(!pfdat->loaned_out);
+  ++frames_salvaged_;
 }
 
 int PageAllocator::DropBorrowsFrom(CellId failed_cell) {

@@ -75,6 +75,12 @@ class PageAllocator {
   // Recovery/eviction: puts an unbound local frame back on the free list.
   void ReleaseToFreeList(Pfdat* pfdat);
 
+  // Recovery salvage: the data home adopted a bound page instead of
+  // discarding it. Audits that the frame is a live local cache page (not
+  // free, not loaned) and counts the adoption.
+  void NoteSalvagedAdoption(Pfdat* pfdat);
+  uint64_t frames_salvaged() const { return frames_salvaged_; }
+
   // Invariant auditing: whether this local frame is currently loaned out
   // (must agree with the pfdat's loaned_out flag). Scans the per-client
   // buckets rather than trusting the pfdat's own loaned_to field, so corrupt
@@ -103,6 +109,7 @@ class PageAllocator {
   std::unordered_map<CellId, std::unordered_set<Pfdat*>> loaned_;
   size_t loaned_count_ = 0;
   uint64_t borrow_rpcs_ = 0;
+  uint64_t frames_salvaged_ = 0;
 };
 
 }  // namespace hive

@@ -53,6 +53,17 @@ struct Pfdat {
   // --- Physical-level sharing: borrower side. ---
   CellId borrowed_from = kInvalidCell;  // Memory home, for borrowed frames.
 
+  // --- Salvage bookkeeping (HiveOptions::salvage_pages only). ---
+  // Content checksum recorded by the data home when the page was last written
+  // through a checked kernel path, plus the file generation at that moment.
+  // Recovery may adopt (rather than discard) a page writable by a failed
+  // cell only if recomputing the checksum over the frame matches and the
+  // generation is unchanged -- any unchecked store (a wild write) breaks the
+  // match and forces the discard.
+  uint64_t salvage_sum = 0;
+  Generation salvage_gen = 0;
+  bool salvage_sum_valid = false;
+
   bool HasLogicalBinding() const { return lpid.valid(); }
 };
 

@@ -1,18 +1,23 @@
 #include "src/core/recovery.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/base/log.h"
 #include "src/core/cell.h"
 #include "src/core/filesystem.h"
 #include "src/core/hive_system.h"
 #include "src/core/invariant_checker.h"
+#include "src/core/rpc.h"
 
 namespace hive {
 namespace {
 
 constexpr Time kAlertDeliveryNs = 1 * kMicrosecond;
 constexpr Time kDiagnosticsDelayNs = 5 * kMillisecond;
+// Live rejoin runs shortly after the rebooted kernel comes up, while the
+// survivors are back under load (recovery released them at barrier 2).
+constexpr Time kWarmRejoinDelayNs = 2 * kMillisecond;
 
 }  // namespace
 
@@ -46,11 +51,20 @@ Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
   phase_ctx.Charge(static_cast<Time>(cell.pfdats().total_pfdats()) *
                    cell.costs().recovery_per_page_scan_ns);
 
-  // 1. Revoke firewall write permission granted to the failed cells; the
-  //    pages they could write are preemptively discarded below.
-  (void)cell.firewall_manager().RevokeAllFor(phase_ctx, failed.front());
+  // 1. Revoke firewall write permission granted to the failed cells. The
+  //    returned pfns are exactly the local pages a failed cell could reach
+  //    with hardware stores at failure time: the salvage path below must
+  //    assume those are corrupt, while an export record with no backing
+  //    grant (e.g. evicted under the single-writer ablation) proves the
+  //    failed cell never had write access.
+  std::unordered_set<Pfn> hw_writable;
+  for (Pfn pfn : cell.firewall_manager().RevokeAllFor(phase_ctx, failed.front())) {
+    hw_writable.insert(pfn);
+  }
   for (size_t i = 1; i < failed.size(); ++i) {
-    (void)cell.firewall_manager().RevokeAllFor(phase_ctx, failed[i]);
+    for (Pfn pfn : cell.firewall_manager().RevokeAllFor(phase_ctx, failed[i])) {
+      hw_writable.insert(pfn);
+    }
   }
 
   // 2. Drop the spare borrowed frames still sitting in the allocator's
@@ -63,10 +77,48 @@ Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
     cell.allocator().DropBorrowsFrom(failed[i]);
   }
 
-  // 3. Walk the pfdat table: discard pages writable by failed cells, drop
-  //    bindings cached in frames whose memory home failed, clear export
-  //    state (every remaining remote grant is also revoked -- no remote
-  //    mapping survives barrier 1).
+  // 3. Walk the pfdat table: discard pages writable by failed cells (unless
+  //    a salvage proof admits them), drop bindings cached in frames whose
+  //    memory home failed, clear export state (every remaining remote grant
+  //    is also revoked -- no remote mapping survives barrier 1).
+  const HiveOptions& opts = system_->options();
+  const bool firewall_checking = cell.machine().firewall().checking_enabled();
+
+  // Salvage proof check for one discard candidate. Proof A: the firewall
+  // vector shows the failed cell never held hardware write permission on the
+  // frame (export record without a backing grant). Proof B: the content
+  // checksum recorded at the last checked write still matches the frame and
+  // the generation is unchanged -- any unchecked store (a wild write) breaks
+  // it. With salvage_verify off (the seeded salvage_unchecked bug) every
+  // candidate is adopted blind, which the no-corrupt-adoption oracle exists
+  // to catch.
+  auto salvage_proof = [&](Pfdat* pfdat, SalvageRecord* record) -> bool {
+    if (!opts.salvage_pages) {
+      return false;
+    }
+    if (firewall_checking && cell.OwnsAddr(pfdat->frame) &&
+        hw_writable.count(cell.machine().mem().PfnOfAddr(pfdat->frame)) == 0) {
+      record->firewall_proof = true;
+      return true;
+    }
+    if (!opts.salvage_verify) {
+      return true;  // Seeded bug: adopt without recomputing the checksum.
+    }
+    if (!pfdat->salvage_sum_valid || pfdat->salvage_gen != pfdat->generation) {
+      return false;  // No recorded baseline to check against.
+    }
+    phase_ctx.Charge(cell.costs().recovery_salvage_check_ns);
+    uint64_t sum = 0;
+    if (!cell.fs().PageChecksum(pfdat->frame, &sum) || sum != pfdat->salvage_sum) {
+      cell.Trace(TraceEvent::kSalvageRejected, pfdat->frame,
+                 static_cast<uint64_t>(failed.front()));
+      return false;
+    }
+    record->sum = sum;
+    record->checksum_proof = true;
+    return true;
+  };
+
   std::vector<Pfdat*> dead_borrows;
   cell.pfdats().ForEach([&](Pfdat* pfdat) {
     if (pfdat->extended && pfdat->borrowed_from != kInvalidCell &&
@@ -76,23 +128,41 @@ Time RecoveryManager::PhaseDiscardAndCleanup(Ctx& ctx, CellId cell_id,
     }
     if (!pfdat->extended && pfdat->HasLogicalBinding() &&
         (pfdat->exported_writable & failed_mask) != 0) {
-      // Pessimistic assumption: everything the failed cell could write is
-      // corrupt (paper section 3.1).
-      ++stats->pages_discarded;
-      cell.Trace(TraceEvent::kPageDiscarded, pfdat->frame);
-      if (pfdat->dirty && pfdat->lpid.kind == LogicalPageId::Kind::kFile) {
-        cell.fs().NoteDirtyPageLost(static_cast<VnodeId>(pfdat->lpid.object));
-        ++stats->dirty_pages_lost;
+      SalvageRecord record;
+      if (salvage_proof(pfdat, &record)) {
+        // Adoption: the surviving data home keeps the page instead of
+        // discarding it. Export state is cleared below like any other
+        // survivor page (no remote mapping outlives barrier 1; surviving
+        // clients re-import by fresh faults), and the allocator is told so
+        // the frame stays accounted as a live cache page.
+        ++stats->pages_salvaged;
+        cell.Trace(TraceEvent::kPageSalvaged, pfdat->frame,
+                   static_cast<uint64_t>(failed.front()));
+        cell.allocator().NoteSalvagedAdoption(pfdat);
+        record.owner = cell.id();
+        record.frame = pfdat->frame;
+        record.lpid = pfdat->lpid;
+        salvage_log_.push_back(record);
+      } else {
+        // Pessimistic assumption: everything the failed cell could write is
+        // corrupt (paper section 3.1).
+        ++stats->pages_discarded;
+        cell.Trace(TraceEvent::kPageDiscarded, pfdat->frame);
+        if (pfdat->dirty && pfdat->lpid.kind == LogicalPageId::Kind::kFile) {
+          cell.fs().NoteDirtyPageLost(static_cast<VnodeId>(pfdat->lpid.object));
+          ++stats->dirty_pages_lost;
+        }
+        cell.pfdats().RemoveHash(pfdat);
+        pfdat->lpid = LogicalPageId{};
+        pfdat->dirty = false;
+        pfdat->salvage_sum_valid = false;
+        pfdat->exported_to = 0;
+        pfdat->exported_writable = 0;
+        if (pfdat->refcount == 0 && !pfdat->loaned_out) {
+          cell.allocator().ReleaseToFreeList(pfdat);
+        }
+        return;
       }
-      cell.pfdats().RemoveHash(pfdat);
-      pfdat->lpid = LogicalPageId{};
-      pfdat->dirty = false;
-      pfdat->exported_to = 0;
-      pfdat->exported_writable = 0;
-      if (pfdat->refcount == 0 && !pfdat->loaned_out) {
-        cell.allocator().ReleaseToFreeList(pfdat);
-      }
-      return;
     }
     pfdat->exported_to = 0;
     pfdat->exported_writable = 0;
@@ -219,12 +289,25 @@ RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_c
     for (CellId f : failed_cells) {
       system_->machine().events().ScheduleAt(
           barrier2 + kDiagnosticsDelayNs, [this, f] {
+            const std::vector<CellId> live_now = system_->LiveCells();
+            if (live_now.empty()) {
+              return;
+            }
             Ctx reint_ctx;
-            Cell& master = system_->cell(system_->LiveCells().front());
+            Cell& master = system_->cell(live_now.front());
             reint_ctx.cell = &master;
             reint_ctx.cpu = master.FirstCpu();
             reint_ctx.start = system_->machine().Now();
-            (void)Reintegrate(reint_ctx, f);
+            const base::Status status = Reintegrate(reint_ctx, f);
+            if (!status.ok() && !system_->cell(f).alive()) {
+              // Diagnostics/reboot failed: the cell stays excised and the
+              // master records the failure as careful-check evidence so the
+              // episode is visible to detection, not silently dropped.
+              LOG(kWarn) << "reintegration of cell " << f
+                         << " failed: " << status.name() << "; cell stays excised";
+              master.detector().RaiseHint(reint_ctx, f,
+                                          HintReason::kCarefulCheckFailed);
+            }
           });
     }
   }
@@ -248,19 +331,93 @@ RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_c
 }
 
 base::Status RecoveryManager::Reintegrate(Ctx& ctx, CellId cell_id) {
-  (void)ctx;
   Cell& cell = system_->cell(cell_id);
   if (cell.alive()) {
     return base::InvalidArgument();
+  }
+  const size_t log_index = reintegration_log_.size();
+  ReintegrationRecord record;
+  record.cell = cell_id;
+  record.started_at = system_->machine().Now();
+  reintegration_log_.push_back(record);
+  if (ctx.cell != nullptr) {
+    // Traced on the master: the rejoining cell's ring wraps during its own
+    // boot, and a storm can kill it again before anyone reads it.
+    ctx.cell->Trace(TraceEvent::kReintegrationStart, static_cast<uint64_t>(cell_id));
   }
   for (int node = cell.first_node(); node < cell.first_node() + cell.num_nodes(); ++node) {
     system_->machine().RestoreNode(node);
   }
   cell.Reboot();
   system_->NoteCellReintegrated(cell_id);
+  if (system_->options().live_rejoin) {
+    // Phase 2 (live rejoin): once survivors are back under load, the fresh
+    // kernel re-enters the transport and the frame economy before it counts
+    // as a full member. Page imports/exports are rebuilt demand-driven by
+    // its first faults, as after any recovery.
+    system_->machine().events().ScheduleAfter(
+        kWarmRejoinDelayNs, [this, cell_id, log_index] { WarmRejoin(cell_id, log_index); });
+  } else {
+    // Quiet reintegration: the reboot itself is the whole rejoin.
+    reintegration_log_[log_index].done_at = system_->machine().Now();
+    if (ctx.cell != nullptr) {
+      ctx.cell->Trace(TraceEvent::kReintegrationDone, static_cast<uint64_t>(cell_id));
+    }
+  }
   LOG(kInfo) << "cell " << cell_id << " rebooted and reintegrated at t="
              << system_->machine().Now();
   return base::OkStatus();
+}
+
+void RecoveryManager::WarmRejoin(CellId cell_id, size_t log_index) {
+  Cell& cell = system_->cell(cell_id);
+  if (!cell.alive() || !system_->CellReachable(cell_id)) {
+    // Killed again before converging (reboot storm): this episode is settled
+    // by the new excision; a later reintegration starts its own record.
+    reintegration_log_[log_index].re_excised = true;
+    return;
+  }
+  Ctx ctx = cell.MakeCtx();
+  ctx.start = system_->machine().Now();
+
+  // Re-enter the transport: a null ping to every survivor makes both sides
+  // rebuild per-peer state under the new incarnation epoch (stale pre-crash
+  // replay entries were dropped by ForgetPeer / the epoch bump).
+  CellId lender = kInvalidCell;
+  for (CellId peer : system_->LiveCells()) {
+    if (peer == cell_id) {
+      continue;
+    }
+    RpcArgs args;
+    RpcReply reply;
+    if (cell.rpc().Call(ctx, peer, MsgType::kNull, args, &reply).ok() &&
+        lender == kInvalidCell) {
+      lender = peer;
+    }
+  }
+
+  // Re-enter the frame economy: borrow a frame batch from the first
+  // responsive survivor and return it, proving the loan/return path works
+  // end to end for the new incarnation.
+  if (lender != kInvalidCell) {
+    RpcArgs borrow;
+    borrow.w[0] = static_cast<uint64_t>(cell_id);
+    borrow.w[1] = 1;
+    RpcReply frames;
+    if (cell.rpc().Call(ctx, lender, MsgType::kBorrowFrames, borrow, &frames).ok() &&
+        frames.w[0] >= 1) {
+      RpcArgs give_back;
+      give_back.w[0] = static_cast<uint64_t>(cell_id);
+      give_back.w[1] = frames.w[1];
+      RpcReply ignored;
+      (void)cell.rpc().Call(ctx, lender, MsgType::kReturnFrame, give_back, &ignored);
+    }
+  }
+
+  // Re-index: the pings above can run agreement + recovery synchronously,
+  // and a nested Reintegrate growing the log would invalidate a reference.
+  reintegration_log_[log_index].done_at = system_->machine().Now();
+  cell.Trace(TraceEvent::kReintegrationDone, static_cast<uint64_t>(cell_id));
 }
 
 }  // namespace hive

@@ -37,11 +37,38 @@ struct RecoveryStats {
   Time barrier2_time = 0;                // == user resume time.
   CellId recovery_master = kInvalidCell;
   int pages_discarded = 0;
+  int pages_salvaged = 0;                // Kept by proof instead of discarded.
   int dirty_pages_lost = 0;              // Caused generation bumps.
   int processes_killed = 0;
   int imports_dropped = 0;
   int loans_reclaimed = 0;
   std::vector<CellId> failed_cells;
+};
+
+// One page adopted by a surviving cell during the discard walk instead of
+// preemptively discarded (HiveOptions::salvage_pages). The oracles cross-check
+// these against injected wild writes and canary contents.
+struct SalvageRecord {
+  CellId owner = kInvalidCell;  // Surviving data home that kept the page.
+  PhysAddr frame = 0;
+  LogicalPageId lpid;
+  uint64_t sum = 0;             // Content checksum at adoption (0 if unchecked).
+  // Which proof admitted the page: the failed cell never held hardware write
+  // permission (firewall vector), or the recomputed content checksum matched
+  // the one recorded at the last checked write. Both false only under the
+  // seeded salvage_unchecked bug.
+  bool firewall_proof = false;
+  bool checksum_proof = false;
+};
+
+// One reintegration episode, from the master starting the reboot to the
+// rejoined cell reaching full-member state (or dying again on the way).
+struct ReintegrationRecord {
+  CellId cell = kInvalidCell;
+  Time started_at = 0;
+  Time done_at = 0;         // 0 while in progress.
+  bool re_excised = false;  // Killed again before converging (reboot storm).
+  bool failed = false;      // Reintegrate itself returned an error.
 };
 
 class RecoveryManager {
@@ -62,6 +89,20 @@ class RecoveryManager {
   const RecoveryStats& last_stats() const { return last_stats_; }
   int recoveries_run() const { return recoveries_run_; }
 
+  // Cross-recovery logs for oracles and reporting. Both survive master
+  // rotation and per-cell trace-ring wrap; they are never cleared.
+  const std::vector<SalvageRecord>& salvage_log() const { return salvage_log_; }
+  const std::vector<ReintegrationRecord>& reintegration_log() const {
+    return reintegration_log_;
+  }
+
+  // Test support: oracle tests hand-build violating log states the real
+  // paths refuse to produce (WarmRejoin always reaches a terminal state).
+  std::vector<SalvageRecord>& mutable_salvage_log_for_test() { return salvage_log_; }
+  std::vector<ReintegrationRecord>& mutable_reintegration_log_for_test() {
+    return reintegration_log_;
+  }
+
   // Enables/disables automatic reboot of failed cells after recovery.
   bool auto_reintegrate = false;
 
@@ -73,9 +114,15 @@ class RecoveryManager {
   Time PhaseKillDependents(Ctx& ctx, CellId cell_id, const std::vector<CellId>& failed,
                            RecoveryStats* stats);
 
+  // Live-rejoin phase 2 (HiveOptions::live_rejoin): the rebooted cell
+  // re-enters the transport and the frame economy while survivors serve.
+  void WarmRejoin(CellId cell_id, size_t log_index);
+
   HiveSystem* system_;
   RecoveryStats last_stats_;
   int recoveries_run_ = 0;
+  std::vector<SalvageRecord> salvage_log_;
+  std::vector<ReintegrationRecord> reintegration_log_;
 };
 
 }  // namespace hive

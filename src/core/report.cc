@@ -10,6 +10,7 @@
 #include "src/core/filesystem.h"
 #include "src/core/hive_system.h"
 #include "src/core/pageout.h"
+#include "src/core/recovery.h"
 #include "src/core/swap.h"
 
 namespace hive {
@@ -148,6 +149,53 @@ std::string RenderFailureDetection(HiveSystem& system) {
     table.AddRow(row);
   }
   return table.Render("Failure detection (per cell, hints by reason)");
+}
+
+std::string RenderRecoverySalvage(HiveSystem& system) {
+  const RecoveryManager& recovery = system.recovery();
+  base::Table table({"Cell", "Frames-adopted", "Salvages", "Firewall-proof",
+                     "Checksum-proof", "Reint-started", "Reint-done", "Re-excised",
+                     "Reint-failed"});
+  for (CellId c = 0; c < system.num_cells(); ++c) {
+    int64_t salvages = 0;
+    int64_t firewall_proof = 0;
+    int64_t checksum_proof = 0;
+    for (const SalvageRecord& record : recovery.salvage_log()) {
+      if (record.owner != c) {
+        continue;
+      }
+      ++salvages;
+      firewall_proof += record.firewall_proof ? 1 : 0;
+      checksum_proof += record.checksum_proof ? 1 : 0;
+    }
+    int64_t started = 0;
+    int64_t done = 0;
+    int64_t re_excised = 0;
+    int64_t failed = 0;
+    for (const ReintegrationRecord& record : recovery.reintegration_log()) {
+      if (record.cell != c) {
+        continue;
+      }
+      ++started;
+      done += record.done_at != 0 ? 1 : 0;
+      re_excised += record.re_excised ? 1 : 0;
+      failed += record.failed ? 1 : 0;
+    }
+    table.AddRow({"cell " + base::Table::I64(c),
+                  base::Table::I64(static_cast<int64_t>(
+                      system.cell(c).allocator().frames_salvaged())),
+                  base::Table::I64(salvages), base::Table::I64(firewall_proof),
+                  base::Table::I64(checksum_proof), base::Table::I64(started),
+                  base::Table::I64(done), base::Table::I64(re_excised),
+                  base::Table::I64(failed)});
+  }
+  const RecoveryStats& stats = recovery.last_stats();
+  std::ostringstream out;
+  out << table.Render("Salvage & reintegration (per cell)");
+  out << "last recovery: " << stats.pages_salvaged << " page(s) salvaged, "
+      << stats.pages_discarded << " discarded, " << stats.dirty_pages_lost
+      << " dirty lost; " << recovery.recoveries_run() << " recovery run(s)\n";
+  return out.str();
 }
 
 std::string RenderCellSharing(HiveSystem& system, CellId cell_id) {

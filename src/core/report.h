@@ -33,6 +33,11 @@ std::string RenderRpcTransport(HiveSystem& system);
 // no-survivor-hang oracle bounds.
 std::string RenderFailureDetection(HiveSystem& system);
 
+// Per-cell salvage and reintegration view: pages each survivor adopted
+// instead of discarding (split by admitting proof) and every reintegration
+// episode's outcome, plus the last recovery's discard/salvage totals.
+std::string RenderRecoverySalvage(HiveSystem& system);
+
 // One row of the fault-campaign triage table. The campaign layer converts
 // its buckets to these plain rows before rendering; core stays
 // campaign-agnostic.

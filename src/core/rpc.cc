@@ -110,7 +110,22 @@ base::Status RpcLayer::Serve(Ctx& server_ctx, MsgType type, const RpcArgs& args,
 }
 
 base::Status RpcLayer::ServeSequenced(Ctx& server_ctx, CellId client, uint64_t seq,
-                                      MsgType type, const RpcArgs& args, RpcReply* reply) {
+                                      MsgType type, const RpcArgs& args, RpcReply* reply,
+                                      uint64_t client_epoch) {
+  if (client_epoch != 0) {
+    uint64_t& known = peer_epoch_[static_cast<int>(client)];
+    if (client_epoch > known) {
+      // The client rebooted since we last heard from it: its sequence space
+      // restarted, so pre-crash replay entries must not answer its new calls.
+      replay_.erase(static_cast<int>(client));
+      known = client_epoch;
+    } else if (client_epoch < known) {
+      // A pre-crash straggler from an earlier incarnation (e.g. a duplicate
+      // the substrate held across the reboot): serving it could mutate state
+      // on behalf of a kernel that no longer exists.
+      return base::Unavailable();
+    }
+  }
   auto& cache = replay_[static_cast<int>(client)];
   auto hit = cache.find(seq);
   const bool seen = hit != cache.end();
@@ -186,6 +201,7 @@ void RpcLayer::ForgetPeer(CellId peer) {
   health_.erase(static_cast<int>(peer));
   next_seq_.erase(static_cast<int>(peer));
   replay_.erase(static_cast<int>(peer));
+  peer_epoch_.erase(static_cast<int>(peer));
 }
 
 void RpcLayer::OnSuspectCleared(CellId suspect) {
@@ -342,7 +358,8 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
       status = base::Unavailable();
     } else {
       try {
-        status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply);
+        status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply,
+                                            cell_->incarnation());
         // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
       } catch (const flash::BusError& e) {
         // A bus error during kernel service outside a careful section means the
@@ -378,7 +395,8 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
       try {
         // The duplicate's status is deliberately dropped: the client already
         // answered from the original; only the occupancy cost matters here.
-        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
+        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch,
+                                         cell_->incarnation());
         // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
       } catch (const flash::BusError& e) {
         tcell.Panic(std::string("bus error during RPC service: ") + e.what());
@@ -503,7 +521,8 @@ base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const Rp
 
     base::Status status = base::OkStatus();
     try {
-      status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply);
+      status = tcell.rpc().ServeSequenced(server_ctx, cell_->id(), seq, type, args, reply,
+                                          cell_->incarnation());
       // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
     } catch (const flash::BusError& e) {
       tcell.Panic(std::string("bus error during RPC service: ") + e.what());
@@ -519,7 +538,8 @@ base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const Rp
       try {
         // The duplicate's status is deliberately dropped: the client already
         // answered from the original; only the occupancy cost matters here.
-        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch);
+        (void)tcell.rpc().ServeSequenced(dup_ctx, cell_->id(), seq, type, args, &scratch,
+                                         cell_->incarnation());
         // hive-lint: allow(R3): bus error in kernel service means the serving kernel is corrupt; the catch is the panic path.
       } catch (const flash::BusError& e) {
         tcell.Panic(std::string("bus error during RPC service: ") + e.what());

@@ -171,8 +171,15 @@ class RpcLayer {
   // Serves one sequenced request from `client`; consults the replay cache.
   // Public so oracle tests can deliver literal duplicate sequence numbers
   // without a fault model in the transport path.
+  //
+  // `client_epoch` is the caller's boot incarnation. A rebooted client
+  // restarts its sequence numbers at 1, so its fresh calls could collide
+  // with pre-crash replay entries; a higher epoch drops the client's cached
+  // transport state, and a stale (lower, nonzero) epoch is rejected.
+  // 0 means unversioned (direct test drivers) and bypasses the epoch check.
   base::Status ServeSequenced(Ctx& server_ctx, CellId client, uint64_t seq,
-                              MsgType type, const RpcArgs& args, RpcReply* reply);
+                              MsgType type, const RpcArgs& args, RpcReply* reply,
+                              uint64_t client_epoch = 0);
 
   // True if a handler is registered for the message type.
   bool HasHandler(MsgType type) const {
@@ -252,6 +259,9 @@ class RpcLayer {
   bool duplicate_suppression_ = true;
   std::unordered_map<int, PeerHealth> health_;        // Keyed by peer cell id.
   std::unordered_map<int, uint64_t> next_seq_;        // Keyed by peer cell id.
+  // Last boot incarnation seen per client (server side). A bumped epoch
+  // invalidates that client's replay cache; see ServeSequenced.
+  std::unordered_map<int, uint64_t> peer_epoch_;
   // Per-client replay cache; ordered by sequence number so eviction drops
   // the oldest entry (sequence numbers are monotonic per client).
   std::unordered_map<int, std::map<uint64_t, ReplayEntry>> replay_;

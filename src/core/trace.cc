@@ -46,6 +46,14 @@ const char* TraceEventName(TraceEvent event) {
       return "vote-cast";
     case TraceEvent::kCellExcised:
       return "cell-excised";
+    case TraceEvent::kPageSalvaged:
+      return "page-salvaged";
+    case TraceEvent::kSalvageRejected:
+      return "salvage-rejected";
+    case TraceEvent::kReintegrationStart:
+      return "reintegration-start";
+    case TraceEvent::kReintegrationDone:
+      return "reintegration-done";
   }
   return "?";
 }

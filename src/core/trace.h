@@ -38,6 +38,10 @@ enum class TraceEvent : uint8_t {
   kPeerUnquarantined, // arg0 = peer cell.
   kVoteCast,          // arg0 = suspect, arg1 = vote (0=against, 1=for, 2=timeout).
   kCellExcised,       // arg0 = excised cell.
+  kPageSalvaged,      // arg0 = frame, arg1 = failed cell.
+  kSalvageRejected,   // arg0 = frame, arg1 = failed cell.
+  kReintegrationStart,  // arg0 = rejoining cell.
+  kReintegrationDone,   // arg0 = rejoining cell.
 };
 
 const char* TraceEventName(TraceEvent event);

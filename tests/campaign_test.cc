@@ -105,6 +105,10 @@ TEST(ScenarioGeneratorTest, SweepIsWellFormed) {
           // never the default sweep (they need the 4-cell voting geometry).
           ADD_FAILURE() << "default sweep generated a rogue-cell plan";
           break;
+        case FaultKind::kRebootStorm:
+          // Storm plans only come from --faults=reboot-storm.
+          ADD_FAILURE() << "default sweep generated a reboot-storm plan";
+          break;
       }
     }
     EXPECT_LE(accusations, 1);
@@ -609,6 +613,11 @@ TEST(MutationTest, MutantsPreserveGeneratorInvariants) {
           EXPECT_LT(fault.target, spec.num_cells);
           break;
         case FaultKind::kAddrMapCorruption:
+          break;
+        case FaultKind::kRebootStorm:
+          // Default-sweep mutants can never introduce a storm (duplication
+          // and retargeting both preserve the fault-kind population).
+          ADD_FAILURE() << "default-sweep mutant produced a reboot-storm plan";
           break;
       }
     }

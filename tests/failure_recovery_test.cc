@@ -7,7 +7,9 @@
 #include "src/core/cell.h"
 #include "src/core/failure_detection.h"
 #include "src/core/filesystem.h"
+#include "src/core/recovery.h"
 #include "src/core/rpc.h"
+#include "src/core/trace.h"
 #include "src/flash/fault_injector.h"
 #include "src/workloads/workload.h"
 #include "tests/test_util.h"
@@ -557,6 +559,131 @@ TEST_F(FailureRecoveryTest, TraversalHighWaterMarkTracksWorstWalk) {
   detector.NoteTraversal(3);
   EXPECT_GE(detector.max_traversal_hops(), 7);
   EXPECT_GE(detector.max_traversal_hops(), before);
+}
+
+// --- Page salvage and live rejoin (HiveOptions::salvage_pages /
+// HiveOptions::live_rejoin). ---
+
+class SalvageTest : public ::testing::Test {
+ protected:
+  static HiveOptions Options() {
+    HiveOptions options;
+    options.salvage_pages = true;
+    return options;
+  }
+  SalvageTest() : ts_(hivetest::BootHive(4, 4, Options())) {}
+
+  // Home creates a file; the client imports page 0 writable, which records
+  // the export and the checksum baseline at the home. Returns the frame.
+  PhysAddr StageWriteExport() {
+    Cell& home = ts_.cell(0);
+    Ctx hctx = home.MakeCtx();
+    EXPECT_TRUE(
+        home.fs().Create(hctx, "/salvage", workloads::PatternData(7, 4096)).ok());
+    pre_failure_handle_ = *home.fs().Open(hctx, "/salvage");
+    Cell& client = ts_.cell(2);
+    Ctx cctx = client.MakeCtx();
+    auto handle = client.fs().Open(cctx, "/salvage");
+    EXPECT_TRUE(handle.ok());
+    auto page = client.fs().GetPage(cctx, *handle, 0, /*want_write=*/true);
+    EXPECT_TRUE(page.ok());
+    const PhysAddr frame = (*page)->frame;
+    client.fs().ReleasePage(cctx, *page);
+    return frame;
+  }
+
+  void FailClientAndRecover() {
+    flash::FaultInjector injector(ts_.machine.get(), 1);
+    injector.ScheduleNodeFailure(2, ts_.machine->Now() + kMillisecond);
+    ts_.machine->events().RunUntil(ts_.machine->Now() + 200 * kMillisecond);
+    ASSERT_GE(ts_.hive->recovery().recoveries_run(), 1);
+  }
+
+  hivetest::TestSystem ts_;
+  FileHandle pre_failure_handle_;
+};
+
+TEST_F(SalvageTest, CleanWriteExportedPageIsSalvagedNotDiscarded) {
+  StageWriteExport();
+  FailClientAndRecover();
+
+  // The checksum proof admits the page: the dead client held write
+  // permission but provably never used it.
+  const RecoveryStats& stats = ts_.hive->recovery().last_stats();
+  EXPECT_GE(stats.pages_salvaged, 1);
+  ASSERT_GE(ts_.hive->recovery().salvage_log().size(), 1u);
+  const SalvageRecord& record = ts_.hive->recovery().salvage_log()[0];
+  EXPECT_EQ(record.owner, 0);
+  EXPECT_TRUE(record.checksum_proof);
+  EXPECT_GE(ts_.cell(0).allocator().frames_salvaged(), 1u);
+  EXPECT_GE(ts_.cell(0).trace().Count(TraceEvent::kPageSalvaged), 1);
+
+  // No discard means no generation bump: the pre-failure handle still reads
+  // the intact data as current.
+  Cell& home = ts_.cell(0);
+  Ctx ctx = home.MakeCtx();
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(
+      home.fs().Read(ctx, pre_failure_handle_, 0, std::span<uint8_t>(buf)).ok());
+  EXPECT_EQ(workloads::Checksum(buf), workloads::PatternChecksum(7, 4096));
+}
+
+TEST_F(SalvageTest, ScribbledWriteExportIsRejectedAndDiscarded) {
+  const PhysAddr frame = StageWriteExport();
+  // The client uses its hardware write permission before dying: the baseline
+  // no longer matches, so the page must be discarded, not adopted.
+  ts_.machine->mem().WriteValue<uint64_t>(ts_.cell(2).FirstCpu(), frame + 8, 0xBAD);
+  FailClientAndRecover();
+
+  const RecoveryStats& stats = ts_.hive->recovery().last_stats();
+  EXPECT_EQ(stats.pages_salvaged, 0);
+  EXPECT_GE(stats.pages_discarded, 1);
+  EXPECT_TRUE(ts_.hive->recovery().salvage_log().empty());
+  EXPECT_GE(ts_.cell(0).trace().Count(TraceEvent::kSalvageRejected), 1);
+
+  // The discard bumped the generation; a fresh open re-reads clean disk data.
+  Cell& home = ts_.cell(0);
+  Ctx ctx = home.MakeCtx();
+  std::vector<uint8_t> buf(4096);
+  EXPECT_EQ(home.fs().Read(ctx, pre_failure_handle_, 0, std::span<uint8_t>(buf)).code(),
+            base::StatusCode::kStaleGeneration);
+  auto fresh = home.fs().Open(ctx, "/salvage");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(home.fs().Read(ctx, *fresh, 0, std::span<uint8_t>(buf)).ok());
+  EXPECT_EQ(workloads::Checksum(buf), workloads::PatternChecksum(7, 4096));
+}
+
+TEST(LiveRejoinTest, RebootedCellConvergesToFullMemberUnderLiveRejoin) {
+  HiveOptions options;
+  options.live_rejoin = true;
+  hivetest::TestSystem ts = hivetest::BootHive(4, 4, options);
+  ts.hive->recovery().auto_reintegrate = true;
+
+  flash::FaultInjector injector(ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  ts.machine->events().RunUntil(1 * kSecond);
+
+  EXPECT_TRUE(ts.cell(2).alive());
+  ASSERT_EQ(ts.hive->recovery().reintegration_log().size(), 1u);
+  const ReintegrationRecord& record = ts.hive->recovery().reintegration_log()[0];
+  EXPECT_EQ(record.cell, 2);
+  EXPECT_GT(record.done_at, record.started_at);
+  EXPECT_FALSE(record.re_excised);
+  EXPECT_FALSE(record.failed);
+
+  // The rejoined cell is a full member: it serves RPC and file reads under
+  // its new incarnation, and survivors reach it without stale replay state.
+  Cell& rejoined = ts.cell(2);
+  Ctx rctx = rejoined.MakeCtx();
+  ASSERT_TRUE(
+      rejoined.fs().Create(rctx, "/after-rejoin", workloads::PatternData(5, 4096)).ok());
+  Cell& peer = ts.cell(0);
+  Ctx pctx = peer.MakeCtx();
+  auto handle = peer.fs().Open(pctx, "/after-rejoin");
+  ASSERT_TRUE(handle.ok());
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(peer.fs().Read(pctx, *handle, 0, std::span<uint8_t>(buf)).ok());
+  EXPECT_EQ(workloads::Checksum(buf), workloads::PatternChecksum(5, 4096));
 }
 
 }  // namespace

@@ -36,7 +36,8 @@ using hive::Time;
 // Harness: a booted 4-cell hive plus the spec/canary/injection context the
 // oracle under test reads. The spec defaults to zero faults.
 struct OracleHarness {
-  OracleHarness() : ts(hivetest::BootHive(4)) {
+  explicit OracleHarness(hive::HiveOptions options = {})
+      : ts(hivetest::BootHive(4, 4, options)) {
     spec.master_seed = 1;
     spec.index = 0;
     spec.seed = 99;
@@ -51,6 +52,7 @@ struct OracleHarness {
     input.canaries = &canaries;
     input.injected = injected;
     input.corrupt_outputs = corrupt_outputs;
+    input.wild_write_frames = wild_write_frames;
     return input;
   }
 
@@ -59,6 +61,7 @@ struct OracleHarness {
   CanaryState canaries;
   std::vector<bool> injected;
   int corrupt_outputs = -1;
+  std::vector<hive::PhysAddr> wild_write_frames;
 };
 
 bool Fired(const std::vector<OracleViolation>& violations, const std::string& oracle) {
@@ -511,6 +514,122 @@ TEST(TraceConsistencyOracle, SilentOnBalancedRecoveryEvents) {
   h.ts.cell(0).trace().Record(1 * kMillisecond, hive::TraceEvent::kExitRecovery, 0);
   std::vector<OracleViolation> violations;
   CheckTraceConsistency(h.Input(), &violations);
+  EXPECT_TRUE(violations.empty()) << Render(violations);
+}
+
+// Options for a hive that salvages discard candidates during recovery; with
+// verify=false both adoption proofs are skipped (the seeded salvage bug).
+hive::HiveOptions SalvageOptions(bool verify) {
+  hive::HiveOptions options;
+  options.salvage_pages = true;
+  options.salvage_verify = verify;
+  return options;
+}
+
+// Stages the canary's first page as a salvage candidate: the client imports
+// it writable (export record + checksum baseline at the home), then the
+// client's node fails so recovery judges the page. Returns the frame.
+hive::PhysAddr StageCanarySalvageCandidate(OracleHarness& h, CellId client_id) {
+  Cell& client = h.ts.cell(client_id);
+  Ctx cctx = client.MakeCtx();
+  auto handle = client.fs().Open(cctx, "/canary-0");
+  EXPECT_TRUE(handle.ok());
+  auto page = client.fs().GetPage(cctx, *handle, 0, /*want_write=*/true,
+                                  hive::FileSystem::AccessPath::kSyscall);
+  EXPECT_TRUE(page.ok());
+  const hive::PhysAddr frame = (*page)->frame;
+  client.fs().ReleasePage(cctx, *page);
+  return frame;
+}
+
+TEST(NoCorruptAdoptionOracle, FiresOnBlindAdoptionOfScribbledPage) {
+  // Salvage with both proofs disabled and the firewall off: a wild write
+  // lands in the exported canary page, the writer dies, and recovery adopts
+  // the corrupt page blind.
+  OracleHarness h(SalvageOptions(/*verify=*/false));
+  h.ts.machine->firewall().set_checking_enabled(false);
+  h.canaries = OneCanary(h, 0xC0FFEE);
+  const hive::PhysAddr frame = StageCanarySalvageCandidate(h, /*client_id=*/2);
+  const std::vector<uint8_t> garbage(48, 0xEE);
+  h.ts.machine->mem().Write(h.ts.cell(2).FirstCpu(), frame + 64, garbage);
+  flash::FaultInjector injector(h.ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, h.ts.machine->Now() + kMillisecond);
+  h.ts.machine->events().RunUntil(h.ts.machine->Now() + 300 * kMillisecond);
+  ASSERT_GE(h.ts.hive->recovery().salvage_log().size(), 1u);
+  std::vector<OracleViolation> violations;
+  CheckNoCorruptAdoption(h.Input(), &violations);
+  EXPECT_TRUE(Fired(violations, "no-corrupt-adoption")) << Render(violations);
+}
+
+TEST(NoCorruptAdoptionOracle, SilentOnVerifiedCleanSalvage) {
+  // Checked salvage of an untouched write-export: the content checksum
+  // proves the dead client never wrote, so adoption is clean.
+  OracleHarness h(SalvageOptions(/*verify=*/true));
+  h.canaries = OneCanary(h, 0xC0FFEE);
+  StageCanarySalvageCandidate(h, /*client_id=*/2);
+  flash::FaultInjector injector(h.ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, h.ts.machine->Now() + kMillisecond);
+  h.ts.machine->events().RunUntil(h.ts.machine->Now() + 300 * kMillisecond);
+  ASSERT_GE(h.ts.hive->recovery().salvage_log().size(), 1u);
+  std::vector<OracleViolation> violations;
+  CheckNoCorruptAdoption(h.Input(), &violations);
+  EXPECT_TRUE(violations.empty()) << Render(violations);
+}
+
+TEST(ReintegrationConvergesOracle, FiresOnReintegrationThatNeverConverged) {
+  OracleHarness h;
+  // A reintegration record stuck with no terminal state long past the
+  // bound: the rebooted cell never became a full member.
+  hive::ReintegrationRecord record;
+  record.cell = 2;
+  record.started_at = 0;
+  h.ts.hive->recovery().mutable_reintegration_log_for_test().push_back(record);
+  h.ts.machine->events().RunUntil(400 * kMillisecond);
+  std::vector<OracleViolation> violations;
+  CheckReintegrationConverges(h.Input(), &violations);
+  EXPECT_TRUE(Fired(violations, "reintegration-converges")) << Render(violations);
+}
+
+TEST(ReintegrationConvergesOracle, SilentOnLiveRejoinThatConverged) {
+  hive::HiveOptions options;
+  options.live_rejoin = true;
+  OracleHarness h(options);
+  h.ts.hive->recovery().auto_reintegrate = true;
+  flash::FaultInjector injector(h.ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  h.ts.machine->events().RunUntil(1 * hive::kSecond);
+  ASSERT_GE(h.ts.hive->recovery().reintegration_log().size(), 1u);
+  EXPECT_GT(h.ts.hive->recovery().reintegration_log()[0].done_at, 0);
+  std::vector<OracleViolation> violations;
+  CheckReintegrationConverges(h.Input(), &violations);
+  EXPECT_TRUE(violations.empty()) << Render(violations);
+}
+
+TEST(SalvageContainmentOracle, FiresWhenAWildWrittenFrameWasSalvaged) {
+  OracleHarness h;
+  hive::SalvageRecord record;
+  record.owner = 0;
+  record.frame = 0x2400000;
+  h.ts.hive->recovery().mutable_salvage_log_for_test().push_back(record);
+  h.wild_write_frames = {0x2400000};
+  std::vector<OracleViolation> violations;
+  CheckSalvageContainment(h.Input(), &violations);
+  EXPECT_TRUE(Fired(violations, "salvage-containment")) << Render(violations);
+}
+
+TEST(SalvageContainmentOracle, SilentWhenSalvagesAvoidWildWrittenFrames) {
+  // A real checked salvage of a clean page, plus a wild write that landed in
+  // some unrelated frame: containment held.
+  OracleHarness h(SalvageOptions(/*verify=*/true));
+  h.canaries = OneCanary(h, 0xC0FFEE);
+  const hive::PhysAddr frame = StageCanarySalvageCandidate(h, /*client_id=*/2);
+  flash::FaultInjector injector(h.ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, h.ts.machine->Now() + kMillisecond);
+  h.ts.machine->events().RunUntil(h.ts.machine->Now() + 300 * kMillisecond);
+  ASSERT_GE(h.ts.hive->recovery().salvage_log().size(), 1u);
+  h.wild_write_frames = {frame + 0x100000};
+  std::vector<OracleViolation> violations;
+  CheckSalvageContainment(h.Input(), &violations);
   EXPECT_TRUE(violations.empty()) << Render(violations);
 }
 

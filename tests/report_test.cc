@@ -5,6 +5,7 @@
 #include "src/core/cell.h"
 #include "src/core/failure_detection.h"
 #include "src/core/filesystem.h"
+#include "src/core/recovery.h"
 #include "src/flash/fault_injector.h"
 #include "src/workloads/workload.h"
 #include "tests/test_util.h"
@@ -100,6 +101,43 @@ TEST_F(ReportTest, FailureDetectionTableListsEveryHintReason) {
         << HintReasonName(reason);
   }
   EXPECT_NE(report.find("Max-hops"), std::string::npos);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(report.find("cell " + std::to_string(c)), std::string::npos) << c;
+  }
+}
+
+TEST(RecoverySalvageReportTest, TableShowsAdoptionsAndReintegrations) {
+  // A salvageable write-export plus an auto-reintegrated victim: the table
+  // must show the home's adoption and the victim's converged rejoin.
+  HiveOptions options;
+  options.salvage_pages = true;
+  options.live_rejoin = true;
+  hivetest::TestSystem ts = hivetest::BootHive(4, 4, options);
+  ts.hive->recovery().auto_reintegrate = true;
+
+  Cell& home = ts.cell(0);
+  Ctx hctx = home.MakeCtx();
+  ASSERT_TRUE(home.fs().Create(hctx, "/sr", workloads::PatternData(3, 4096)).ok());
+  Cell& client = ts.cell(2);
+  Ctx cctx = client.MakeCtx();
+  auto handle = client.fs().Open(cctx, "/sr");
+  ASSERT_TRUE(handle.ok());
+  auto page = client.fs().GetPage(cctx, *handle, 0, /*want_write=*/true);
+  ASSERT_TRUE(page.ok());
+  client.fs().ReleasePage(cctx, *page);
+
+  flash::FaultInjector injector(ts.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, ts.machine->Now() + kMillisecond);
+  ts.machine->events().RunUntil(1 * kSecond);
+  ASSERT_GE(ts.hive->recovery().salvage_log().size(), 1u);
+  ASSERT_GE(ts.hive->recovery().reintegration_log().size(), 1u);
+
+  const std::string report = RenderRecoverySalvage(*ts.hive);
+  EXPECT_NE(report.find("Salvage & reintegration"), std::string::npos);
+  EXPECT_NE(report.find("Frames-adopted"), std::string::npos);
+  EXPECT_NE(report.find("Checksum-proof"), std::string::npos);
+  EXPECT_NE(report.find("Reint-done"), std::string::npos);
+  EXPECT_NE(report.find("page(s) salvaged"), std::string::npos);
   for (int c = 0; c < 4; ++c) {
     EXPECT_NE(report.find("cell " + std::to_string(c)), std::string::npos) << c;
   }

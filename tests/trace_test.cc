@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "src/core/cell.h"
 #include "src/flash/fault_injector.h"
 #include "tests/test_util.h"
@@ -79,6 +82,22 @@ TEST(TraceBufferTest, RenderNamesEvents) {
   const std::string dump = trace.Render();
   EXPECT_NE(dump.find("panic"), std::string::npos);
   EXPECT_NE(dump.find("t=1us"), std::string::npos);
+}
+
+TEST(TraceBufferTest, EveryEventHasADistinctName) {
+  // TraceEventName must cover the whole enum (the lint's R4 rule) and no two
+  // events may share a name, or trace dumps and triage become ambiguous.
+  std::set<std::string> names;
+  for (uint8_t value = 0; value <= static_cast<uint8_t>(TraceEvent::kReintegrationDone);
+       ++value) {
+    const std::string name = TraceEventName(static_cast<TraceEvent>(value));
+    EXPECT_NE(name, "?") << "unnamed event " << static_cast<int>(value);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_TRUE(names.count("page-salvaged"));
+  EXPECT_TRUE(names.count("salvage-rejected"));
+  EXPECT_TRUE(names.count("reintegration-start"));
+  EXPECT_TRUE(names.count("reintegration-done"));
 }
 
 TEST(TraceIntegrationTest, FailureLeavesAuditTrailOnSurvivors) {

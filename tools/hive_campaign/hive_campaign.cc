@@ -38,6 +38,9 @@ struct Args {
   bool rogue_only = false;
   bool healthy_baseline = false;
   bool bug_no_dedup = false;
+  bool salvage = false;
+  bool reboot_storm_only = false;
+  bool bug_salvage_unchecked = false;
   bool guided = false;
   int batch_size = 16;
   std::string corpus_dir;
@@ -53,7 +56,8 @@ void Usage() {
                "usage: hive_campaign [--seed=N] [--scenarios=N] [--workers=N]\n"
                "                     [--scenario=K] [--mutate=CHAIN]\n"
                "                     [--fixture=wild_write|no_dedup|no_hop_bound]\n"
-               "                     [--faults=message|rogue|none] [--bug=no_dedup]\n"
+               "                     [--faults=message|rogue|reboot-storm|none]\n"
+               "                     [--bug=no_dedup|salvage_unchecked] [--salvage]\n"
                "                     [--guided] [--batch=N] [--corpus=DIR]\n"
                "                     [--replay-corpus] [--stop-on-violation]\n"
                "                     [--no-minimize] [--verbose]\n"
@@ -78,12 +82,23 @@ void Usage() {
                "  --faults=rogue       restrict fault plans to one rogue-cell fault\n"
                "                       each (a live Byzantine cell); the survivors\n"
                "                       must excise the rogue and nobody else\n"
+               "  --faults=reboot-storm restrict fault plans to one reboot-storm\n"
+               "                       fault each (rotating kill/rejoin cycles with\n"
+               "                       live rejoin and page salvage on); every rejoin\n"
+               "                       must converge and every salvage stay clean\n"
                "  --faults=none        rogue-sweep geometry with zero faults; the\n"
                "                       sensitivity baseline must see zero excisions\n"
+               "  --salvage            default fault plans with page salvage enabled;\n"
+               "                       wild-write plans pre-stage a writable canary\n"
+               "                       import so recovery has a page to salvage\n"
                "  --bug=no_dedup       seeded-bug discovery mode: duplicate\n"
                "                       suppression silently broken on one cell under\n"
                "                       default fault plans with thinned duplication;\n"
                "                       only a rare scenario exposes it\n"
+               "  --bug=salvage_unchecked seeded-bug sensitivity mode: salvage with\n"
+               "                       both adoption proofs disabled (blind adoption\n"
+               "                       of a scribbled page); every scenario must trip\n"
+               "                       the salvage oracles\n"
                "  --guided             coverage-guided mode: mutate coverage-novel\n"
                "                       corpus entries instead of only drawing fresh\n"
                "                       scenarios\n"
@@ -143,8 +158,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->rogue_only = true;
     } else if (std::strcmp(arg, "--faults=none") == 0) {
       args->healthy_baseline = true;
+    } else if (std::strcmp(arg, "--faults=reboot-storm") == 0) {
+      args->reboot_storm_only = true;
+    } else if (std::strcmp(arg, "--salvage") == 0) {
+      args->salvage = true;
     } else if (std::strcmp(arg, "--bug=no_dedup") == 0) {
       args->bug_no_dedup = true;
+    } else if (std::strcmp(arg, "--bug=salvage_unchecked") == 0) {
+      args->bug_salvage_unchecked = true;
     } else if (std::strcmp(arg, "--guided") == 0) {
       args->guided = true;
     } else if (std::strncmp(arg, "--batch=", 8) == 0 && ParseU64(arg + 8, &value) &&
@@ -180,6 +201,9 @@ int RunSingle(const Args& args) {
   gen_options.rogue_only = args.rogue_only;
   gen_options.healthy_baseline = args.healthy_baseline;
   gen_options.bug_no_dedup = args.bug_no_dedup;
+  gen_options.salvage = args.salvage;
+  gen_options.reboot_storm_only = args.reboot_storm_only;
+  gen_options.bug_salvage_unchecked = args.bug_salvage_unchecked;
   const campaign::ScenarioSpec root =
       campaign::GenerateScenario(args.seed, args.scenario, gen_options);
   const campaign::ScenarioSpec spec =
@@ -217,6 +241,9 @@ int RunSweep(const Args& args) {
   options.rogue_only = args.rogue_only;
   options.healthy_baseline = args.healthy_baseline;
   options.bug_no_dedup = args.bug_no_dedup;
+  options.salvage = args.salvage;
+  options.reboot_storm_only = args.reboot_storm_only;
+  options.bug_salvage_unchecked = args.bug_salvage_unchecked;
   options.guided = args.guided;
   options.batch_size = args.batch_size;
   options.corpus_dir = args.corpus_dir;
@@ -228,21 +255,25 @@ int RunSweep(const Args& args) {
       std::printf("%s\n", result.Summary().c_str());
     };
   }
-  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64 " workers=%d%s%s%s%s%s%s%s%s\n",
+  std::printf("campaign: seed=%" PRIu64 " scenarios=%" PRIu64
+              " workers=%d%s%s%s%s%s%s%s%s%s%s%s\n",
               args.seed, args.scenarios, args.workers,
               args.wild_write_fixture ? " fixture=wild_write" : "",
               args.no_dedup_fixture ? " fixture=no_dedup" : "",
               args.no_hop_bound_fixture ? " fixture=no_hop_bound" : "",
               args.message_faults_only ? " faults=message" : "",
               args.rogue_only ? " faults=rogue" : "",
+              args.reboot_storm_only ? " faults=reboot-storm" : "",
               args.healthy_baseline ? " faults=none" : "",
+              args.salvage ? " salvage" : "",
               args.bug_no_dedup ? " bug=no_dedup" : "",
+              args.bug_salvage_unchecked ? " bug=salvage_unchecked" : "",
               args.guided ? " guided" : args.replay_corpus ? " replay" : "");
   const campaign::CampaignReport report = campaign::RunCampaign(options);
   std::printf("ran %" PRIu64 " scenarios, %" PRIu64 " faults landed, %" PRIu64
-              " excision(s), %zu violation(s)\n",
+              " excision(s), %" PRIu64 " page(s) salvaged, %zu violation(s)\n",
               report.scenarios_run, report.faults_injected, report.excisions,
-              report.failures.size());
+              report.pages_salvaged, report.failures.size());
   std::printf("coverage: %" PRIu64 " feature(s) hash=0x%016" PRIx64
               " merged-fingerprint=0x%016" PRIx64 "\n",
               report.coverage_features, report.coverage_hash,
