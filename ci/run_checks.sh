@@ -333,22 +333,94 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc["schema"] == "hive-bench-v1", doc.get("schema")
-for key in ("events_per_sec", "ns_per_event", "scenarios_per_sec", "peak_rss_bytes"):
-    assert isinstance(doc[key], (int, float)) and doc[key] > 0, key
+assert doc["schema"] == "hive-bench-v2", doc.get("schema")
+# v2 dropped the top-level mirrors of per-stage rates; each stage owns its
+# numbers and the only top-level metric left is peak RSS.
+for dropped in ("events_per_sec", "ns_per_event", "scenarios_per_sec"):
+    assert dropped not in doc, f"v1 mirror key {dropped} resurfaced at top level"
+assert isinstance(doc["peak_rss_bytes"], int) and doc["peak_rss_bytes"] > 0
+assert isinstance(doc["sim_threads"], int) and doc["sim_threads"] >= 1
 assert doc["event_queue"]["schedule_run"]["events_per_sec"] > 0
 assert doc["event_queue"]["cancel_churn"]["ops_per_sec"] > 0
-for stage in ("single_scenario", "campaign"):
+for stage in ("single_scenario", "parallel_sim", "campaign"):
     assert doc[stage]["scenarios_per_sec"] > 0, stage
     assert doc[stage]["sim_events"] > 0, stage
+    assert doc[stage]["ns_per_event"] > 0, stage
+assert doc["parallel_sim"]["sim_threads"] >= 1
+subsystems = doc["single_scenario"]["subsystems"]
+expected = {"vm_fault", "scheduler", "filesystem", "careful_rpc",
+            "sips", "recovery", "other"}
+assert set(subsystems) == expected, sorted(subsystems)
+for name, entry in subsystems.items():
+    for field in ("ns", "ops", "ns_per_op", "share"):
+        assert isinstance(entry[field], (int, float)), (name, field)
+    assert 0.0 <= entry["share"] <= 1.0, name
+# Exclusive attribution: shares of the bracketed run partition it.
+assert 0.97 <= sum(e["share"] for e in subsystems.values()) <= 1.01
 PYEOF
 else
   # No python3: structural grep fallback on the required fields.
-  for field in '"schema": "hive-bench-v1"' '"events_per_sec"' '"ns_per_event"' \
-               '"scenarios_per_sec"' '"peak_rss_bytes"' '"schedule_run"' \
-               '"cancel_churn"' '"single_scenario"' '"campaign"'; do
+  for field in '"schema": "hive-bench-v2"' '"peak_rss_bytes"' '"schedule_run"' \
+               '"cancel_churn"' '"single_scenario"' '"parallel_sim"' \
+               '"campaign"' '"subsystems"' '"vm_fault"' '"careful_rpc"'; do
     grep -qF "$field" "$bench_json" || fail "hive_bench JSON missing $field"
   done
+fi
+
+echo "== hive_bench regression gate: smoke vs committed baseline =="
+# Guard the tentpole per-event win: the smoke numbers must stay within 25% of
+# the committed baseline (ci/bench_baseline.json, captured on the CI-class
+# container). Wall-clock smoke runs on a loaded 1-core box are noisy, so the
+# gate takes the best of three runs before comparing; a genuine 25% per-event
+# regression survives any scheduling jitter, a noisy neighbour does not.
+bench_baseline="$SOURCE_DIR/ci/bench_baseline.json"
+[[ -s "$bench_baseline" ]] || fail "missing committed baseline $bench_baseline"
+if command -v python3 >/dev/null 2>&1; then
+  bench_json2="$BUILD_DIR/bench_smoke2.json"
+  bench_json3="$BUILD_DIR/bench_smoke3.json"
+  "$BENCH" --smoke --out="$bench_json2" >/dev/null \
+    || fail "hive_bench --smoke rerun exited nonzero"
+  "$BENCH" --smoke --out="$bench_json3" >/dev/null \
+    || fail "hive_bench --smoke rerun exited nonzero"
+  python3 - "$bench_baseline" "$bench_json" "$bench_json2" "$bench_json3" \
+      <<'PYEOF' || fail "hive_bench smoke regressed >25% vs ci/bench_baseline.json"
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+baseline = load(sys.argv[1])
+runs = [load(p) for p in sys.argv[2:]]
+
+def metric(doc, path):
+    node = doc
+    for key in path:
+        node = node[key]
+    return float(node)
+
+# Lower is better for every gated metric (cost per event / per op).
+GATED = [
+    ("event_queue", "schedule_run", "ns_per_event"),
+    ("event_queue", "cancel_churn", "ns_per_op"),
+    ("single_scenario", "ns_per_event"),
+    ("campaign", "ns_per_event"),
+]
+LIMIT = 1.25
+failed = False
+for path in GATED:
+    name = ".".join(path)
+    base = metric(baseline, path)
+    best = min(metric(run, path) for run in runs)
+    ratio = best / base if base > 0 else float("inf")
+    verdict = "ok" if ratio <= LIMIT else "REGRESSED"
+    print(f"  {name}: baseline={base:.1f} best-of-3={best:.1f} "
+          f"ratio={ratio:.2f} [{verdict}]")
+    failed |= ratio > LIMIT
+sys.exit(1 if failed else 0)
+PYEOF
+else
+  echo "  (python3 unavailable; skipping numeric regression comparison)"
 fi
 
 echo "== sanitizer build: ASan+UBSan test suite =="

@@ -662,11 +662,18 @@ std::string ScenarioResult::ViolationReport() const {
   return out.str();
 }
 
-ScenarioResult RunScenario(const ScenarioSpec& spec) {
+ScenarioResult RunScenario(const ScenarioSpec& spec, const RunOptions& run) {
   ScenarioResult result;
   result.spec = spec;
 
   flash::Machine machine(CampaignConfig(spec.num_cells), spec.seed);
+  // Parallel simulation core: slice dispatch snaps to a grid of one tenth of
+  // the 10 ms clock tick -- the "minor tick" real kernels dispatch on -- so
+  // different cells' compute slices line up into common safe windows. The
+  // grid is applied for every thread count (including 1): scenario outcomes
+  // are a function of the spec alone, never of --sim-threads, which is the
+  // equivalence oracle sim_parallel_equivalence_test pins.
+  machine.EnableParallelSim(run.sim_threads, hive::KernelCosts{}.clock_tick_period_ns / 10);
   HiveOptions options;
   options.num_cells = spec.num_cells;
   options.agreement_mode = spec.agreement_mode;
@@ -803,7 +810,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
   if (!pids.empty()) {
     (void)sys.RunUntilDone(pids, 60 * kSecond);
   }
-  machine.events().RunUntil(std::max(machine.Now(), last_inject) + spec.settle_ns);
+  machine.RunUntil(std::max(machine.Now(), last_inject) + spec.settle_ns);
   result.end_time = machine.Now();
   result.events_run = machine.events().total_run();
   result.injected = state->injected;

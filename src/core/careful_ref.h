@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "src/base/sim_profile.h"
 #include "src/base/status.h"
 #include "src/core/context.h"
 #include "src/core/costs.h"
@@ -143,6 +144,9 @@ class CarefulRef {
   // of [addr, addr+bytes) not already fetched in this careful section.
   void ChargeAccessAt(PhysAddr addr, uint64_t bytes);
 
+  // Attribute the whole careful section (bench schema v2): constructed
+  // first, so the scope spans careful_on through careful_off.
+  base::SimProfileScope profile_scope_{base::SimSubsystem::kCarefulRpc};
   Ctx* ctx_;
   flash::PhysMem* mem_;
   const KernelCosts& costs_;

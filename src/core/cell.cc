@@ -1,6 +1,7 @@
 #include "src/core/cell.h"
 
 #include "src/base/log.h"
+#include "src/base/sim_profile.h"
 #include "src/core/hive_system.h"
 #include "src/flash/bus_error.h"
 
@@ -268,6 +269,7 @@ void Cell::StartClock() {
 }
 
 void Cell::ClockTick() {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kScheduler);
   if (state_ != CellState::kRunning) {
     return;
   }

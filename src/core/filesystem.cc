@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/base/sim_profile.h"
 #include "src/core/cell.h"
 #include "src/core/hive_system.h"
 #include "src/flash/bus_error.h"
@@ -41,6 +42,7 @@ Vnode* FileSystem::FindShadowFor(CellId data_home, VnodeId remote_id) {
 
 base::Result<FileId> FileSystem::Create(Ctx& ctx, const std::string& path,
                                         std::span<const uint8_t> initial_data) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   ctx.Charge(cell_->costs().create_local_ns);
   if (cell_->system()->LookupPath(path).ok()) {
@@ -75,6 +77,7 @@ base::Result<VnodeId> FileSystem::EnsureShadow(Ctx& ctx, CellId data_home, Vnode
 }
 
 base::Result<FileHandle> FileSystem::Open(Ctx& ctx, const std::string& path) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   ctx.Charge(cell_->costs().open_local_ns);
 
@@ -119,6 +122,7 @@ base::Result<FileHandle> FileSystem::Open(Ctx& ctx, const std::string& path) {
 }
 
 void FileSystem::Close(Ctx& ctx, FileHandle& handle) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   ctx.Charge(cell_->costs().close_ns);
   if (handle.data_home == cell_->id()) {
@@ -138,6 +142,7 @@ void FileSystem::Close(Ctx& ctx, FileHandle& handle) {
 }
 
 base::Status FileSystem::Unlink(Ctx& ctx, const std::string& path) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   ctx.Charge(cell_->costs().close_ns);
   auto file_id = cell_->system()->LookupPath(path);
@@ -183,6 +188,7 @@ base::Status FileSystem::RemoveVnode(Ctx& ctx, VnodeId vnode_id) {
 }
 
 base::Status FileSystem::Rename(Ctx& ctx, const std::string& from, const std::string& to) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   ctx.Charge(cell_->costs().close_ns);
   return cell_->system()->RenamePath(from, to);
@@ -500,6 +506,7 @@ void FileSystem::DropImport(Ctx& ctx, Pfdat* pfdat) {
 
 base::Status FileSystem::Read(Ctx& ctx, const FileHandle& handle, uint64_t offset,
                               std::span<uint8_t> out) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   const uint64_t page_size = cell_->machine().mem().page_size();
   const bool remote = handle.data_home != cell_->id();
@@ -591,6 +598,7 @@ base::Status FileSystem::Read(Ctx& ctx, const FileHandle& handle, uint64_t offse
 
 base::Status FileSystem::Write(Ctx& ctx, const FileHandle& handle, uint64_t offset,
                                std::span<const uint8_t> data) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   cell_->ChargeSyscallTax(ctx);
   const uint64_t page_size = cell_->machine().mem().page_size();
   const bool remote = handle.data_home != cell_->id();
@@ -700,6 +708,7 @@ base::Status FileSystem::Write(Ctx& ctx, const FileHandle& handle, uint64_t offs
 }
 
 base::Status FileSystem::Sync(Ctx& ctx, VnodeId local_vnode) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kFilesystem);
   Vnode* vnode = FindVnode(local_vnode);
   if (vnode == nullptr || vnode->is_shadow) {
     return base::NotFound();

@@ -79,7 +79,13 @@ base::Status FirewallManager::GrantWrite(Ctx& ctx, Pfn pfn, CellId client_cell) 
       }
     }
   }
-  if (++counts[client_cell] == 1) {
+  auto cell_it = std::lower_bound(
+      counts.begin(), counts.end(), client_cell,
+      [](const auto& entry, CellId c) { return entry.first < c; });
+  if (cell_it == counts.end() || cell_it->first != client_cell) {
+    cell_it = counts.insert(cell_it, {client_cell, 0});
+  }
+  if (++cell_it->second == 1) {
     const uint64_t mask = policy == FirewallPolicy::kGlobalBit
                               ? ~0ull  // One bit per page: all or nothing.
                               : cell_->system()->cell(client_cell).CpuMask();
@@ -98,8 +104,10 @@ base::Status FirewallManager::RevokeWrite(Ctx& ctx, Pfn pfn, CellId client_cell)
   if (page_it == grants_by_page_.end()) {
     return base::NotFound();
   }
-  auto cell_it = page_it->second.find(client_cell);
-  if (cell_it == page_it->second.end()) {
+  auto cell_it = std::lower_bound(
+      page_it->second.begin(), page_it->second.end(), client_cell,
+      [](const auto& entry, CellId c) { return entry.first < c; });
+  if (cell_it == page_it->second.end() || cell_it->first != client_cell) {
     return base::NotFound();
   }
   if (--cell_it->second == 0) {
@@ -134,8 +142,12 @@ std::vector<Pfn> FirewallManager::RevokeAllFor(Ctx& ctx, CellId failed_cell) {
   for (const Pfn pfn : writable_pages) {
     auto page_it = grants_by_page_.find(pfn);
     CHECK(page_it != grants_by_page_.end()) << "reverse index names an ungranted page";
-    CHECK_GT(page_it->second.erase(failed_cell), 0u)
+    auto cell_it = std::lower_bound(
+        page_it->second.begin(), page_it->second.end(), failed_cell,
+        [](const auto& entry, CellId c) { return entry.first < c; });
+    CHECK(cell_it != page_it->second.end() && cell_it->first == failed_cell)
         << "reverse index disagrees with grant table";
+    page_it->second.erase(cell_it);
     MutateVector(pfn, [&] {
       cell_->machine().firewall().RevokeCpus(
           pfn, cell_->system()->cell(failed_cell).CpuMask(), LocalCpuFor(pfn));
@@ -157,7 +169,6 @@ int FirewallManager::RevokeAllRemote(Ctx& ctx) {
   std::vector<std::pair<Pfn, CellId>> grants;
   // hive-lint: allow(R10): collection loop only; the pairs are sorted below before any side effect.
   for (auto& [pfn, cells] : grants_by_page_) {
-    // hive-lint: allow(R10): collection loop only; the pairs are sorted below before any side effect.
     for (auto& [client, count] : cells) {
       (void)count;
       grants.emplace_back(pfn, client);
@@ -183,8 +194,11 @@ bool FirewallManager::HasGrant(Pfn pfn, CellId client_cell) const {
   if (page_it == grants_by_page_.end()) {
     return false;
   }
-  auto cell_it = page_it->second.find(client_cell);
-  return cell_it != page_it->second.end() && cell_it->second > 0;
+  auto cell_it = std::lower_bound(
+      page_it->second.begin(), page_it->second.end(), client_cell,
+      [](const auto& entry, CellId c) { return entry.first < c; });
+  return cell_it != page_it->second.end() && cell_it->first == client_cell &&
+         cell_it->second > 0;
 }
 
 std::vector<CellId> FirewallManager::GrantedCells(Pfn pfn) const {
@@ -198,6 +212,19 @@ std::vector<CellId> FirewallManager::GrantedCells(Pfn pfn) const {
     }
   }
   return cells;
+}
+
+uint64_t FirewallManager::GrantedCpuMask(Pfn pfn) const {
+  uint64_t mask = 0;
+  auto page_it = grants_by_page_.find(pfn);
+  if (page_it != grants_by_page_.end()) {
+    for (const auto& [client, count] : page_it->second) {
+      if (count > 0) {
+        mask |= cell_->system()->cell(client).CpuMask();
+      }
+    }
+  }
+  return mask;
 }
 
 int FirewallManager::RemotelyWritablePages() const {

@@ -65,6 +65,10 @@ class FirewallManager {
   // Invariant auditing: grant bookkeeping snapshots (see invariant_checker.h).
   bool HasGrant(Pfn pfn, CellId client_cell) const;
   std::vector<CellId> GrantedCells(Pfn pfn) const;
+  // Union of the CPU masks of every cell granted on `pfn`. Allocation-free:
+  // the per-page audit sweep calls this once per local page after every
+  // recovery round.
+  uint64_t GrantedCpuMask(Pfn pfn) const;
 
   uint64_t grants() const { return grants_; }
   uint64_t revokes() const { return revokes_; }
@@ -100,8 +104,13 @@ class FirewallManager {
   void UnindexGrant(Pfn pfn, CellId client_cell);
 
   Cell* cell_;
-  // pfn -> (cell -> grant count).
-  std::unordered_map<Pfn, std::unordered_map<CellId, int>> grants_by_page_;
+  // Per-page grant counts, sorted by client cell. A page rarely has more
+  // than one or two clients, so a flat sorted vector beats a nested hash map
+  // (no per-page allocation churn on the fault path) and makes every
+  // iteration over a page's clients deterministic by construction.
+  using GrantList = std::vector<std::pair<CellId, int>>;
+  // pfn -> [(cell, grant count)] sorted by cell.
+  std::unordered_map<Pfn, GrantList> grants_by_page_;
   // Reverse index: client cell -> local pages it currently has write grants
   // on. Keeps RevokeAllFor proportional to the failed cell's footprint.
   std::unordered_map<CellId, std::unordered_set<Pfn>> pages_by_cell_;

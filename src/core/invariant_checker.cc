@@ -83,9 +83,7 @@ void InvariantChecker::AuditFirewallVectors(CellId cell_id, bool raise_hints,
         }
       }
     }
-    for (CellId client : cell.firewall_manager().GrantedCells(pfn)) {
-      expected |= system_->cell(client).CpuMask();
-    }
+    expected |= cell.firewall_manager().GrantedCpuMask(pfn);
 
     const uint64_t actual = firewall.GetVector(pfn);
     if (actual == expected) {

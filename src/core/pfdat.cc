@@ -1,5 +1,7 @@
 #include "src/core/pfdat.h"
 
+#include <algorithm>
+
 #include "src/base/log.h"
 
 namespace hive {
@@ -33,21 +35,58 @@ void PfdatTable::ReleaseSlot(Pfdat* pfdat) {
   free_slots_.push_back(pfdat);
 }
 
+Pfdat* PfdatTable::FindRegular(PhysAddr frame) {
+  if (dense_stride_ != 0) {
+    if (frame < dense_base_) {
+      return nullptr;
+    }
+    const uint64_t offset = frame - dense_base_;
+    const uint64_t index = offset / dense_stride_;
+    if (offset % dense_stride_ != 0 || index >= dense_regular_.size()) {
+      return nullptr;
+    }
+    return dense_regular_[index];
+  }
+  auto it = std::lower_bound(
+      regulars_.begin(), regulars_.end(), frame,
+      [](const Pfdat* p, PhysAddr f) { return p->frame < f; });
+  return (it != regulars_.end() && (*it)->frame == frame) ? *it : nullptr;
+}
+
 Pfdat* PfdatTable::AddRegular(PhysAddr frame) {
+  CHECK(FindByFrame(frame) == nullptr) << "duplicate pfdat for frame";
   Pfdat* pfdat = AllocateSlot();
   pfdat->frame = frame;
   pfdat->extended = false;
-  auto [it, inserted] = by_frame_.emplace(frame, pfdat);
-  CHECK(inserted) << "duplicate pfdat for frame";
-  (void)it;
+  // Maintain the dense fault-path index while boot keeps a uniform stride.
+  if (regulars_.empty()) {
+    dense_base_ = frame;
+    dense_stride_ = 0;
+    dense_regular_.assign(1, pfdat);
+  } else if (dense_stride_ == 0 && !dense_regular_.empty() && frame > dense_base_) {
+    dense_stride_ = frame - dense_base_;
+    dense_regular_.push_back(pfdat);
+  } else if (dense_stride_ != 0 &&
+             frame == dense_base_ + dense_stride_ * dense_regular_.size()) {
+    dense_regular_.push_back(pfdat);
+  } else {
+    dense_regular_.clear();
+    dense_stride_ = 0;
+  }
+  auto it = std::lower_bound(
+      regulars_.begin(), regulars_.end(), frame,
+      [](const Pfdat* p, PhysAddr f) { return p->frame < f; });
+  regulars_.insert(it, pfdat);
   return pfdat;
 }
 
 Pfdat* PfdatTable::AddExtended(PhysAddr frame) {
+  CHECK(FindRegular(frame) == nullptr)
+      << "extended pfdat collides with existing pfdat for frame";
   Pfdat* pfdat = AllocateSlot();
   pfdat->frame = frame;
   pfdat->extended = true;
-  auto [it, inserted] = by_frame_.emplace(frame, pfdat);
+  auto [it, inserted] = extended_by_frame_.emplace(frame, pfdat);
   CHECK(inserted) << "extended pfdat collides with existing pfdat for frame";
   (void)it;
   return pfdat;
@@ -58,13 +97,16 @@ void PfdatTable::RemoveExtended(Pfdat* pfdat) {
   if (pfdat->HasLogicalBinding()) {
     RemoveHash(pfdat);
   }
-  by_frame_.erase(pfdat->frame);
+  extended_by_frame_.erase(pfdat->frame);
   ReleaseSlot(pfdat);  // Recycled; the slot stays owned by the arena.
 }
 
 Pfdat* PfdatTable::FindByFrame(PhysAddr frame) {
-  auto it = by_frame_.find(frame);
-  return it == by_frame_.end() ? nullptr : it->second;
+  if (Pfdat* regular = FindRegular(frame)) {
+    return regular;
+  }
+  auto it = extended_by_frame_.find(frame);
+  return it == extended_by_frame_.end() ? nullptr : it->second;
 }
 
 Pfdat* PfdatTable::FindByLpid(const LogicalPageId& lpid) {

@@ -14,8 +14,8 @@
 #ifndef HIVE_SRC_CORE_PFDAT_H_
 #define HIVE_SRC_CORE_PFDAT_H_
 
-#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -99,20 +99,40 @@ class PfdatTable {
   // Enumeration for recovery scans. Visits pfdats in ascending frame order:
   // several callers bound or order their side effects by visit order
   // (pageout passes stop at max_pages, recovery scans build drop lists), so
-  // the hash map's iteration order must not leak into simulation outcomes
-  // (determinism purity, lint R10).
+  // container iteration order must not leak into simulation outcomes
+  // (determinism purity, lint R10). Regular pfdats are kept frame-sorted
+  // (boot adds them in ascending order) and extended pfdats live in an
+  // ordered map, so the merged walk needs no per-call sort. Extended entries
+  // are snapshotted first because `fn` may call RemoveExtended/AddExtended;
+  // mutations during the walk affect membership exactly like the old
+  // snapshot-and-sort implementation did.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    std::vector<std::pair<PhysAddr, Pfdat*>> sorted(by_frame_.begin(), by_frame_.end());
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (auto& [frame, pfdat] : sorted) {
-      fn(pfdat);
+    // Borrow the scratch buffer's capacity; a reentrant walk just gets a
+    // fresh (empty) vector.
+    std::vector<Pfdat*> extended;
+    extended.swap(foreach_scratch_);
+    extended.clear();
+    extended.reserve(extended_by_frame_.size());
+    for (const auto& [frame, pfdat] : extended_by_frame_) {
+      extended.push_back(pfdat);
     }
+    size_t ri = 0;
+    size_t ei = 0;
+    const size_t rn = regulars_.size();
+    const size_t en = extended.size();
+    while (ri < rn || ei < en) {
+      if (ei == en || (ri < rn && regulars_[ri]->frame < extended[ei]->frame)) {
+        fn(regulars_[ri++]);
+      } else {
+        fn(extended[ei++]);
+      }
+    }
+    foreach_scratch_.swap(extended);
   }
 
   size_t hash_size() const { return by_lpid_.size(); }
-  size_t total_pfdats() const { return by_frame_.size(); }
+  size_t total_pfdats() const { return regulars_.size() + extended_by_frame_.size(); }
 
   // Arena introspection (tests): slabs allocated so far.
   size_t arena_slabs() const { return slabs_.size(); }
@@ -121,7 +141,11 @@ class PfdatTable {
   // next boot's allocations.
   void Clear() {
     by_lpid_.clear();
-    by_frame_.clear();
+    regulars_.clear();
+    dense_regular_.clear();
+    dense_base_ = 0;
+    dense_stride_ = 0;
+    extended_by_frame_.clear();
     free_slots_.clear();
     slab_used_ = slabs_.empty() ? kSlabPfdats : 0;
     slab_cursor_ = 0;
@@ -133,14 +157,29 @@ class PfdatTable {
   Pfdat* AllocateSlot();
   void ReleaseSlot(Pfdat* pfdat);
 
+  Pfdat* FindRegular(PhysAddr frame);
+
   // Slab arena: blocks never move, so Pfdat* stays valid until Clear().
   std::vector<std::unique_ptr<Pfdat[]>> slabs_;
   size_t slab_cursor_ = 0;             // Slab currently being carved.
   size_t slab_used_ = kSlabPfdats;     // Slots used in that slab (full = new slab).
   std::vector<Pfdat*> free_slots_;     // Recycled slots (RemoveExtended).
 
-  std::unordered_map<PhysAddr, Pfdat*> by_frame_;
+  // Regular (local-frame) pfdats, in ascending frame order. Boot adds local
+  // frames at a uniform stride, so FindByFrame on the fault path resolves
+  // through the O(1) dense index; if an AddRegular call ever breaks the
+  // stride pattern the dense index is abandoned and lookups binary-search
+  // `regulars_` instead.
+  std::vector<Pfdat*> regulars_;
+  std::vector<Pfdat*> dense_regular_;  // index = (frame - base) / stride.
+  PhysAddr dense_base_ = 0;
+  uint64_t dense_stride_ = 0;          // 0 = not (or no longer) dense.
+
+  // Extended (remote-frame) pfdats, ordered by frame so ForEach can merge.
+  std::map<PhysAddr, Pfdat*> extended_by_frame_;
+
   std::unordered_map<LogicalPageId, Pfdat*, LogicalPageIdHash> by_lpid_;
+  std::vector<Pfdat*> foreach_scratch_;
 };
 
 }  // namespace hive

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/base/sim_profile.h"
 #include "src/core/cell.h"
 #include "src/core/hive_system.h"
 #include "src/flash/bus_error.h"
@@ -249,6 +250,10 @@ void RpcLayer::QuarantinePeer(Ctx& ctx, CellId peer) {
 
 base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
                             RpcReply* reply, const CallOptions& options) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kCarefulRpc);
+  // Intercell RPC is a cross-cell effect; safe-tagged events must not call
+  // it (lint R10, parallel form).
+  CHECK(!flash::EventQueue::OnWorkerThread()) << "RPC from a safe parallel event";
   ++stats_.calls;
   const flash::LatencyParams& lat = cell_->machine().config().latency;
   const Time sips_hop = lat.ipi_ns + lat.sips_payload_ns;
@@ -446,6 +451,7 @@ base::Status RpcLayer::Call(Ctx& ctx, CellId target, MsgType type, const RpcArgs
 
 base::Status RpcLayer::CallFault(Ctx& ctx, CellId target, MsgType type, const RpcArgs& args,
                                  RpcReply* reply) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kCarefulRpc);
   ++stats_.calls;
 
   // Table 5.2 RPC components, charged on the client side (the client spins

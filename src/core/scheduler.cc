@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/base/sim_profile.h"
 #include "src/core/cell.h"
 #include "src/core/cow_tree.h"
 #include "src/core/filesystem.h"
@@ -51,6 +52,18 @@ void Scheduler::KickAll() {
   }
 }
 
+Time Scheduler::AlignDispatch(Time when) const {
+  const Time grid = cell_->machine().slice_grid_ns();
+  if (grid == 0) {
+    return when;
+  }
+  // Strictly-next grid point, even when `when` is already aligned: dispatch
+  // events are unsafe (they may touch the ready queue fed by remote wakeups),
+  // so a safe event at an aligned time must push them past its own execution
+  // window, never into it.
+  return (when / grid + 1) * grid;
+}
+
 void Scheduler::KickCpu(int cpu_index) {
   if (!cell_->alive() || cpu_has_event_[static_cast<size_t>(cpu_index)] || ready_.empty()) {
     return;
@@ -60,14 +73,18 @@ void Scheduler::KickCpu(int cpu_index) {
   if (machine.cpu(cpu_id).halted) {
     return;
   }
-  const Time when = std::max({machine.Now(), machine.cpu(cpu_id).free_at,
-                              cell_->user_suspended_until()});
+  // A full dispatch may run any process step, so it is an unsafe event; the
+  // grid keeps it on a window boundary (and satisfies the safe-event
+  // scheduling contract when the kick comes from inside a window).
+  const Time when = AlignDispatch(std::max({machine.Now(), machine.cpu(cpu_id).free_at,
+                                            cell_->user_suspended_until()}));
   cpu_has_event_[static_cast<size_t>(cpu_index)] = true;
-  cpu_event_id_[static_cast<size_t>(cpu_index)] =
-      machine.events().ScheduleAt(when, [this, cpu_index] { RunSlice(cpu_index); });
+  cpu_event_id_[static_cast<size_t>(cpu_index)] = machine.events().ScheduleAtTagged(
+      when, cell_->id(), /*safe=*/false, [this, cpu_index] { RunSlice(cpu_index); });
 }
 
 void Scheduler::RunSlice(int cpu_index) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kScheduler);
   cpu_has_event_[static_cast<size_t>(cpu_index)] = false;
   cpu_event_id_[static_cast<size_t>(cpu_index)] = 0;
   if (!cell_->alive()) {
@@ -140,11 +157,7 @@ void Scheduler::RunSlice(int cpu_index) {
         // The slice occupies the CPU until now + elapsed; the process is not
         // runnable (anywhere) before then, or it could execute on two CPUs
         // in the same simulated instant.
-        machine.events().ScheduleAt(now + ctx.elapsed, [this, proc] {
-          if (!proc->finished() && proc->state() == ProcState::kRunning) {
-            MakeRunnable(proc);
-          }
-        });
+        ScheduleResume(cpu_index, proc, now + ctx.elapsed);
       }
       break;
     case StepOutcome::kBlocked:
@@ -160,6 +173,98 @@ void Scheduler::RunSlice(int cpu_index) {
       break;
   }
   KickCpu(cpu_index);
+}
+
+void Scheduler::ScheduleResume(int cpu_index, Process* proc, Time resume) {
+  flash::Machine& machine = cell_->machine();
+  const bool grid_on = machine.slice_grid_ns() > 0;
+  if (grid_on && ready_.empty() && proc->state() == ProcState::kRunning &&
+      proc->behavior()->NextStepLocal()) {
+    // Sole runnable process with pure-compute steps ahead: keep it pinned to
+    // this CPU as a safe event. No ready-queue round trip, and -- because the
+    // event is safe and unaligned -- consecutive compute quanta of different
+    // cells run concurrently inside parallel windows.
+    cpu_has_event_[static_cast<size_t>(cpu_index)] = true;
+    cpu_event_id_[static_cast<size_t>(cpu_index)] = machine.events().ScheduleAtTagged(
+        resume, cell_->id(), /*safe=*/true,
+        [this, cpu_index, proc] { RunPinnedSlice(cpu_index, proc); });
+    return;
+  }
+  // Captures (cell, pid), not (this, proc): a reboot-storm kill/rejoin cycle
+  // replaces the scheduler and frees every process while wake events are
+  // still in flight. Pids are system-global and never reused, so resolving
+  // through the current scheduler either finds the same process or nothing.
+  Cell* cell = cell_;
+  const ProcId pid = proc->pid();
+  auto wake = [cell, pid] {
+    if (!cell->alive()) {
+      return;
+    }
+    Scheduler& sched = cell->sched();
+    Process* woken = sched.FindProcess(pid);
+    if (woken != nullptr && !woken->finished() &&
+        woken->state() == ProcState::kRunning) {
+      sched.MakeRunnable(woken);
+    }
+  };
+  if (grid_on) {
+    // The wake only mutates this cell's ready queue and re-kicks its CPUs
+    // (grid-aligned), so it is safe even though the full dispatch is not.
+    machine.events().ScheduleAtTagged(resume, cell_->id(), /*safe=*/true,
+                                      std::move(wake));
+  } else {
+    machine.events().ScheduleAt(resume, std::move(wake));
+  }
+}
+
+void Scheduler::RunPinnedSlice(int cpu_index, Process* proc) {
+  base::SimProfileScope profile_scope(base::SimSubsystem::kScheduler);
+  cpu_has_event_[static_cast<size_t>(cpu_index)] = false;
+  cpu_event_id_[static_cast<size_t>(cpu_index)] = 0;
+  if (!cell_->alive()) {
+    return;
+  }
+  flash::Machine& machine = cell_->machine();
+  const int cpu_id = cell_->cpus()[static_cast<size_t>(cpu_index)];
+  if (machine.cpu(cpu_id).halted) {
+    return;
+  }
+  if (proc->finished() || proc->state() != ProcState::kRunning) {
+    // Killed or woken elsewhere between slices (recovery sweep): free the CPU
+    // for whoever is ready.
+    KickCpu(cpu_index);
+    return;
+  }
+  const Time now = machine.Now();
+  if (now < cell_->user_suspended_until() || now < machine.cpu(cpu_id).free_at) {
+    // A suspension landed between slices; go back through the normal
+    // (grid-aligned) dispatch path.
+    MakeRunnable(proc);
+    return;
+  }
+
+  ++context_switches_;
+  Ctx ctx;
+  ctx.cell = cell_;
+  ctx.cpu = cpu_id;
+  ctx.start = now;
+  StepOutcome outcome = StepOutcome::kContinue;
+  while (ctx.elapsed < kQuantum && proc->behavior()->NextStepLocal()) {
+    const Time before = ctx.elapsed;
+    outcome = proc->behavior()->Step(ctx, *proc);
+    // The locality declaration is load-bearing for the parallel core: a
+    // "local" step that blocks, exits, fails, or kills the cell would have
+    // had cross-cell effects inside a parallel window. Fail loudly.
+    CHECK(outcome == StepOutcome::kContinue && !proc->finished() && cell_->alive())
+        << "step declared cell-local by " << proc->behavior()->name()
+        << " had non-local effects";
+    if (ctx.elapsed == before) {
+      ctx.Charge(1000);  // Same zero-cost backstop as RunSlice.
+    }
+  }
+  machine.cpu(cpu_id).free_at = now + ctx.elapsed;
+  cpu_busy_ns_ += ctx.elapsed;
+  ScheduleResume(cpu_index, proc, now + ctx.elapsed);
 }
 
 void Scheduler::ExitProcess(Ctx& ctx, Process* proc, StepOutcome outcome) {
@@ -180,9 +285,12 @@ void Scheduler::ExitProcess(Ctx& ctx, Process* proc, StepOutcome outcome) {
   proc->finished_at = ctx.VirtualNow();
   // The exit takes effect when the slice's work completes, not at the event's
   // start time; waiters wake at the logically correct instant.
+  // Captures the cell, not `this`: the notify may outlive this scheduler if a
+  // reboot lands between the exit and the event (the cell object is stable).
   const ProcId pid = proc->pid();
-  cell_->machine().events().ScheduleAt(ctx.VirtualNow(), [this, pid] {
-    cell_->system()->NotifyExit(pid);
+  Cell* cell = cell_;
+  cell_->machine().events().ScheduleAt(ctx.VirtualNow(), [cell, pid] {
+    cell->system()->NotifyExit(pid);
   });
 }
 

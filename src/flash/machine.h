@@ -18,6 +18,7 @@
 #include "src/flash/disk.h"
 #include "src/flash/event_queue.h"
 #include "src/flash/interconnect.h"
+#include "src/flash/parallel_exec.h"
 #include "src/flash/phys_mem.h"
 #include "src/flash/sips.h"
 
@@ -39,6 +40,22 @@ class Machine {
   const MachineConfig& config() const { return config_; }
   EventQueue& events() { return events_; }
   Time Now() const { return events_.Now(); }
+
+  // Enables the parallel simulation core: slice dispatch snaps to `grid_ns`
+  // boundaries and safe-tagged events run through the windowed executor with
+  // up to `threads` workers. Must be called before any events execute. The
+  // grid changes simulated timing deterministically, so it is applied for
+  // threads == 1 too: a 1-thread and an N-thread run of the same scenario
+  // are byte-identical (the equivalence oracle).
+  void EnableParallelSim(int threads, Time grid_ns);
+
+  // Drives events to `deadline` through the parallel executor when enabled,
+  // else through the serial queue.
+  size_t RunUntil(Time deadline);
+
+  ParallelExecutor* parallel_exec() { return parallel_exec_.get(); }
+  // Slice-dispatch grid in ns; 0 when the parallel core is disabled.
+  Time slice_grid_ns() const { return slice_grid_ns_; }
 
   const Interconnect& interconnect() const { return interconnect_; }
   PhysMem& mem() { return mem_; }
@@ -85,6 +102,8 @@ class Machine {
   std::vector<Cpu> cpus_;
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<bool> node_dead_;
+  std::unique_ptr<ParallelExecutor> parallel_exec_;
+  Time slice_grid_ns_ = 0;
 };
 
 }  // namespace flash

@@ -1,0 +1,356 @@
+#include "src/flash/parallel_exec.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/base/log.h"
+
+namespace flash {
+
+ParallelExecutor::ParallelExecutor(EventQueue* queue, int threads, Time grid_ns)
+    : queue_(queue), threads_(std::max(1, threads)), grid_ns_(grid_ns) {}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t ParallelExecutor::RunUntil(Time deadline) {
+  size_t ran = 0;
+  while (RunBlock(deadline, &ran)) {
+  }
+  if (queue_->now_ < deadline) {
+    queue_->now_ = deadline;
+  }
+  return ran;
+}
+
+bool ParallelExecutor::RunBlock(Time deadline, size_t* ran) {
+  EventQueue& q = *queue_;
+  q.DropTombstones();
+  if (q.heap_.empty() || q.heap_.top().when > deadline) {
+    return false;
+  }
+  const EventQueue::HeapEntry top = q.heap_.top();
+  if (grid_ns_ == 0 || !q.SlotAt(top.slot).safe) {
+    // Serial path: identical to EventQueue::Step for one unsafe event.
+    q.heap_.pop();
+    q.RunEntry(top);
+    ++serial_events_;
+    ++*ran;
+    return true;
+  }
+
+  // Safe event at the front: form a window [T, horizon). The horizon starts
+  // at the next grid boundary (strictly above T, so a window starting on a
+  // boundary is never empty) and shrinks to the first unsafe timestamp
+  // encountered; deadline+1 keeps RunUntil semantics (events at exactly
+  // `deadline` run).
+  const Time window_start = top.when;
+  Time horizon = (window_start / grid_ns_ + 1) * grid_ns_;
+  horizon = std::min(horizon, deadline + 1);
+
+  // Pop the window in (when, seq) order, bundling by cell. The first unsafe
+  // event ends the window at its timestamp: everything popped before it
+  // precedes it serially, everything at or after it stays queued.
+  size_t bundle_count = 0;
+  size_t popped = 0;
+  for (;;) {
+    q.DropTombstones();
+    if (q.heap_.empty() || q.heap_.top().when >= horizon) {
+      break;
+    }
+    const EventQueue::HeapEntry entry = q.heap_.top();
+    EventQueue::Slot& slot = q.SlotAt(entry.slot);
+    if (!slot.safe) {
+      horizon = entry.when;
+      break;
+    }
+    q.heap_.pop();
+    --q.live_count_;
+    const int cell = slot.cell;
+    Bundle* bundle = nullptr;
+    for (size_t i = 0; i < bundle_count; ++i) {
+      if (bundles_[i].cell == cell) {
+        bundle = &bundles_[i];
+        break;
+      }
+    }
+    if (bundle == nullptr) {
+      if (bundle_count == bundles_.size()) {
+        bundles_.emplace_back();
+      }
+      bundle = &bundles_[bundle_count++];
+      bundle->cell = cell;
+      bundle->events.clear();
+      bundle->ctx = EventQueue::WorkerContext{};
+      bundle->profile.Reset();
+    }
+    PreEvent pre;
+    pre.when = entry.when;
+    pre.seq = entry.seq;
+    pre.fn = std::move(slot.fn);
+    q.ReleaseSlot(entry.slot);
+    bundle->events.push_back(std::move(pre));
+    ++popped;
+  }
+  CHECK_GT(popped, 0u);
+
+  window_horizon_ = horizon;
+  // With one thread, every bundle runs on the coordinator under the outer
+  // profile directly: attribution is gap-free and the per-subsystem ns sums
+  // equal the bracketed wall time (sim_profile_test pins the 1% bound). Only
+  // real worker threads need per-bundle profiles (merged at the barrier, so
+  // N-thread sums measure CPU time, not wall time).
+  bundles_use_profile_ = base::SimProfile::Active() != nullptr && threads_ > 1;
+  for (size_t i = 0; i < bundle_count; ++i) {
+    bundles_[i].ctx.cell = bundles_[i].cell;
+    bundles_[i].ctx.horizon = horizon;
+    bundles_[i].ctx.queue = &q;
+  }
+
+  // When per-bundle profiles are in play (threads_ > 1), pause the
+  // coordinator's profile across the window so the span is measured once by
+  // the bundles (merged at the barrier) instead of twice.
+  base::SimProfile* outer_profile =
+      bundles_use_profile_ ? base::SimProfile::Active() : nullptr;
+  if (outer_profile != nullptr) {
+    outer_profile->End();
+  }
+  DispatchBundles(bundle_count);
+  ReplayWindow(bundle_count);
+  if (outer_profile != nullptr) {
+    outer_profile->Begin();
+  }
+
+  ++windows_run_;
+  uint64_t executed = 0;
+  for (size_t i = 0; i < bundle_count; ++i) {
+    executed += bundles_[i].ctx.executed;
+  }
+  window_events_ += executed;
+  max_window_cells_ = std::max<uint64_t>(max_window_cells_, bundle_count);
+  *ran += executed;
+  return true;
+}
+
+void ParallelExecutor::ExecuteBundle(Bundle* bundle) {
+  EventQueue& q = *queue_;
+  EventQueue::WorkerContext& ctx = bundle->ctx;
+  ctx.records.clear();
+  ctx.records.reserve(bundle->events.size());
+  ctx.executed = 0;
+  ctx.next_local_order = 0;
+
+  base::SimProfile* outer_profile = base::SimProfile::Active();
+  if (bundles_use_profile_) {
+    base::SimProfile::SetActive(&bundle->profile);
+    bundle->profile.Begin();
+  }
+  EventQueue::WorkerSlot() = &ctx;
+
+  // Interleave the pre-popped events with in-window creations exactly as the
+  // serial loop would: by (when, seq); every creation's eventual seq exceeds
+  // every pre-popped seq, so ties go to the pre event, and two creations at
+  // one timestamp order by creation order.
+  size_t next_pre = 0;
+  for (;;) {
+    bool take_pre;
+    if (next_pre < bundle->events.size() && !ctx.pending_local.empty()) {
+      take_pre = bundle->events[next_pre].when <= ctx.pending_local.top().when;
+    } else if (next_pre < bundle->events.size()) {
+      take_pre = true;
+    } else if (!ctx.pending_local.empty()) {
+      take_pre = false;
+    } else {
+      break;
+    }
+    if (take_pre) {
+      PreEvent& pre = bundle->events[next_pre++];
+      EventQueue::ExecRecord record;
+      record.when = pre.when;
+      record.seq = pre.seq;
+      record.from_heap = true;
+      ctx.records.push_back(std::move(record));
+      ctx.current_record = static_cast<uint32_t>(ctx.records.size() - 1);
+      ctx.local_now = pre.when;
+      pre.fn();
+      pre.fn.Reset();
+      ++ctx.executed;
+    } else {
+      const EventQueue::WorkerContext::PendingLocal pending = ctx.pending_local.top();
+      ctx.pending_local.pop();
+      {
+        // Re-check under the creator record: a later event may have cancelled
+        // this creation before its turn came.
+        EventQueue::DeferredSchedule& sched =
+            ctx.records[pending.record].schedules[pending.schedule];
+        if (sched.cancelled) {
+          continue;
+        }
+        sched.done = true;
+      }
+      uint32_t slot_index;
+      EventFn fn;
+      {
+        std::lock_guard<std::mutex> lock(q.pool_mutex_);
+        slot_index = ctx.records[pending.record].schedules[pending.schedule].slot;
+        fn = std::move(q.SlotAt(slot_index).fn);
+        q.ReleaseSlot(slot_index);
+      }
+      EventQueue::ExecRecord record;
+      record.when = pending.when;
+      record.from_heap = false;
+      ctx.records.push_back(std::move(record));
+      const uint32_t record_index = static_cast<uint32_t>(ctx.records.size() - 1);
+      ctx.records[pending.record].schedules[pending.schedule].child_record = record_index;
+      ctx.current_record = record_index;
+      ctx.local_now = pending.when;
+      fn();
+      ++ctx.executed;
+    }
+  }
+
+  EventQueue::WorkerSlot() = nullptr;
+  if (bundles_use_profile_) {
+    bundle->profile.End();
+    base::SimProfile::SetActive(outer_profile);
+  }
+}
+
+void ParallelExecutor::DispatchBundles(size_t count) {
+  if (count == 1 || threads_ == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      ExecuteBundle(&bundles_[i]);
+    }
+    return;
+  }
+  const size_t wanted_workers =
+      std::min<size_t>(static_cast<size_t>(threads_ - 1), count - 1);
+  while (workers_.size() < wanted_workers) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_bundle_count_ = count;
+    bundles_done_ = 0;
+    next_bundle_.store(0, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  cv_work_.notify_all();
+  // The coordinator works too; everyone pulls bundle indices off one counter.
+  for (;;) {
+    const size_t index = next_bundle_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= count) {
+      break;
+    }
+    ExecuteBundle(&bundles_[index]);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++bundles_done_ == job_bundle_count_) {
+      cv_done_.notify_one();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return bundles_done_ == job_bundle_count_; });
+  job_bundle_count_ = 0;
+}
+
+void ParallelExecutor::WorkerMain() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this, seen_generation] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = job_generation_;
+    }
+    for (;;) {
+      const size_t index = next_bundle_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (index >= job_bundle_count_) {
+        break;
+      }
+      lock.unlock();
+      ExecuteBundle(&bundles_[index]);
+      lock.lock();
+      if (++bundles_done_ == job_bundle_count_) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ParallelExecutor::ReplayWindow(size_t bundle_count) {
+  EventQueue& q = *queue_;
+  // Priority-queue simulation of the serial loop over the records of every
+  // executed event: pop in (when, seq) order, assign sequence numbers to the
+  // pops' recorded schedules in call order. In-window children enter the
+  // replay heap once their seq is assigned (their creator always pops
+  // first), deferred children go onto the real heap. This reproduces the
+  // serial run's seq assignment exactly -- the determinism keystone.
+  struct ReplayRef {
+    Time when;
+    uint64_t seq;
+    uint32_t bundle;
+    uint32_t record;
+    bool operator>(const ReplayRef& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<ReplayRef, std::vector<ReplayRef>, std::greater<>> replay;
+  for (size_t b = 0; b < bundle_count; ++b) {
+    const auto& records = bundles_[b].ctx.records;
+    for (uint32_t r = 0; r < records.size(); ++r) {
+      if (records[r].from_heap) {
+        replay.push(ReplayRef{records[r].when, records[r].seq,
+                              static_cast<uint32_t>(b), r});
+      }
+    }
+  }
+  Time last_when = q.now_;
+  uint64_t executed = 0;
+  while (!replay.empty()) {
+    const ReplayRef ref = replay.top();
+    replay.pop();
+    last_when = ref.when;
+    ++executed;
+    auto& records = bundles_[ref.bundle].ctx.records;
+    for (const EventQueue::DeferredSchedule& sched : records[ref.record].schedules) {
+      const uint64_t seq = q.next_seq_++;
+      if (sched.cancelled) {
+        continue;  // Serial parity: a cancelled schedule still consumed a seq.
+      }
+      if (sched.ran_locally) {
+        EventQueue::ExecRecord& child = records[sched.child_record];
+        child.seq = seq;
+        replay.push(ReplayRef{child.when, seq, ref.bundle, sched.child_record});
+      } else {
+        q.heap_.push(EventQueue::HeapEntry{sched.when, seq, sched.slot,
+                                           sched.generation});
+        ++q.live_count_;
+      }
+    }
+  }
+  q.total_run_ += executed;
+  q.now_ = last_when;
+  if (bundles_use_profile_ && base::SimProfile::Active() != nullptr) {
+    for (size_t b = 0; b < bundle_count; ++b) {
+      base::SimProfile::Active()->Merge(bundles_[b].profile);
+    }
+  }
+}
+
+}  // namespace flash

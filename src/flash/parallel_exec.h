@@ -1,0 +1,133 @@
+// Conservative parallel discrete-event execution over the per-cell partition
+// of the event queue (ISSUE: parallelize the simulation core).
+//
+// The classic conservative-DES bound says a partition may advance to the
+// minimum timestamp at which any other partition could affect it (its
+// lookahead: here, the minimum cross-cell latency ipi_ns + sips_payload_ns).
+// This executor uses a stronger static guarantee instead: events tagged
+// `safe` promise to touch only their own cell's state and to schedule only
+// same-cell safe events below the window horizon (CHECK-enforced, see
+// EventQueue::WorkerSchedule), so safe events of *different* cells are
+// causally independent no matter how far apart their timestamps are. The
+// window may therefore extend to the first unsafe event or the next slice
+// grid boundary, whichever is earlier -- far beyond the microsecond-scale
+// classic lookahead, which matters because compute slices are milliseconds
+// apart.
+//
+// Execution of one window:
+//   1. Pop every live event with when < horizon off the heap in (when, seq)
+//      order; stop early at the first unsafe event (it becomes the next
+//      serial step). The popped events, grouped by cell, form bundles.
+//   2. Run bundles concurrently, one worker per bundle. Each worker records
+//      every ScheduleAt its events issue (EventQueue::ExecRecord) and runs
+//      same-cell sub-horizon creations itself, in the (when, creation order)
+//      sequence a serial run would use.
+//   3. Barrier, then replay: walk the executed records in global (when, seq)
+//      order -- a priority-queue simulation of the serial loop -- assigning
+//      sequence numbers to recorded schedules in the exact order a
+//      single-threaded run would have assigned them, and push the deferred
+//      ones onto the heap.
+//
+// Step 3 is why fingerprints survive: sequence numbers are the only
+// tie-break in the heap order, and they end up byte-identical to a serial
+// run's, so every later pop -- and therefore every simulated outcome -- is
+// too. A 1-thread executor runs the same three phases on one thread, making
+// `--sim-threads=1` vs `--sim-threads=N` equality a meaningful oracle.
+
+#ifndef HIVE_SRC_FLASH_PARALLEL_EXEC_H_
+#define HIVE_SRC_FLASH_PARALLEL_EXEC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/sim_profile.h"
+#include "src/flash/event_queue.h"
+
+namespace flash {
+
+class ParallelExecutor {
+ public:
+  // `threads` >= 1 caps concurrent bundle workers; `grid_ns` > 0 is the
+  // slice-dispatch grid that bounds window width (0 disables windows: every
+  // event runs on the classic serial path).
+  ParallelExecutor(EventQueue* queue, int threads, Time grid_ns);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  // Runs events with timestamp <= deadline; leaves Now() == deadline. The
+  // windowed equivalent of EventQueue::RunUntil.
+  size_t RunUntil(Time deadline);
+
+  // Runs one block -- a single unsafe event, or one full parallel window --
+  // and adds the events executed to *ran. Returns false (running nothing) if
+  // no event is due at or before `deadline`. Callers that poll a predicate
+  // between events (HiveSystem::RunUntilDone) poll at block granularity.
+  bool RunBlock(Time deadline, size_t* ran);
+
+  int threads() const { return threads_; }
+  Time grid_ns() const { return grid_ns_; }
+
+  // Window statistics (bench stage + DESIGN numbers).
+  uint64_t windows_run() const { return windows_run_; }
+  uint64_t window_events() const { return window_events_; }
+  uint64_t serial_events() const { return serial_events_; }
+  uint64_t max_window_cells() const { return max_window_cells_; }
+
+ private:
+  // One popped pre-window event, fn already moved out of its slot.
+  struct PreEvent {
+    Time when;
+    uint64_t seq;
+    EventFn fn;
+  };
+
+  // All of one cell's events for the current window, plus the worker context
+  // that records what they schedule.
+  struct Bundle {
+    int cell = EventQueue::kUntaggedCell;
+    std::vector<PreEvent> events;
+    EventQueue::WorkerContext ctx;
+    base::SimProfile profile;
+  };
+
+  void ExecuteBundle(Bundle* bundle);
+  void WorkerMain();
+  // Runs bundles [0, count) with the pool; returns when all are done.
+  void DispatchBundles(size_t count);
+  void ReplayWindow(size_t bundle_count);
+
+  EventQueue* queue_;
+  const int threads_;
+  const Time grid_ns_;
+
+  // Reused window storage (no per-window allocation in steady state).
+  std::vector<Bundle> bundles_;
+  Time window_horizon_ = 0;
+  bool bundles_use_profile_ = false;
+
+  // Worker pool: spawned lazily at the first multi-bundle window.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t job_generation_ = 0;
+  size_t job_bundle_count_ = 0;
+  size_t bundles_done_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_bundle_{0};
+
+  uint64_t windows_run_ = 0;
+  uint64_t window_events_ = 0;
+  uint64_t serial_events_ = 0;
+  uint64_t max_window_cells_ = 0;
+};
+
+}  // namespace flash
+
+#endif  // HIVE_SRC_FLASH_PARALLEL_EXEC_H_

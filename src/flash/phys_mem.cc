@@ -1,8 +1,54 @@
 #include "src/flash/phys_mem.h"
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define HIVE_PHYS_MEM_MMAP 1
+#endif
+
 #include "src/base/log.h"
 
 namespace flash {
+
+ZeroFillImage::ZeroFillImage(uint64_t size) : size_(size) {
+#ifdef HIVE_PHYS_MEM_MMAP
+  void* mem = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem != MAP_FAILED) {
+    data_ = static_cast<uint8_t*>(mem);
+    mapped_ = true;
+    return;
+  }
+#endif
+  fallback_.assign(size_, 0);
+  data_ = fallback_.data();
+}
+
+ZeroFillImage::~ZeroFillImage() {
+#ifdef HIVE_PHYS_MEM_MMAP
+  if (mapped_) {
+    ::munmap(data_, size_);
+  }
+#endif
+}
+
+void ZeroFillImage::ZeroRange(uint64_t offset, uint64_t len) {
+  CHECK(offset <= size_ && len <= size_ - offset);
+#ifdef HIVE_PHYS_MEM_MMAP
+  if (mapped_) {
+    // Drop whole host pages back to demand-zero; memset only the ragged edges.
+    const uint64_t kHostPage = 4096;
+    const uint64_t first_page = (offset + kHostPage - 1) / kHostPage * kHostPage;
+    const uint64_t last_page = (offset + len) / kHostPage * kHostPage;
+    if (first_page < last_page &&
+        ::madvise(data_ + first_page, last_page - first_page, MADV_DONTNEED) == 0) {
+      std::memset(data_ + offset, 0, first_page - offset);
+      std::memset(data_ + last_page, 0, offset + len - last_page);
+      return;
+    }
+  }
+#endif
+  std::memset(data_ + offset, 0, len);
+}
 
 PhysMem::PhysMem(const MachineConfig& config)
     : memory_per_node_(config.memory_per_node),
@@ -10,7 +56,7 @@ PhysMem::PhysMem(const MachineConfig& config)
       total_size_(config.total_memory()),
       cpus_per_node_(config.cpus_per_node),
       firewall_(config),
-      bytes_(config.total_memory(), 0),
+      bytes_(config.total_memory()),
       node_failed_(config.num_nodes, false),
       node_cutoff_(config.num_nodes, false) {}
 
@@ -68,8 +114,7 @@ void PhysMem::RestoreNode(int node) {
   node_failed_[node] = false;
   node_cutoff_[node] = false;
   // Diagnostics + reboot leave the node's memory zeroed.
-  std::memset(bytes_.data() + static_cast<uint64_t>(node) * memory_per_node_, 0,
-              memory_per_node_);
+  bytes_.ZeroRange(static_cast<uint64_t>(node) * memory_per_node_, memory_per_node_);
 }
 
 void PhysMem::RawWrite(PhysAddr addr, std::span<const uint8_t> data) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/base/sim_profile.h"
 #include "src/flash/fault_injector.h"
 
 namespace flash {
@@ -42,6 +43,7 @@ void Sips::EnableFaultModel(uint64_t seed) {
 
 void Sips::ScheduleDelivery(SipsMessage msg, Time delay, bool release_credit) {
   queue_->ScheduleAfter(delay, [this, msg, release_credit]() mutable {
+    base::SimProfileScope profile_scope(base::SimSubsystem::kSips);
     if (release_credit) {
       auto& counter = msg.is_reply
                           ? inflight_replies_[static_cast<size_t>(msg.dst_node)]
@@ -72,6 +74,10 @@ void Sips::ScheduleDelivery(SipsMessage msg, Time delay, bool release_credit) {
 base::Status Sips::Send(int src_cpu, int dst_node,
                         bool is_reply,
                         const std::array<uint8_t, kSipsPayloadBytes>& payload) {
+  // A SIPS send is a cross-cell effect by definition: reaching here from a
+  // safe-tagged event inside a parallel window is a tagging bug that would
+  // silently break the deterministic merge (lint R10, parallel form).
+  CHECK(!EventQueue::OnWorkerThread()) << "SIPS send from a safe parallel event";
   if (node_dead_[static_cast<size_t>(NodeOfCpu(src_cpu))]) {
     // A dead node sends nothing; callers on dead nodes should be halted
     // already, this is a backstop.

@@ -115,7 +115,7 @@ std::unique_ptr<hive::Behavior> PmakeWorkload::MakeJob(int job, hive::CellId cel
   }
 
   // Compile.
-  behavior->Add(OpCompute(params_.compute_per_job));
+  behavior->AddLocal(OpCompute(params_.compute_per_job));
 
   // Write the object file to /tmp.
   behavior->Add(OpOpen(OutputPath(job), out_fd));

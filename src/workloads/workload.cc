@@ -6,18 +6,76 @@
 
 namespace workloads {
 
-std::vector<uint8_t> PatternData(uint64_t seed, size_t size) {
-  std::vector<uint8_t> data(size);
-  uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
-  for (size_t i = 0; i < size; ++i) {
+namespace {
+
+// Appends bytes [data->size(), size) of stream `seed`. `*x` carries the
+// generator state for the next byte (advanced once per 8-byte block); pass
+// the freshly seeded state when data is empty.
+void ExtendPattern(uint64_t seed, size_t size, std::vector<uint8_t>* data, uint64_t* x) {
+  (void)seed;
+  size_t i = data->size();
+  data->reserve(size);
+  for (; i < size; ++i) {
     if (i % 8 == 0) {
-      x ^= x << 13;
-      x ^= x >> 7;
-      x ^= x << 17;
+      *x ^= *x << 13;
+      *x ^= *x >> 7;
+      *x ^= *x << 17;
     }
-    data[i] = static_cast<uint8_t>(x >> ((i % 8) * 8));
+    data->push_back(static_cast<uint8_t>(*x >> ((i % 8) * 8)));
   }
+}
+
+uint64_t SeedState(uint64_t seed) { return seed * 0x9E3779B97F4A7C15ull + 1; }
+
+}  // namespace
+
+std::vector<uint8_t> PatternData(uint64_t seed, size_t size) {
+  std::vector<uint8_t> data;
+  uint64_t x = SeedState(seed);
+  ExtendPattern(seed, size, &data, &x);
   return data;
+}
+
+const std::vector<uint8_t>& PatternRef(uint64_t seed, size_t min_size) {
+  struct Entry {
+    uint64_t seed = 0;
+    uint64_t x = 0;  // Generator state for the byte after data.back().
+    uint64_t last_use = 0;
+    std::vector<uint8_t> data;
+  };
+  // Workloads interleave a handful of live streams per thread; a small LRU
+  // array covers them without unbounded growth across scenarios.
+  constexpr size_t kMaxStreams = 8;
+  thread_local std::vector<Entry> cache;
+  thread_local uint64_t tick = 0;
+  ++tick;
+  for (Entry& entry : cache) {
+    if (entry.seed == seed) {
+      if (entry.data.size() < min_size) {
+        // Streams are generated in whole 8-byte blocks so the saved state
+        // lines up with the next byte.
+        ExtendPattern(seed, (min_size + 7) / 8 * 8, &entry.data, &entry.x);
+      }
+      entry.last_use = tick;
+      return entry.data;
+    }
+  }
+  if (cache.size() >= kMaxStreams) {
+    size_t victim = 0;
+    for (size_t i = 1; i < cache.size(); ++i) {
+      if (cache[i].last_use < cache[victim].last_use) {
+        victim = i;
+      }
+    }
+    cache.erase(cache.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  Entry entry;
+  entry.seed = seed;
+  entry.x = SeedState(seed);
+  entry.last_use = tick;
+  ExtendPattern(seed, (min_size + 7) / 8 * 8, &entry.data, &entry.x);
+  cache.push_back(std::move(entry));
+  return cache.back().data;
 }
 
 uint64_t Checksum(const std::vector<uint8_t>& data) {
@@ -30,7 +88,13 @@ uint64_t Checksum(const std::vector<uint8_t>& data) {
 }
 
 uint64_t PatternChecksum(uint64_t seed, size_t size) {
-  return Checksum(PatternData(seed, size));
+  const std::vector<uint8_t>& data = PatternRef(seed, size);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 StepOutcome ScriptedBehavior::Step(Ctx& ctx, Process& proc) {
@@ -119,7 +183,7 @@ OpFn OpRead(std::shared_ptr<int> fd, uint64_t offset, uint64_t len, uint64_t ver
       return StepOutcome::kFailed;
     }
     if (verify_seed != 0) {
-      const std::vector<uint8_t> expect = PatternData(verify_seed, offset + len);
+      const std::vector<uint8_t>& expect = PatternRef(verify_seed, offset + len);
       for (uint64_t i = 0; i < len; ++i) {
         if (buf[i] != expect[offset + i]) {
           proc.exit_reason = "read data corrupt";
@@ -137,7 +201,7 @@ OpFn OpWrite(std::shared_ptr<int> fd, uint64_t offset, uint64_t len, uint64_t se
     if (handle == nullptr) {
       return StepOutcome::kFailed;
     }
-    const std::vector<uint8_t> all = PatternData(seed, offset + len);
+    const std::vector<uint8_t>& all = PatternRef(seed, offset + len);
     base::Status status = ctx.cell->fs().Write(
         ctx, *handle, offset, std::span<const uint8_t>(all.data() + offset, len));
     if (!status.ok()) {

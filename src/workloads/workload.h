@@ -30,6 +30,14 @@ std::vector<uint8_t> PatternData(uint64_t seed, size_t size);
 uint64_t Checksum(const std::vector<uint8_t>& data);
 uint64_t PatternChecksum(uint64_t seed, size_t size);
 
+// Memoized pattern prefix: returns a per-thread cached buffer holding at
+// least `min_size` bytes of stream `seed`. Producers/validators call the
+// pattern generator once per I/O chunk with monotonically growing sizes, so
+// regenerating from scratch each time is quadratic in file size; the cache
+// extends the stream incrementally instead. The reference stays valid until
+// the next PatternRef call on the same thread.
+const std::vector<uint8_t>& PatternRef(uint64_t seed, size_t min_size);
+
 // One scripted operation. Returning kContinue advances to the next op;
 // kBlocked parks the process (resuming at the NEXT op when woken); kFailed
 // aborts the process.
@@ -39,14 +47,30 @@ class ScriptedBehavior : public hive::Behavior {
  public:
   explicit ScriptedBehavior(std::string name) : name_(std::move(name)) {}
 
-  void Add(OpFn op) { ops_.push_back(std::move(op)); }
+  void Add(OpFn op) {
+    ops_.push_back(std::move(op));
+    local_.push_back(false);
+  }
+
+  // Adds an op declared cell-local pure compute (see Behavior::NextStepLocal
+  // for the contract); currently only OpCompute qualifies.
+  void AddLocal(OpFn op) {
+    ops_.push_back(std::move(op));
+    local_.push_back(true);
+  }
 
   StepOutcome Step(Ctx& ctx, Process& proc) override;
+  // The last op never claims locality: its completion ends the process,
+  // which is a cross-cell operation (exit notification, file close).
+  bool NextStepLocal() const override {
+    return next_ + 1 < ops_.size() && local_[next_];
+  }
   std::string name() const override { return name_; }
 
  private:
   std::string name_;
   std::vector<OpFn> ops_;
+  std::vector<bool> local_;
   size_t next_ = 0;
 };
 

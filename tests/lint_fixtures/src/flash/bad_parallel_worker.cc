@@ -1,0 +1,43 @@
+// Fixture: R10 nondeterminism on the parallel-sim worker path. Never
+// compiled. `WorkerMain` and `ReplayWindow` carry the same simple names as
+// the parallel executor's thread entry and per-cell merge, which the
+// reachability analysis roots explicitly (a std::thread member-pointer
+// launch never shows up as a call site), so everything below must be
+// analyzed even though nothing in this file is called by name.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace flash {
+
+long ParallelBundleWallClock() {
+  // Wall-clock read one hop below the worker entry. Must be flagged (R10):
+  // worker-local time must come from the replayed event clock, never the
+  // host.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void WorkerMain() {
+  // Must be flagged (R10): rand() jitters the bundle pick, so two runs
+  // with different thread interleavings execute different bundles.
+  int pick = rand() % 4;
+  (void)pick;
+  (void)ParallelBundleWallClock();
+}
+
+long ReplayWindow(int bundles) {
+  std::unordered_map<int, long> by_cell;
+  for (int b = 0; b < bundles; ++b) {
+    by_cell[b] = b * 2;
+  }
+  long merged = 0;
+  // Must be flagged (R10): the merge walks per-cell results in hash order,
+  // so the sequence numbers it hands out depend on the hash seed, not the
+  // serial event order.
+  for (const auto& [cell, value] : by_cell) {
+    merged = merged * 31 + cell + value;
+  }
+  return merged;
+}
+
+}  // namespace flash

@@ -1,0 +1,46 @@
+// Fixture: parallel-worker good twin. Never compiled. Must produce no
+// diagnostics. The same rooted path (`ExecuteBundle` is an explicit R10
+// root) written the deterministic way: worker-local virtual time instead of
+// host clocks, a seeded counter instead of rand(), and a sorted snapshot of
+// the per-cell map before anything order-dependent happens.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace flash {
+
+struct GoodWorkerContext {
+  long local_now = 0;
+  unsigned long draw_state = 0;
+};
+
+unsigned long GoodBundleDraw(GoodWorkerContext& ctx) {
+  // Seeded splitmix step: reproducible from the scenario seed alone.
+  ctx.draw_state += 0x9e3779b97f4a7c15ul;
+  unsigned long z = ctx.draw_state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ul;
+  return z ^ (z >> 31);
+}
+
+long ExecuteBundle(GoodWorkerContext& ctx, int events) {
+  std::unordered_map<int, long> by_cell;
+  for (int e = 0; e < events; ++e) {
+    by_cell[e % 4] += static_cast<long>(GoodBundleDraw(ctx) % 16);
+    ctx.local_now += 10;  // Virtual time, advanced by the event cost model.
+  }
+  std::vector<int> cells;
+  cells.reserve(by_cell.size());
+  // hive-lint: allow(R10): collection loop only; cells are sorted below before they touch the merged result.
+  for (const auto& [cell, cost] : by_cell) {
+    (void)cost;
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end());
+  long merged = 0;
+  for (int cell : cells) {
+    merged = merged * 31 + cell + by_cell[cell];
+  }
+  return merged + ctx.local_now;
+}
+
+}  // namespace flash

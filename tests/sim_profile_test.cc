@@ -1,0 +1,149 @@
+// Tests for the per-subsystem timing attribution (base::SimProfile) that
+// feeds hive_bench's schema-v2 report: the exclusive-time invariant (sums
+// equal the bracketed wall time), clean reset between scenarios, and
+// deterministic op counts across runs.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/base/sim_profile.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/scenario.h"
+#include "tests/test_util.h"
+
+namespace campaign {
+namespace {
+
+using base::SimProfile;
+using base::SimSubsystem;
+
+uint64_t HostNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Runs one scenario under an activated profile and returns it.
+SimProfile ProfiledRun(uint64_t master_seed, uint64_t index,
+                       uint64_t* wall_ns = nullptr) {
+  const ScenarioSpec spec = GenerateScenario(master_seed, index);
+  SimProfile profile;
+  SimProfile::SetActive(&profile);
+  const uint64_t start = HostNs();
+  profile.Begin();
+  RunScenario(spec);
+  profile.End();
+  const uint64_t stop = HostNs();
+  SimProfile::SetActive(nullptr);
+  if (wall_ns != nullptr) {
+    *wall_ns = stop - start;
+  }
+  return profile;
+}
+
+// The exclusive-time design means every host nanosecond between Begin and End
+// is attributed to exactly one subsystem (unattributed time lands in kOther),
+// so the per-subsystem sums must reproduce the bracketed wall time to within
+// measurement slop (the two extra clock reads around the bracket).
+TEST(SimProfileAttribution, SubsystemNsSumToBracketedWallTime) {
+  const uint64_t seed = hivetest::TestSeed(1);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  uint64_t wall_ns = 0;
+  const SimProfile profile = ProfiledRun(seed, 0, &wall_ns);
+  const uint64_t sum = profile.total_ns();
+  ASSERT_GT(wall_ns, 0u);
+  ASSERT_GT(sum, 0u);
+  const double ratio = static_cast<double>(sum) / static_cast<double>(wall_ns);
+  EXPECT_GT(ratio, 0.99) << "sum=" << sum << " wall=" << wall_ns;
+  EXPECT_LT(ratio, 1.01) << "sum=" << sum << " wall=" << wall_ns;
+}
+
+// A scenario run must touch the instrumented kernel paths: attribution that
+// reports zero ops for every named subsystem would mean the scopes are dead
+// and the bench's per-subsystem table is vacuous.
+TEST(SimProfileAttribution, InstrumentedSubsystemsReportOps) {
+  const uint64_t seed = hivetest::TestSeed(1);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  const SimProfile profile = ProfiledRun(seed, 0);
+  EXPECT_GT(profile.ops(SimSubsystem::kScheduler), 0u);
+  EXPECT_GT(profile.ops(SimSubsystem::kVmFault), 0u);
+  EXPECT_GT(profile.total_ops(), 0u);
+}
+
+// Reset must clear every counter so one profile can be reused across
+// scenarios without attribution bleeding from one run into the next.
+TEST(SimProfileAttribution, ResetClearsBetweenScenarios) {
+  const uint64_t seed = hivetest::TestSeed(1);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  const ScenarioSpec spec = GenerateScenario(seed, 0);
+
+  SimProfile profile;
+  SimProfile::SetActive(&profile);
+  profile.Begin();
+  RunScenario(spec);
+  profile.End();
+  SimProfile::SetActive(nullptr);
+  ASSERT_GT(profile.total_ops(), 0u);
+  ASSERT_GT(profile.total_ns(), 0u);
+
+  profile.Reset();
+  for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+    const auto subsystem = static_cast<SimSubsystem>(s);
+    EXPECT_EQ(profile.ns(subsystem), 0u);
+    EXPECT_EQ(profile.ops(subsystem), 0u);
+  }
+
+  // A fresh run on the reset profile must match a run on a brand-new profile
+  // op-for-op: no residue survives Reset.
+  SimProfile::SetActive(&profile);
+  profile.Begin();
+  RunScenario(spec);
+  profile.End();
+  SimProfile::SetActive(nullptr);
+  const SimProfile fresh = ProfiledRun(seed, 0);
+  for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+    const auto subsystem = static_cast<SimSubsystem>(s);
+    EXPECT_EQ(profile.ops(subsystem), fresh.ops(subsystem))
+        << SimSubsystemName(subsystem);
+  }
+}
+
+// Op counts are a pure function of the simulation: two runs of the same
+// scenario must attribute identically, entry for entry. (The ns figures are
+// host wall time and intentionally not compared.)
+TEST(SimProfileAttribution, OpCountsAreDeterministicAcrossRuns) {
+  const uint64_t seed = hivetest::TestSeed(7);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  for (uint64_t index = 0; index < 3; ++index) {
+    const SimProfile first = ProfiledRun(seed, index);
+    const SimProfile second = ProfiledRun(seed, index);
+    for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+      const auto subsystem = static_cast<SimSubsystem>(s);
+      EXPECT_EQ(first.ops(subsystem), second.ops(subsystem))
+          << "index=" << index << " subsystem=" << SimSubsystemName(subsystem);
+    }
+  }
+}
+
+// Merge accumulates: bench aggregates per-scenario profiles into a stage
+// total, which must equal the element-wise sum.
+TEST(SimProfileAttribution, MergeAccumulatesCounters) {
+  const uint64_t seed = hivetest::TestSeed(1);
+  SCOPED_TRACE(hivetest::SeedTrace(seed));
+  const SimProfile a = ProfiledRun(seed, 0);
+  const SimProfile b = ProfiledRun(seed, 1);
+  SimProfile merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+    const auto subsystem = static_cast<SimSubsystem>(s);
+    EXPECT_EQ(merged.ops(subsystem), a.ops(subsystem) + b.ops(subsystem));
+    EXPECT_EQ(merged.ns(subsystem), a.ns(subsystem) + b.ns(subsystem));
+  }
+}
+
+}  // namespace
+}  // namespace campaign

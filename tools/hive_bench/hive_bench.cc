@@ -5,13 +5,17 @@
 // perf trajectory every PR is judged against. This harness times:
 //
 //   1. event-queue microbenchmarks (schedule+run, schedule+cancel churn),
-//   2. single-scenario simulation (one campaign scenario per run, serial),
-//   3. multi-worker campaign throughput (the nightly-sweep shape),
+//   2. single-scenario simulation with per-subsystem attribution (which
+//      kernel-model subsystem burns the host cycles per simulated event),
+//   3. the same scenarios under the parallel simulation core (--sim-threads),
+//   4. multi-worker campaign throughput (the nightly-sweep shape),
 //
-// and emits machine-readable BENCH_sim.json (schema "hive-bench-v1") plus a
-// human-readable table. Wall-clock numbers are informational -- CI only
-// validates that the JSON is well-formed (`--smoke`); regressions are judged
-// by comparing committed BENCH_sim.json snapshots across PRs.
+// and emits machine-readable BENCH_sim.json (schema "hive-bench-v2") plus a
+// human-readable table. Per-subsystem `ops` counts are deterministic (a pure
+// function of the simulation); `ns` figures are host wall time and only
+// meaningful as ratios. CI validates the JSON shape (`--smoke`) and gates the
+// single-scenario ns/event against ci/bench_baseline.json; cross-PR
+// trajectories are judged by comparing committed BENCH_sim.json snapshots.
 //
 // Exit codes: 0 = ok, 1 = I/O failure writing the JSON, 2 = usage error.
 
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/sim_profile.h"
 #include "src/campaign/campaign.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/scenario.h"
@@ -40,6 +45,7 @@ double SecondsSince(Clock::time_point start) {
 struct Args {
   uint64_t seed = 1;
   int workers = 4;
+  int sim_threads = 4;           // Parallel-sim stage thread count.
   uint64_t scenarios = 64;       // Campaign-stage scenario count.
   uint64_t serial_scenarios = 8; // Single-scenario stage count.
   double eq_seconds = 0.5;       // Wall-time budget per event-queue stage.
@@ -50,13 +56,16 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: hive_bench [--seed=N] [--workers=N] [--scenarios=N]\n"
-               "                  [--out=PATH] [--smoke]\n"
+               "                  [--sim-threads=N] [--out=PATH] [--smoke]\n"
                "\n"
-               "  --seed=N      campaign master seed for the scenario stages (default 1)\n"
-               "  --workers=N   worker threads for the campaign stage (default 4)\n"
-               "  --scenarios=N scenarios in the campaign stage (default 64)\n"
-               "  --out=PATH    where to write the JSON report (default BENCH_sim.json)\n"
-               "  --smoke       tiny sizes for CI schema validation (seconds, not minutes)\n");
+               "  --seed=N        campaign master seed for the scenario stages (default 1)\n"
+               "  --workers=N     worker threads for the campaign stage (default 4)\n"
+               "  --scenarios=N   scenarios in the campaign stage (default 64)\n"
+               "  --sim-threads=N threads for the parallel-sim stage (default 4);\n"
+               "                  outcomes are identical for every value, only the\n"
+               "                  wall clock moves\n"
+               "  --out=PATH      where to write the JSON report (default BENCH_sim.json)\n"
+               "  --smoke         tiny sizes for CI schema validation (seconds, not minutes)\n");
 }
 
 bool ParseU64(const char* text, uint64_t* out) {
@@ -78,6 +87,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (std::strncmp(arg, "--workers=", 10) == 0 && ParseU64(arg + 10, &value) &&
                value >= 1 && value <= 256) {
       args->workers = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--sim-threads=", 14) == 0 &&
+               ParseU64(arg + 14, &value) && value >= 1 && value <= 64) {
+      args->sim_threads = static_cast<int>(value);
     } else if (std::strncmp(arg, "--scenarios=", 12) == 0 && ParseU64(arg + 12, &value) &&
                value >= 1) {
       args->scenarios = value;
@@ -184,10 +196,11 @@ StageResult BenchEventQueueCancelChurn(double budget_seconds) {
   return result;
 }
 
-// --- Stage 2: serial single-scenario simulation. ---
+// --- Stages 2+3: scenario simulation (with per-subsystem attribution). ---
 struct ScenarioStage {
   StageResult scenarios;
   uint64_t sim_events = 0;
+  base::SimProfile profile;  // Merged across the stage's scenarios.
 
   double EventsPerSec() const {
     return scenarios.wall_seconds > 0 ? sim_events / scenarios.wall_seconds : 0;
@@ -197,12 +210,24 @@ struct ScenarioStage {
   }
 };
 
-ScenarioStage BenchSerialScenarios(uint64_t seed, uint64_t count) {
+ScenarioStage BenchSerialScenarios(uint64_t seed, uint64_t count,
+                                   int sim_threads) {
   ScenarioStage stage;
+  campaign::RunOptions run;
+  run.sim_threads = sim_threads;
   const Clock::time_point start = Clock::now();
   for (uint64_t index = 0; index < count; ++index) {
     const campaign::ScenarioSpec spec = campaign::GenerateScenario(seed, index);
-    const campaign::ScenarioResult result = campaign::RunScenario(spec);
+    // One profile activation per scenario: attribution covers exactly the
+    // simulation (not spec generation), and the per-scenario reset path is
+    // the one sim_profile_test pins.
+    base::SimProfile profile;
+    base::SimProfile::SetActive(&profile);
+    profile.Begin();
+    const campaign::ScenarioResult result = campaign::RunScenario(spec, run);
+    profile.End();
+    base::SimProfile::SetActive(nullptr);
+    stage.profile.Merge(profile);
     stage.sim_events += result.events_run;
     ++stage.scenarios.items;
   }
@@ -210,7 +235,7 @@ ScenarioStage BenchSerialScenarios(uint64_t seed, uint64_t count) {
   return stage;
 }
 
-// --- Stage 3: multi-worker campaign throughput. ---
+// --- Stage 4: multi-worker campaign throughput. ---
 ScenarioStage BenchCampaign(uint64_t seed, uint64_t scenarios, int workers) {
   ScenarioStage stage;
   campaign::CampaignOptions options;
@@ -242,19 +267,57 @@ uint64_t PeakRssBytes() {
   return 0;
 }
 
+void WriteScenarioStage(std::FILE* out, const ScenarioStage& stage,
+                        bool with_subsystems) {
+  std::fprintf(out,
+               "    \"scenarios\": %" PRIu64 ", \"wall_seconds\": %.6f, "
+               "\"scenarios_per_sec\": %.3f,\n",
+               stage.scenarios.items, stage.scenarios.wall_seconds,
+               stage.scenarios.PerSec());
+  std::fprintf(out,
+               "    \"sim_events\": %" PRIu64 ", \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f%s\n",
+               stage.sim_events, stage.EventsPerSec(), stage.NsPerEvent(),
+               with_subsystems ? "," : "");
+  if (!with_subsystems) {
+    return;
+  }
+  // Per-subsystem attribution: exclusive host ns, scope-entry ops, and the
+  // share of the stage's attributed wall time. `ops` is deterministic; `ns`
+  // is measurement.
+  const uint64_t total_ns = stage.profile.total_ns();
+  std::fprintf(out, "    \"subsystems\": {\n");
+  for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+    const auto subsystem = static_cast<base::SimSubsystem>(s);
+    const uint64_t ns = stage.profile.ns(subsystem);
+    const uint64_t ops = stage.profile.ops(subsystem);
+    std::fprintf(out,
+                 "      \"%.*s\": {\"ns\": %" PRIu64 ", \"ops\": %" PRIu64
+                 ", \"ns_per_op\": %.2f, \"share\": %.4f}%s\n",
+                 static_cast<int>(base::SimSubsystemName(subsystem).size()),
+                 base::SimSubsystemName(subsystem).data(), ns, ops,
+                 ops > 0 ? static_cast<double>(ns) / static_cast<double>(ops) : 0.0,
+                 total_ns > 0 ? static_cast<double>(ns) / static_cast<double>(total_ns)
+                              : 0.0,
+                 s + 1 < base::kSimSubsystemCount ? "," : "");
+  }
+  std::fprintf(out, "    }\n");
+}
+
 bool WriteJson(const Args& args, const StageResult& eq_run, const StageResult& eq_churn,
-               const ScenarioStage& serial, const ScenarioStage& parallel,
-               uint64_t peak_rss) {
+               const ScenarioStage& serial, const ScenarioStage& parallel_sim,
+               const ScenarioStage& campaign_stage, uint64_t peak_rss) {
   std::FILE* out = std::fopen(args.out.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "hive_bench: cannot write %s\n", args.out.c_str());
     return false;
   }
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"hive-bench-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"hive-bench-v2\",\n");
   std::fprintf(out, "  \"mode\": \"%s\",\n", args.smoke ? "smoke" : "full");
   std::fprintf(out, "  \"seed\": %" PRIu64 ",\n", args.seed);
   std::fprintf(out, "  \"workers\": %d,\n", args.workers);
+  std::fprintf(out, "  \"sim_threads\": %d,\n", args.sim_threads);
   std::fprintf(out, "  \"event_queue\": {\n");
   std::fprintf(out,
                "    \"schedule_run\": {\"events\": %" PRIu64
@@ -269,34 +332,16 @@ bool WriteJson(const Args& args, const StageResult& eq_run, const StageResult& e
                eq_churn.NsPerItem());
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"single_scenario\": {\n");
-  std::fprintf(out,
-               "    \"scenarios\": %" PRIu64 ", \"wall_seconds\": %.6f, "
-               "\"scenarios_per_sec\": %.3f,\n",
-               serial.scenarios.items, serial.scenarios.wall_seconds,
-               serial.scenarios.PerSec());
-  std::fprintf(out,
-               "    \"sim_events\": %" PRIu64 ", \"events_per_sec\": %.0f, "
-               "\"ns_per_event\": %.2f\n",
-               serial.sim_events, serial.EventsPerSec(), serial.NsPerEvent());
+  WriteScenarioStage(out, serial, /*with_subsystems=*/true);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"parallel_sim\": {\n");
+  std::fprintf(out, "    \"sim_threads\": %d,\n", args.sim_threads);
+  WriteScenarioStage(out, parallel_sim, /*with_subsystems=*/false);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"campaign\": {\n");
-  std::fprintf(out,
-               "    \"scenarios\": %" PRIu64 ", \"wall_seconds\": %.6f, "
-               "\"scenarios_per_sec\": %.3f,\n",
-               parallel.scenarios.items, parallel.scenarios.wall_seconds,
-               parallel.scenarios.PerSec());
-  std::fprintf(out,
-               "    \"sim_events\": %" PRIu64 ", \"events_per_sec\": %.0f, "
-               "\"ns_per_event\": %.2f\n",
-               parallel.sim_events, parallel.EventsPerSec(), parallel.NsPerEvent());
+  WriteScenarioStage(out, campaign_stage, /*with_subsystems=*/false);
   std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"peak_rss_bytes\": %" PRIu64 ",\n", peak_rss);
-  // Headline trio: the event-queue microbenchmark is the events/sec and
-  // ns/event trajectory; the multi-worker campaign is the scenarios/sec
-  // trajectory (the nightly-sweep shape).
-  std::fprintf(out, "  \"events_per_sec\": %.0f,\n", eq_run.PerSec());
-  std::fprintf(out, "  \"ns_per_event\": %.2f,\n", eq_run.NsPerItem());
-  std::fprintf(out, "  \"scenarios_per_sec\": %.3f\n", parallel.scenarios.PerSec());
+  std::fprintf(out, "  \"peak_rss_bytes\": %" PRIu64 "\n", peak_rss);
   std::fprintf(out, "}\n");
   const bool ok = std::fclose(out) == 0;
   return ok;
@@ -311,15 +356,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("hive_bench: seed=%" PRIu64 " workers=%d scenarios=%" PRIu64 "%s\n",
-              args.seed, args.workers, args.scenarios, args.smoke ? " (smoke)" : "");
+  std::printf("hive_bench: seed=%" PRIu64 " workers=%d sim_threads=%d scenarios=%"
+              PRIu64 "%s\n",
+              args.seed, args.workers, args.sim_threads, args.scenarios,
+              args.smoke ? " (smoke)" : "");
 
   const StageResult eq_run =
       BestOf(3, [&] { return BenchEventQueueScheduleRun(args.eq_seconds); });
   const StageResult eq_churn =
       BestOf(3, [&] { return BenchEventQueueCancelChurn(args.eq_seconds); });
-  const ScenarioStage serial = BenchSerialScenarios(args.seed, args.serial_scenarios);
-  const ScenarioStage parallel = BenchCampaign(args.seed, args.scenarios, args.workers);
+  const ScenarioStage serial =
+      BenchSerialScenarios(args.seed, args.serial_scenarios, /*sim_threads=*/1);
+  const ScenarioStage parallel_sim =
+      BenchSerialScenarios(args.seed, args.serial_scenarios, args.sim_threads);
+  const ScenarioStage campaign_stage =
+      BenchCampaign(args.seed, args.scenarios, args.workers);
   const uint64_t peak_rss = PeakRssBytes();
 
   std::printf("\n%-24s %14s %14s %12s\n", "stage", "items", "items/sec", "ns/item");
@@ -331,13 +382,33 @@ int main(int argc, char** argv) {
               serial.scenarios.items, serial.scenarios.PerSec(), "-");
   std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "scenario/serial-events",
               serial.sim_events, serial.EventsPerSec(), serial.NsPerEvent());
+  std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "scenario/parallel-sim",
+              parallel_sim.sim_events, parallel_sim.EventsPerSec(),
+              parallel_sim.NsPerEvent());
   std::printf("%-24s %14" PRIu64 " %14.3f %12s\n", "campaign/parallel",
-              parallel.scenarios.items, parallel.scenarios.PerSec(), "-");
+              campaign_stage.scenarios.items, campaign_stage.scenarios.PerSec(), "-");
   std::printf("%-24s %14" PRIu64 " %14.0f %12.2f\n", "campaign/parallel-events",
-              parallel.sim_events, parallel.EventsPerSec(), parallel.NsPerEvent());
+              campaign_stage.sim_events, campaign_stage.EventsPerSec(),
+              campaign_stage.NsPerEvent());
   std::printf("%-24s %14" PRIu64 " %14s %12s\n", "peak_rss_bytes", peak_rss, "-", "-");
 
-  if (!WriteJson(args, eq_run, eq_churn, serial, parallel, peak_rss)) {
+  const uint64_t total_ns = serial.profile.total_ns();
+  std::printf("\n%-24s %14s %14s %8s\n", "subsystem (serial)", "ops", "ns/op", "share");
+  for (int s = 0; s < base::kSimSubsystemCount; ++s) {
+    const auto subsystem = static_cast<base::SimSubsystem>(s);
+    const uint64_t ns = serial.profile.ns(subsystem);
+    const uint64_t ops = serial.profile.ops(subsystem);
+    std::printf("%-24.*s %14" PRIu64 " %14.2f %7.1f%%\n",
+                static_cast<int>(base::SimSubsystemName(subsystem).size()),
+                base::SimSubsystemName(subsystem).data(), ops,
+                ops > 0 ? static_cast<double>(ns) / static_cast<double>(ops) : 0.0,
+                total_ns > 0 ? 100.0 * static_cast<double>(ns) /
+                                   static_cast<double>(total_ns)
+                             : 0.0);
+  }
+
+  if (!WriteJson(args, eq_run, eq_churn, serial, parallel_sim, campaign_stage,
+                 peak_rss)) {
     return 1;
   }
   std::printf("\nwrote %s\n", args.out.c_str());

@@ -295,12 +295,29 @@ void CheckR9Impl(const RuleContext& ctx) {
 //     varies run to run under ASLR and allocator nondeterminism).
 // ---------------------------------------------------------------------------
 
-const char* const kR10Roots[] = {"RunScenario", "RunCampaign"};
+// Roots: the serial scenario/campaign entry points plus the parallel
+// simulation core's worker path. WorkerMain is a std::thread entry reached
+// only through a member-function pointer, and ExecuteBundle/ReplayWindow
+// (the per-cell bundle body and the deterministic merge) can be reached
+// through that same pointer call -- all invisible to the pass-1 call graph,
+// so they are rooted explicitly. Nondeterminism on any of these paths would
+// break the N-thread == 1-thread fingerprint guarantee, not just the serial
+// golden oracle.
+const char* const kR10Roots[] = {"RunScenario", "RunCampaign", "WorkerMain",
+                                 "ExecuteBundle", "ReplayWindow"};
 
 void CheckR10Impl(const RuleContext& ctx) {
   const ProgramIndex& index = *ctx.index;
-  std::set<const FunctionDef*> reachable =
-      index.ReachableFrom({kR10Roots[0], kR10Roots[1]});
+  std::string root_list;
+  std::vector<std::string> roots;
+  for (const char* root : kR10Roots) {
+    roots.emplace_back(root);
+    if (!root_list.empty()) {
+      root_list += "/";
+    }
+    root_list += root;
+  }
+  std::set<const FunctionDef*> reachable = index.ReachableFrom(roots);
   std::set<std::pair<std::string, int>> emitted;
   auto emit = [&ctx, &emitted](const std::string& file, int line, std::string msg) {
     if (emitted.insert({file, line}).second) {
@@ -319,10 +336,11 @@ void CheckR10Impl(const RuleContext& ctx) {
       continue;  // Tests and bench may time/randomize around the sim.
     }
     const std::string where =
-        " in " + fn->qualified + ", which is reachable from the scenario/campaign "
-        "entry points (" + std::string(kR10Roots[0]) + "/" + kR10Roots[1] +
+        " in " + fn->qualified + ", which is reachable from the scenario/campaign/"
+        "parallel-sim entry points (" + root_list +
         "); simulation outcomes must be a pure function of the seed "
-        "(golden-fingerprint oracle, ROADMAP item 1)";
+        "(golden-fingerprint oracle and the N-thread == 1-thread "
+        "equivalence oracle)";
     for (const CallSite& call : fn->calls) {
       if (kBannedCalls.count(call.callee) > 0) {
         emit(fn->file, call.line,
