@@ -22,6 +22,10 @@
 #      a salvage sweep adopts at least one page with zero violations, and
 #      the salvage_unchecked fixture demonstrably trips the
 #      no-corrupt-adoption oracle with byte-identical repro output;
+#   4c. the hive_serve soak smoke meets every SLO, its BENCH_serve.json
+#       validates against schema hive-serve-v1, the summary fingerprint is
+#       --sim-threads-independent, and both seeded --bug modes demonstrably
+#       trip an SLO oracle (exit 3);
 #   5. the full test suite builds and passes under ASan+UBSan;
 #   6. the campaign thread pool -- including the RPC retry/quarantine state
 #      it exercises -- builds and runs clean under TSan;
@@ -422,6 +426,88 @@ PYEOF
 else
   echo "  (python3 unavailable; skipping numeric regression comparison)"
 fi
+
+echo "== hive_serve smoke: soak harness meets SLOs and emits valid JSON =="
+SERVE="$BUILD_DIR/tools/hive_serve/hive_serve"
+[[ -x "$SERVE" ]] || fail "hive_serve not built at $SERVE"
+serve_json="$BUILD_DIR/serve_smoke.json"
+"$SERVE" --smoke --out="$serve_json" || fail "hive_serve --smoke exited nonzero"
+[[ -s "$serve_json" ]] || fail "hive_serve --smoke wrote no JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$serve_json" <<'PYEOF' || fail "hive_serve JSON failed schema validation"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hive-serve-v1", doc.get("schema")
+assert doc["oracles"]["ok"] is True and doc["oracles"]["violations"] == []
+req = doc["requests"]
+assert req["submitted"] > 0 and req["completed"] > 0
+assert req["hung"] == 0
+assert req["shed"] > 0, "admission control never fired under the overload bursts"
+lat = doc["latency_ns"]
+assert lat["count"] == req["completed"]
+assert 0 < lat["p50"] <= lat["p99"] <= lat["p999"] <= lat["max"]
+avail = doc["availability"]
+assert len(avail["per_cell"]) == doc["cells"]
+assert 0.0 < avail["min"] <= 1.0
+assert avail["min"] == min(avail["per_cell"])
+faults = doc["faults"]
+assert faults["landed"] > 0 and faults["requests_per_fault"] > 0
+for family, landed in faults["per_family"].items():
+    assert landed > 0, f"fault family never landed: {family}"
+rec = doc["recovery"]
+assert rec["episodes"] > 0 and rec["recoveries_run"] > 0
+assert rec["reintegrations"] > 0
+assert 0 < rec["duration_ms_p50"] <= rec["duration_ms_max"]
+assert isinstance(doc["fingerprint"], str) and len(doc["fingerprint"]) == 16
+int(doc["fingerprint"], 16)
+assert isinstance(doc["peak_rss_bytes"], int) and doc["peak_rss_bytes"] > 0
+PYEOF
+else
+  for field in '"schema": "hive-serve-v1"' '"requests"' '"latency_ns"' \
+               '"availability"' '"per_family"' '"recovery"' '"fingerprint"' \
+               '"oracles"'; do
+    grep -qF "$field" "$serve_json" || fail "hive_serve JSON missing $field"
+  done
+fi
+
+echo "== hive_serve determinism: fingerprint independent of --sim-threads =="
+serve_json_mt="$BUILD_DIR/serve_smoke_mt.json"
+"$SERVE" --smoke --sim-threads=3 --out="$serve_json_mt" >/dev/null || \
+  fail "hive_serve --sim-threads=3 exited nonzero"
+serve_fp="$(grep -o '"fingerprint": "[0-9a-f]*"' "$serve_json")"
+serve_fp_mt="$(grep -o '"fingerprint": "[0-9a-f]*"' "$serve_json_mt")"
+[[ -n "$serve_fp" && "$serve_fp" == "$serve_fp_mt" ]] || \
+  fail "hive_serve fingerprint differs across sim-threads ($serve_fp vs $serve_fp_mt)"
+
+echo "== hive_serve sensitivity: seeded bugs must trip the SLO oracles =="
+# Each --bug mode disables one defense; the run must exit 3 (SLO violations)
+# and name the violated oracle, proving the SLO accounting can fail rather
+# than passing vacuously.
+noshed_log="$BUILD_DIR/serve_no_shed.log"
+serve_status=0
+"$SERVE" --smoke --bug=no_shed --out="$BUILD_DIR/serve_no_shed.json" \
+  >"$noshed_log" 2>&1 || serve_status=$?
+[[ "$serve_status" -eq 3 ]] || {
+  cat "$noshed_log"
+  fail "hive_serve --bug=no_shed exited $serve_status (want 3: SLO violation)"
+}
+grep -q "latency-p999" "$noshed_log" || {
+  cat "$noshed_log"
+  fail "no_shed run did not name the latency-p999 SLO"
+}
+slowrec_log="$BUILD_DIR/serve_slow_recovery.log"
+serve_status=0
+"$SERVE" --smoke --bug=slow_recovery --out="$BUILD_DIR/serve_slow_recovery.json" \
+  >"$slowrec_log" 2>&1 || serve_status=$?
+[[ "$serve_status" -eq 3 ]] || {
+  cat "$slowrec_log"
+  fail "hive_serve --bug=slow_recovery exited $serve_status (want 3: SLO violation)"
+}
+grep -q "recovery-time" "$slowrec_log" || {
+  cat "$slowrec_log"
+  fail "slow_recovery run did not name the recovery-time SLO"
+}
 
 echo "== sanitizer build: ASan+UBSan test suite =="
 ASAN_DIR="$BUILD_DIR/check-asan"

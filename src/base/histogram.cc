@@ -26,6 +26,10 @@ double Histogram::mean() const {
   return static_cast<double>(sum()) / static_cast<double>(samples_.size());
 }
 
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
 int64_t Histogram::Percentile(double p) const {
   assert(!samples_.empty());
   assert(p >= 0.0 && p <= 100.0);

@@ -28,6 +28,11 @@ class Histogram {
   // p in [0, 100]. Exact order statistic (sorts a copy on demand).
   int64_t Percentile(double p) const;
 
+  // Appends every sample of `other` (per-cell SLO histograms merge into the
+  // machine-wide distribution). Quantiles of the merged histogram are exact
+  // order statistics of the combined sample set, not an approximation.
+  void Merge(const Histogram& other);
+
   void Clear() { samples_.clear(); }
 
  private:

@@ -121,6 +121,9 @@ void Cell::Boot() {
 
   state_ = CellState::kRunning;
   Trace(TraceEvent::kBoot);
+  if (system_->slo_recorder() != nullptr) {
+    system_->slo_recorder()->NoteCellUp(id_, machine().Now());
+  }
   StartClock();
   pageout_->Start();
 }
@@ -361,6 +364,24 @@ void Cell::SuspendUsersUntil(Time t) {
   user_suspended_until_ = std::max(user_suspended_until_, t);
 }
 
+bool Cell::AdmitRequest() {
+  const HiveOptions& options = system_->options();
+  const size_t runq = sched_->runnable();
+  const uint64_t heap_used = heap_->bytes_in_use();
+  const bool runq_over =
+      options.admit_runq_watermark != 0 && runq >= options.admit_runq_watermark;
+  const bool heap_over = options.admit_heap_watermark_bytes != 0 &&
+                         heap_used >= options.admit_heap_watermark_bytes;
+  if (!runq_over && !heap_over) {
+    return true;
+  }
+  Trace(TraceEvent::kAdmissionShed, runq, heap_used);
+  if (system_->slo_recorder() != nullptr) {
+    system_->slo_recorder()->NoteShed(id_);
+  }
+  return false;
+}
+
 void Cell::Panic(const std::string& reason) {
   if (state_ == CellState::kPanicked || state_ == CellState::kDead) {
     return;
@@ -369,6 +390,9 @@ void Cell::Panic(const std::string& reason) {
   Trace(TraceEvent::kPanic);
   state_ = CellState::kPanicked;
   panic_reason_ = reason;
+  if (system_->slo_recorder() != nullptr) {
+    system_->slo_recorder()->NoteCellDown(id_, machine().Now());
+  }
   // Memory cutoff (table 8.1): prevent the spread of potentially corrupt
   // data, then halt.
   for (int node = first_node_; node < first_node_ + num_nodes_; ++node) {
@@ -388,6 +412,9 @@ void Cell::MarkDead() {
   }
   Trace(TraceEvent::kMarkedDead);
   state_ = CellState::kDead;
+  if (system_->slo_recorder() != nullptr) {
+    system_->slo_recorder()->NoteCellDown(id_, machine().Now());
+  }
   for (int node = first_node_; node < first_node_ + num_nodes_; ++node) {
     if (!machine().NodeDead(node)) {
       machine().CutOffNode(node);

@@ -167,6 +167,12 @@ class Cell {
   // SMP baseline mode).
   void ChargeSyscallTax(Ctx& ctx);
 
+  // Admission control (graceful degradation): true if a new request may fork
+  // onto this cell, false if the ready queue or kernel heap has crossed its
+  // HiveOptions watermark. A shed is traced (kAdmissionShed) and counted by
+  // the SLO recorder; with watermarks unset (the default) always admits.
+  bool AdmitRequest();
+
   std::string panic_reason() const { return panic_reason_; }
 
   // Number of user-visible pages (paged memory frames) this cell owns.

@@ -20,6 +20,7 @@
 #include "src/core/cell.h"
 #include "src/core/costs.h"
 #include "src/core/recovery.h"
+#include "src/core/slo.h"
 #include "src/core/types.h"
 #include "src/core/vnode.h"
 #include "src/core/wax.h"
@@ -58,6 +59,12 @@ struct HiveOptions {
   // Debug-mode audit: after every recovery round, cross-check firewall
   // vectors against kernel bookkeeping (see invariant_checker.h).
   bool audit_invariants = true;
+  // Admission-control watermarks (graceful degradation, 0 = unlimited): a
+  // cell sheds new requests -- traced as kAdmissionShed and counted against
+  // availability by the SLO recorder -- once its ready queue or kernel heap
+  // crosses the watermark, instead of queueing until requests hang.
+  size_t admit_runq_watermark = 0;
+  uint64_t admit_heap_watermark_bytes = 0;
   KernelCosts costs;
 };
 
@@ -170,6 +177,13 @@ class HiveSystem {
   RecoveryManager& recovery() { return *recovery_; }
   Wax& wax() { return *wax_; }
 
+  // --- SLO accounting (hive_serve). ---
+  // The recorder is owned by the harness; when attached, cell lifecycle and
+  // recovery hooks feed availability windows into it and admission control
+  // reports sheds. Null (the default) disables all SLO accounting.
+  void set_slo_recorder(SloRecorder* slo) { slo_ = slo; }
+  SloRecorder* slo_recorder() const { return slo_; }
+
   // Alert broadcast: a hint failed on `accuser`. Suspends user execution,
   // runs agreement, and if confirmed runs recovery. Called from detection
   // paths; safe to call redundantly.
@@ -205,6 +219,7 @@ class HiveSystem {
   std::unique_ptr<Agreement> agreement_;
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<Wax> wax_;
+  SloRecorder* slo_ = nullptr;
   bool alert_in_progress_ = false;
 };
 

@@ -270,6 +270,11 @@ RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_c
   for (CellId cell_id : live) {
     Cell& cell = system_->cell(cell_id);
     cell.SuspendUsersUntil(barrier2);
+    if (system_->slo_recorder() != nullptr) {
+      // Survivors were frozen from confirmation to barrier 2; the window
+      // counts against their availability even though they never went down.
+      system_->slo_recorder()->NoteSuspension(cell_id, stats.detect_time, barrier2);
+    }
     cell.set_in_recovery(false);
     cell.Trace(TraceEvent::kExitRecovery, static_cast<uint64_t>(stats.pages_discarded));
     cell.detector().ForgetCell(failed_cells.front());
@@ -326,7 +331,9 @@ RecoveryStats RecoveryManager::Run(Ctx& ctx, const std::vector<CellId>& failed_c
   LOG(kInfo) << "recovery complete: " << stats.pages_discarded << " pages discarded, "
              << stats.dirty_pages_lost << " dirty pages lost, " << stats.processes_killed
              << " processes killed; users resume at t=" << barrier2;
+  stats.duration_ns = barrier2 - stats.detect_time;
   last_stats_ = stats;
+  episodes_.push_back(stats);
   return stats;
 }
 

@@ -35,6 +35,9 @@ struct RecoveryStats {
   std::vector<Time> entered_recovery;    // Per live cell.
   Time barrier1_time = 0;
   Time barrier2_time = 0;                // == user resume time.
+  // Failure-to-survivors-unblocked span (barrier2 - detect): the per-episode
+  // recovery duration the serve harness' recovery-time SLO is built on.
+  Time duration_ns = 0;
   CellId recovery_master = kInvalidCell;
   int pages_discarded = 0;
   int pages_salvaged = 0;                // Kept by proof instead of discarded.
@@ -89,6 +92,11 @@ class RecoveryManager {
   const RecoveryStats& last_stats() const { return last_stats_; }
   int recoveries_run() const { return recoveries_run_; }
 
+  // Every completed recovery round, in order (last_stats() is episodes().back()).
+  // Only terminal states used to be logged; the per-episode durations here are
+  // the source of truth for recovery-time distributions (report.cc, hive_serve).
+  const std::vector<RecoveryStats>& episodes() const { return episodes_; }
+
   // Cross-recovery logs for oracles and reporting. Both survive master
   // rotation and per-cell trace-ring wrap; they are never cleared.
   const std::vector<SalvageRecord>& salvage_log() const { return salvage_log_; }
@@ -120,6 +128,7 @@ class RecoveryManager {
 
   HiveSystem* system_;
   RecoveryStats last_stats_;
+  std::vector<RecoveryStats> episodes_;
   int recoveries_run_ = 0;
   std::vector<SalvageRecord> salvage_log_;
   std::vector<ReintegrationRecord> reintegration_log_;

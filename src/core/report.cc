@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/histogram.h"
 #include "src/base/table.h"
 #include "src/core/cell.h"
 #include "src/core/failure_detection.h"
@@ -195,6 +196,40 @@ std::string RenderRecoverySalvage(HiveSystem& system) {
   out << "last recovery: " << stats.pages_salvaged << " page(s) salvaged, "
       << stats.pages_discarded << " discarded, " << stats.dirty_pages_lost
       << " dirty lost; " << recovery.recoveries_run() << " recovery run(s)\n";
+  return out.str();
+}
+
+std::string RenderRecoveryEpisodes(HiveSystem& system) {
+  const std::vector<RecoveryStats>& episodes = system.recovery().episodes();
+  if (episodes.empty()) {
+    return "";
+  }
+  base::Table table({"Episode", "t-detect (ms)", "Victims", "Pages-disc",
+                     "Pages-salv", "Dirty-lost", "Procs-killed", "Duration (ms)"});
+  base::Histogram durations;
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    const RecoveryStats& ep = episodes[i];
+    durations.Record(static_cast<int64_t>(ep.duration_ns));
+    std::string victims;
+    for (CellId c : ep.failed_cells) {
+      victims += (victims.empty() ? "" : ",") + base::Table::I64(c);
+    }
+    table.AddRow({base::Table::I64(static_cast<int64_t>(i)),
+                  base::Table::F64(static_cast<double>(ep.detect_time) / 1e6, 3),
+                  victims, base::Table::I64(ep.pages_discarded),
+                  base::Table::I64(ep.pages_salvaged),
+                  base::Table::I64(ep.dirty_pages_lost),
+                  base::Table::I64(ep.processes_killed),
+                  base::Table::F64(static_cast<double>(ep.duration_ns) / 1e6, 3)});
+  }
+  std::ostringstream out;
+  out << table.Render("Recovery episodes");
+  out << "recovery duration (ms): count=" << durations.count()
+      << " min=" << base::Table::F64(static_cast<double>(durations.min()) / 1e6, 3)
+      << " p50=" << base::Table::F64(static_cast<double>(durations.Percentile(50)) / 1e6, 3)
+      << " p99=" << base::Table::F64(static_cast<double>(durations.Percentile(99)) / 1e6, 3)
+      << " max=" << base::Table::F64(static_cast<double>(durations.max()) / 1e6, 3)
+      << " mean=" << base::Table::F64(durations.mean() / 1e6, 3) << "\n";
   return out.str();
 }
 

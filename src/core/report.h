@@ -38,6 +38,12 @@ std::string RenderFailureDetection(HiveSystem& system);
 // episode's outcome, plus the last recovery's discard/salvage totals.
 std::string RenderRecoverySalvage(HiveSystem& system);
 
+// Per-episode recovery log: one row per recovery round (victims, pages
+// discarded/salvaged, processes killed, fail-to-resume duration) plus the
+// duration distribution (min/p50/p99/max/mean) across all episodes. Empty
+// string when no recovery has run.
+std::string RenderRecoveryEpisodes(HiveSystem& system);
+
 // One row of the fault-campaign triage table. The campaign layer converts
 // its buckets to these plain rows before rendering; core stays
 // campaign-agnostic.

@@ -38,6 +38,12 @@ struct HopFate {
 
 HopFate SampleHop(flash::MessageFaultModel* model, const flash::Interconnect& mesh,
                   Time now, int src_node, int dst_node) {
+  // One SIPS line crossing the mesh. The transport layer models the wire
+  // inline rather than round-tripping through flash::Sips, so this is where
+  // SIPS delivery work is attributable: its own profile row (nested under the
+  // caller's kCarefulRpc scope, which pauses while the hop is sampled)
+  // instead of being folded into careful_rpc/other. ops(kSips) counts hops.
+  base::SimProfileScope profile_scope(base::SimSubsystem::kSips);
   HopFate fate;
   if (model == nullptr) {
     return fate;

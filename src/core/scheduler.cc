@@ -43,6 +43,9 @@ void Scheduler::MakeRunnable(Process* proc) {
   }
   proc->set_state(ProcState::kReady);
   ready_.push_back(proc);
+  if (ready_.size() > max_runnable_) {
+    max_runnable_ = ready_.size();
+  }
   KickAll();
 }
 

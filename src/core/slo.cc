@@ -1,0 +1,47 @@
+#include "src/core/slo.h"
+
+namespace hive {
+
+void SloRecorder::NoteCellDown(CellId cell, Time now) {
+  CellSloStats& s = cells_[cell];
+  if (s.down) {
+    return;
+  }
+  s.down = true;
+  s.down_since = now;
+}
+
+void SloRecorder::NoteCellUp(CellId cell, Time now) {
+  CellSloStats& s = cells_[cell];
+  if (!s.down) {
+    return;
+  }
+  s.down = false;
+  s.down_ns += now - s.down_since;
+}
+
+void SloRecorder::NoteSuspension(CellId cell, Time from, Time until) {
+  if (until > from) {
+    cells_[cell].suspended_ns += until - from;
+  }
+}
+
+void SloRecorder::Finish(Time end) {
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    NoteCellUp(static_cast<CellId>(c), end);
+  }
+}
+
+double SloRecorder::Availability(size_t id, Time window_ns) const {
+  if (window_ns == 0) {
+    return 1.0;
+  }
+  const CellSloStats& s = cells_[id];
+  Time unavailable = s.down_ns + s.suspended_ns;
+  if (unavailable > window_ns) {
+    unavailable = window_ns;
+  }
+  return static_cast<double>(window_ns - unavailable) / static_cast<double>(window_ns);
+}
+
+}  // namespace hive

@@ -1,0 +1,73 @@
+// Service-level accounting for long-running soak runs (hive_serve): per-cell
+// request counters, submit-to-completion latency distributions, availability
+// windows and admission-shed counts. The recorder is attached to a HiveSystem
+// by the harness; core hooks (Cell::Panic/MarkDead/Boot, RecoveryManager::Run,
+// Cell::AdmitRequest) feed it when present and cost nothing when absent.
+//
+// All mutations happen on the main simulation thread (panics, boots, recovery
+// and the serve pump are serial events), so the recorder needs no locking and
+// its contents are deterministic for a fixed seed.
+
+#ifndef HIVE_SRC_CORE_SLO_H_
+#define HIVE_SRC_CORE_SLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/core/types.h"
+
+namespace hive {
+
+// Per-cell service view over the whole run window.
+struct CellSloStats {
+  uint64_t submitted = 0;   // Requests admitted and forked onto this cell.
+  uint64_t completed = 0;   // ... that ran to completion.
+  uint64_t shed = 0;        // Rejected by admission control (graceful degradation).
+  base::Histogram latency;  // Submit-to-completion, simulated ns, completed only.
+  Time down_ns = 0;         // Total time the cell was not alive (panic/dead/reboot).
+  Time suspended_ns = 0;    // User execution frozen by recovery barriers while alive.
+  // Open downtime interval; closed by NoteCellUp or Finish.
+  Time down_since = 0;
+  bool down = false;
+};
+
+class SloRecorder {
+ public:
+  explicit SloRecorder(size_t num_cells) : cells_(num_cells) {}
+
+  void NoteSubmitted(CellId cell) { ++cells_[cell].submitted; }
+  void NoteCompleted(CellId cell, Time latency_ns) {
+    CellSloStats& s = cells_[cell];
+    ++s.completed;
+    s.latency.Record(static_cast<int64_t>(latency_ns));
+  }
+  void NoteShed(CellId cell) { ++cells_[cell].shed; }
+
+  // Down/up transitions are idempotent: a panic followed by MarkDead (or a
+  // reboot-storm re-kill mid-boot) opens a single downtime interval.
+  void NoteCellDown(CellId cell, Time now);
+  void NoteCellUp(CellId cell, Time now);
+
+  // Recovery barrier window: user execution on a *live* cell frozen from the
+  // failure being confirmed until barrier 2 releases the survivors.
+  void NoteSuspension(CellId cell, Time from, Time until);
+
+  // Closes every open downtime interval at `end` so availability reflects the
+  // full run window even for cells that died and never came back.
+  void Finish(Time end);
+
+  size_t num_cells() const { return cells_.size(); }
+  const CellSloStats& cell(size_t id) const { return cells_[id]; }
+
+  // Availability of one cell over a window of `window_ns`: the fraction of
+  // the window it was alive and not barrier-frozen. Call after Finish().
+  double Availability(size_t id, Time window_ns) const;
+
+ private:
+  std::vector<CellSloStats> cells_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SRC_CORE_SLO_H_

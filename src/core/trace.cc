@@ -54,6 +54,8 @@ const char* TraceEventName(TraceEvent event) {
       return "reintegration-start";
     case TraceEvent::kReintegrationDone:
       return "reintegration-done";
+    case TraceEvent::kAdmissionShed:
+      return "admission-shed";
   }
   return "?";
 }

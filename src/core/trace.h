@@ -42,6 +42,7 @@ enum class TraceEvent : uint8_t {
   kSalvageRejected,   // arg0 = frame, arg1 = failed cell.
   kReintegrationStart,  // arg0 = rejoining cell.
   kReintegrationDone,   // arg0 = rejoining cell.
+  kAdmissionShed,       // arg0 = run-queue depth, arg1 = kernel heap bytes in use.
 };
 
 const char* TraceEventName(TraceEvent event);

@@ -80,6 +80,33 @@ TEST_F(ReportTest, RpcTransportTableShowsCallsTimeoutsAndRetries) {
   EXPECT_GE(stats.timeouts, 1u);
 }
 
+TEST_F(ReportTest, RecoveryEpisodesEmptyBeforeAnyRecovery) {
+  EXPECT_EQ(RenderRecoveryEpisodes(*ts_.hive), "");
+}
+
+TEST_F(ReportTest, RecoveryEpisodesTableRendersDurations) {
+  // Two node failures, two recovery episodes: the table must list both with
+  // a positive duration and render the duration distribution footer the
+  // serve harness' recovery-time SLO reads.
+  flash::FaultInjector injector(ts_.machine.get(), 1);
+  injector.ScheduleNodeFailure(2, 25 * kMillisecond);
+  injector.ScheduleNodeFailure(3, 150 * kMillisecond);
+  ts_.machine->events().RunUntil(400 * kMillisecond);
+  ASSERT_EQ(ts_.hive->recovery().recoveries_run(), 2);
+
+  const std::string report = RenderRecoveryEpisodes(*ts_.hive);
+  EXPECT_NE(report.find("Recovery episodes"), std::string::npos);
+  EXPECT_NE(report.find("Duration (ms)"), std::string::npos);
+  EXPECT_NE(report.find("recovery duration (ms): count=2"), std::string::npos);
+  const auto& episodes = ts_.hive->recovery().episodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  for (const RecoveryStats& episode : episodes) {
+    EXPECT_GT(episode.duration_ns, 0);
+  }
+  EXPECT_EQ(episodes[0].failed_cells[0], 2);
+  EXPECT_EQ(episodes[1].failed_cells[0], 3);
+}
+
 TEST_F(ReportTest, SharingViewEmptyWhenNoSharing) {
   const std::string view = RenderCellSharing(*ts_.hive, 3);
   EXPECT_NE(view.find("no intercell sharing"), std::string::npos);

@@ -70,6 +70,9 @@ TEST(SimProfileAttribution, InstrumentedSubsystemsReportOps) {
   const SimProfile profile = ProfiledRun(seed, 0);
   EXPECT_GT(profile.ops(SimSubsystem::kScheduler), 0u);
   EXPECT_GT(profile.ops(SimSubsystem::kVmFault), 0u);
+  // SIPS delivery is modeled inline in the RPC hop sampler; its scope must
+  // still attribute, or the bench table silently loses the transport row.
+  EXPECT_GT(profile.ops(SimSubsystem::kSips), 0u);
   EXPECT_GT(profile.total_ops(), 0u);
 }
 

@@ -303,8 +303,10 @@ void CheckR9Impl(const RuleContext& ctx) {
 // so they are rooted explicitly. Nondeterminism on any of these paths would
 // break the N-thread == 1-thread fingerprint guarantee, not just the serial
 // golden oracle.
+// RunSoak is the serve harness entry point: its fingerprint must be a
+// function of --seed alone, so it is held to the same determinism bar.
 const char* const kR10Roots[] = {"RunScenario", "RunCampaign", "WorkerMain",
-                                 "ExecuteBundle", "ReplayWindow"};
+                                 "ExecuteBundle", "ReplayWindow", "RunSoak"};
 
 void CheckR10Impl(const RuleContext& ctx) {
   const ProgramIndex& index = *ctx.index;
